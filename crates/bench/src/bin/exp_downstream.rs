@@ -1,0 +1,105 @@
+//! Experiment E13 (extension) — the downstream cost of extraction errors:
+//! rebuild the catalog from what the simulated LLM recovered (§4.1's
+//! lossy system encodings), let the engine design over the lossy
+//! knowledge, and judge its designs against ground truth. Quantifies the
+//! paper's "human supervision is necessary" conclusion end-to-end.
+
+use netarch_bench::section;
+use netarch_core::baseline::validate_design;
+use netarch_core::prelude::*;
+use netarch_corpus::case_study;
+use netarch_extract::downstream::{degrade_systems, DownstreamReport};
+use netarch_extract::Prompt;
+
+/// Builds the case-study scenario over a catalog whose *system* encodings
+/// were re-extracted (hardware extraction is perfect, §4.1, so hardware
+/// and orderings carry over unchanged).
+fn lossy_scenario(prompt: Prompt, seed: u64) -> Scenario {
+    let truth = netarch_corpus::full_catalog();
+    let lossy_systems = degrade_systems(&netarch_corpus::all_systems(), prompt, seed);
+    let lossy_ids: std::collections::BTreeSet<SystemId> =
+        lossy_systems.iter().map(|s| s.id.clone()).collect();
+    let mut catalog = Catalog::new();
+    for mut spec in lossy_systems {
+        // Keep referential integrity: a dropped capability elsewhere can't
+        // dangle, but conditions referencing systems always resolve since
+        // ids are preserved.
+        spec.conflicts.retain(|c| lossy_ids.contains(c));
+        catalog.add_system(spec).expect("ids preserved");
+    }
+    for h in truth.hardware_specs() {
+        catalog.add_hardware(h.clone()).expect("unique");
+    }
+    for e in truth.order().edges() {
+        catalog.add_ordering(e.clone()).expect("endpoints preserved");
+    }
+    let mut scenario = case_study::scenario();
+    scenario.catalog = catalog;
+    scenario
+}
+
+fn run(prompt: Prompt, rounds: u64) -> DownstreamReport {
+    let truth_scenario = case_study::scenario();
+    let mut report = DownstreamReport::default();
+    for seed in 0..rounds {
+        report.rounds += 1;
+        let scenario = lossy_scenario(prompt, seed);
+        let mut engine = Engine::new(scenario).expect("compiles");
+        match engine.check().expect("runs") {
+            Outcome::Feasible(design) => {
+                let violations = validate_design(&truth_scenario, &design);
+                if violations.is_empty() {
+                    report.safe_designs += 1;
+                } else {
+                    report.unsafe_designs += 1;
+                    report.total_violations += violations.len();
+                }
+            }
+            Outcome::Infeasible(_) => report.infeasible += 1,
+        }
+    }
+    report
+}
+
+fn main() {
+    const ROUNDS: u64 = 30;
+    section("Designing over LLM-extracted encodings (case study, ground-truth judged)");
+    println!(
+        "  {:14} {:>8} {:>10} {:>12} {:>12} {:>14}",
+        "prompt", "rounds", "safe", "UNSAFE", "infeasible", "violations/run"
+    );
+    let mut unsafe_rates = Vec::new();
+    for (prompt, label) in [(Prompt::Naive, "naive"), (Prompt::Adversarial, "adversarial")] {
+        let r = run(prompt, ROUNDS);
+        println!(
+            "  {:14} {:>8} {:>10} {:>12} {:>12} {:>14.2}",
+            label,
+            r.rounds,
+            r.safe_designs,
+            r.unsafe_designs,
+            r.infeasible,
+            r.total_violations as f64 / r.rounds as f64,
+        );
+        unsafe_rates.push((label, r.unsafe_rate()));
+    }
+    println!();
+    let naive = unsafe_rates[0].1;
+    let adversarial = unsafe_rates[1].1;
+    println!(
+        "  unsafe-design rate: naive {:.0}% vs adversarial {:.0}%",
+        naive * 100.0,
+        adversarial * 100.0
+    );
+    assert!(
+        naive > 0.3,
+        "lossy encodings must regularly yield ground-truth-violating designs"
+    );
+    assert!(
+        adversarial <= naive,
+        "better conditional recall must not make deployments less safe"
+    );
+    println!(
+        "\nPASS: extraction losses translate into unsafe deployments — the\n\
+         end-to-end form of §4.1's 'human supervision is necessary'."
+    );
+}

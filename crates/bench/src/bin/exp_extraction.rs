@@ -1,0 +1,45 @@
+//! Experiment E6 — §4.1: extraction accuracy over the synthetic document
+//! corpus, per fact class and prompting strategy.
+
+use netarch_bench::section;
+use netarch_extract::{run_extraction_study, Prompt};
+
+fn main() {
+    let hardware = netarch_corpus::all_hardware();
+    let systems = netarch_corpus::all_systems();
+    println!(
+        "corpus: {} hardware spec sheets, {} system prose documents",
+        hardware.len(),
+        systems.len()
+    );
+
+    for (prompt, label) in [
+        (Prompt::Naive, "naive prompt (\"capture all requirements and nuances\")"),
+        (Prompt::Adversarial, "adversarial prompt (\"requirements without which it cannot work\")"),
+    ] {
+        section(label);
+        let report = run_extraction_study(&hardware, &systems, prompt, 2024);
+        println!("  hardware field recall:          {:>5.1}%", report.hardware_recall * 100.0);
+        println!("  solves (capabilities) recall:   {:>5.1}%", report.solves_recall * 100.0);
+        println!("  plain requirement recall:       {:>5.1}%", report.plain_requirement_recall * 100.0);
+        println!("  conditional requirement recall: {:>5.1}%", report.conditional_recall * 100.0);
+        println!("  resource quantity recall:       {:>5.1}%", report.quantity_recall * 100.0);
+        println!("  extraction faithfulness:        {:>5.1}%", report.precision * 100.0);
+
+        // §4.1's qualitative findings must hold.
+        assert_eq!(report.hardware_recall, 1.0, "spec sheets must extract perfectly");
+        assert!(report.plain_requirement_recall > report.conditional_recall);
+        assert!(report.quantity_recall < report.solves_recall);
+    }
+
+    section("Naive vs adversarial on conditionals (the paper's prompt lesson)");
+    let naive = run_extraction_study(&[], &systems, Prompt::Naive, 2024);
+    let adversarial = run_extraction_study(&[], &systems, Prompt::Adversarial, 2024);
+    println!(
+        "  conditional recall: naive {:.1}%  →  adversarial {:.1}%",
+        naive.conditional_recall * 100.0,
+        adversarial.conditional_recall * 100.0
+    );
+    assert!(adversarial.conditional_recall > naive.conditional_recall);
+    println!("\nPASS: §4.1's shape reproduced (hardware 100%; nuances lossy; adversarial prompt helps).");
+}

@@ -1,0 +1,57 @@
+//! Experiment E2 — regenerate **Listing 1**: the auto-generated hardware
+//! encoding for the Cisco Catalyst 9500-40X, extracted from a (synthetic)
+//! vendor spec sheet at 100% field accuracy.
+
+use netarch_bench::section;
+use netarch_core::prelude::*;
+use netarch_extract::{render_spec_sheet, Extractor, Fact, Prompt};
+
+fn main() {
+    let catalog = netarch_corpus::full_catalog();
+    let catalyst = catalog
+        .hardware(&HardwareId::new("CISCO_CATALYST_9500_40X"))
+        .expect("Listing 1's switch is in the corpus");
+
+    section("Source document (synthetic vendor spec sheet)");
+    let doc = render_spec_sheet(catalyst);
+    for s in &doc.sentences {
+        println!("  {}", s.text);
+    }
+
+    section("Extracted encoding (Listing 1 shape)");
+    let mut extractor = Extractor::new(1);
+    let result = extractor.extract(&doc, Prompt::Naive);
+    println!("{{");
+    println!("  \"Model Name\": \"{}\",", catalyst.model_name);
+    for e in &result.extracted {
+        match &e.fact {
+            Fact::HardwareNumeric { key, value } => match key.as_str() {
+                "port_bandwidth_gbps" => println!("  \"Port Bandwidth\": \"{value} Gbps\","),
+                "max_power_w" => println!("  \"Max Power Consumption\": \"{value}W\","),
+                "ports" => println!("  \"Ports\": \"{value}x 10 Gigabit Ethernet SFP+\","),
+                "memory_mb" => println!("  \"Memory\": \"{} GB\",", value / 1024.0),
+                "mac_table_entries" => {
+                    println!("  \"MAC Address Table Size\": \"{value} entries\",")
+                }
+                other => println!("  \"{other}\": \"{value}\","),
+            },
+            Fact::HardwareFeature { feature } => {
+                println!("  \"{feature} supported?\": \"Yes\",")
+            }
+            other => println!("  // unexpected fact: {other:?}"),
+        }
+    }
+    // Fields the spec sheet lacks mirror the listing's N/A entries.
+    println!("  \"P4 Supported?\": \"No\",");
+    println!("  \"# P4 Stages\": \"N/A\"");
+    println!("}}");
+
+    section("Accuracy (paper §4.1: 100% on structured spec sheets)");
+    println!("  fields in sheet:    {}", doc.sentences.len());
+    println!("  fields extracted:   {}", result.extracted.len());
+    println!("  recall:             {:.0}%", result.recall() * 100.0);
+    println!("  faithful fraction:  {:.0}%", result.precision() * 100.0);
+    assert_eq!(result.recall(), 1.0);
+    assert_eq!(result.precision(), 1.0);
+    println!("\nPASS: Listing 1 regenerated at 100% field accuracy.");
+}

@@ -1,0 +1,95 @@
+//! Experiment E16 (extension) — §3.1's measurement advice: "the engine
+//! can help architects make a more informed decision regarding whether
+//! they should perform a measurement: it is only needed if the answer
+//! changes the final design. For instance, if the architect has a sharp
+//! deployment deadline, then using a research system like Shenango is
+//! infeasible irrespective of its performance characteristics."
+//!
+//! The unknown comparison used throughout is the paper's own example:
+//! Shenango vs Demikernel on isolation (the deliberate gap in Figure 1).
+
+use netarch_bench::section;
+use netarch_core::prelude::*;
+use netarch_corpus::{full_catalog, vocab::params, vocab::props};
+
+fn scenario(production_only: bool) -> Scenario {
+    let mut w = Workload::builder("latency_service")
+        .property(props::DC_FLOWS)
+        .property(props::APPS_MODIFIABLE)
+        .needs("host_networking")
+        .peak_cores(200)
+        .num_flows(10_000);
+    if production_only {
+        w = w.property(props::PRODUCTION_ONLY);
+    }
+    Scenario::new(full_catalog())
+        .with_workload(w.build())
+        .with_param(params::LINK_SPEED_GBPS, 100.0)
+        .with_inventory(Inventory {
+            nic_candidates: vec![HardwareId::new("MLX_CX5_100")],
+            server_candidates: vec![HardwareId::new("EPYC_MILAN_64C")],
+            num_servers: 16,
+            ..Inventory::default()
+        })
+        .with_role(Category::NetworkStack, RoleRule::Required)
+        // Only kernel-bypass latencies are acceptable.
+        .with_pin(Pin::Forbid(SystemId::new("LINUX")))
+        .with_pin(Pin::Forbid(SystemId::new("SNAP_TCP")))
+        .with_pin(Pin::Forbid(SystemId::new("SNAP_PONY")))
+        .with_pin(Pin::Forbid(SystemId::new("ONLOAD")))
+        .with_objective(Objective::MaximizeDimension(Dimension::Isolation))
+        .with_objective(Objective::MinimizeCost)
+}
+
+fn main() {
+    let a = SystemId::new("SHENANGO");
+    let b = SystemId::new("DEMIKERNEL");
+
+    section("Is measuring Shenango vs Demikernel isolation worth it? (research OK)");
+    let engine = Engine::new(scenario(false)).expect("compiles");
+    let advice = engine
+        .advise_measurement(&a, &b, &Dimension::Isolation)
+        .expect("runs");
+    println!("  verdict: {}", advice.reason);
+    if let (Some(da), Some(db)) = (&advice.design_if_first_better, &advice.design_if_second_better)
+    {
+        println!(
+            "  if Shenango better  → stack = {:?}",
+            da.selection(&Category::NetworkStack)
+        );
+        println!(
+            "  if Demikernel better → stack = {:?}",
+            db.selection(&Category::NetworkStack)
+        );
+    }
+    assert!(
+        advice.worthwhile,
+        "with isolation as the top objective the verdict must matter"
+    );
+
+    section("Same question under a sharp deadline (production systems only)");
+    let engine = Engine::new(scenario(true)).expect("compiles");
+    let advice = engine
+        .advise_measurement(&a, &b, &Dimension::Isolation)
+        .expect("runs");
+    println!("  verdict: {}", advice.reason);
+    assert!(
+        !advice.worthwhile,
+        "research prototypes are undeployable under the deadline — \
+         the measurement cannot change the design (§3.1)"
+    );
+
+    section("Already-ordered pairs are never worth re-measuring");
+    let engine = Engine::new(scenario(false)).expect("compiles");
+    let advice = engine
+        .advise_measurement(
+            &SystemId::new("LINUX"),
+            &SystemId::new("SHENANGO"),
+            &Dimension::Isolation,
+        )
+        .expect("runs");
+    println!("  verdict: {}", advice.reason);
+    assert!(!advice.worthwhile);
+
+    println!("\nPASS: §3.1's measurement-triage workflow implemented end-to-end.");
+}

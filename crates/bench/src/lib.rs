@@ -1,0 +1,115 @@
+//! # netarch-bench
+//!
+//! Experiment runners and Criterion benches regenerating every figure,
+//! listing, and evaluation claim of the paper. Each `exp_*` binary prints
+//! the paper-shaped rows recorded in EXPERIMENTS.md; the Criterion
+//! benches measure the performance dimensions (solve time scaling,
+//! encoding growth, solver ablations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use netarch_core::ordering::Comparison;
+use netarch_core::prelude::*;
+
+/// Pretty-prints a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+/// Renders a comparison verdict as the symbols used in Figure 1.
+pub fn verdict_symbol(c: Comparison) -> &'static str {
+    match c {
+        Comparison::Better => "≻",
+        Comparison::Worse => "≺",
+        Comparison::Equal => "≈",
+        Comparison::Incomparable => "⋈",
+    }
+}
+
+/// Builds a scenario over the full corpus with one descriptive workload
+/// and a link-speed parameter — the standard context for ordering
+/// experiments.
+pub fn context_scenario(link_speed_gbps: f64) -> Scenario {
+    Scenario::new(netarch_corpus::full_catalog())
+        .with_workload(Workload::builder("ctx").property("dc_flows").build())
+        .with_param("link_speed_gbps", link_speed_gbps)
+}
+
+/// A sub-catalog with the first `n_systems` systems (per category,
+/// round-robin to keep all roles populated) and first `n_hardware`
+/// hardware models — used by the scaling experiments.
+pub fn subset_catalog(n_systems: usize, n_hardware: usize) -> Catalog {
+    let full = netarch_corpus::full_catalog();
+    let mut catalog = Catalog::new();
+    // Round-robin over categories so every prefix spans the roles.
+    let mut per_category: Vec<Vec<SystemSpec>> = Vec::new();
+    let mut categories: Vec<Category> = full.systems().map(|s| s.category.clone()).collect();
+    categories.sort();
+    categories.dedup();
+    for cat in &categories {
+        per_category.push(full.systems_in(cat).into_iter().cloned().collect());
+    }
+    let mut taken: Vec<SystemSpec> = Vec::new();
+    let mut index = 0;
+    while taken.len() < n_systems {
+        let mut advanced = false;
+        for bucket in &per_category {
+            if let Some(spec) = bucket.get(index) {
+                if taken.len() < n_systems {
+                    taken.push(spec.clone());
+                    advanced = true;
+                }
+            }
+        }
+        if !advanced {
+            break;
+        }
+        index += 1;
+    }
+    let ids: std::collections::BTreeSet<SystemId> = taken.iter().map(|s| s.id.clone()).collect();
+    for mut spec in taken {
+        spec.conflicts.retain(|c| ids.contains(c));
+        spec.requires.retain(|r| {
+            r.condition.referenced_systems().iter().all(|s| ids.contains(s))
+        });
+        catalog.add_system(spec).expect("unique");
+    }
+    for h in full.hardware_specs().take(n_hardware) {
+        catalog.add_hardware(h.clone()).expect("unique");
+    }
+    for edge in full.order().edges() {
+        if ids.contains(&edge.better) && ids.contains(&edge.worse) {
+            catalog.add_ordering(edge.clone()).expect("endpoints exist");
+        }
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_catalog_is_valid_at_every_size() {
+        for n in [5, 10, 20, 40, 70] {
+            let c = subset_catalog(n, 30);
+            assert!(c.validate().is_empty(), "n={n}");
+            assert!(c.num_systems() <= n);
+        }
+    }
+
+    #[test]
+    fn subset_spans_categories() {
+        let c = subset_catalog(16, 0);
+        let cats: std::collections::BTreeSet<_> =
+            c.systems().map(|s| s.category.clone()).collect();
+        assert!(cats.len() >= 7, "round-robin must cover roles: {cats:?}");
+    }
+
+    #[test]
+    fn context_scenario_compiles() {
+        let s = context_scenario(100.0);
+        assert!(netarch_core::compile::compile(&s).is_ok());
+    }
+}

@@ -1,0 +1,43 @@
+//! Smoke tests: every experiment binary must run to completion (each
+//! carries its own internal assertions and exits non-zero on failure).
+//! The slowest experiments (downstream, extraction sweeps) are exercised
+//! by their own unit/integration tests and excluded here to keep the
+//! suite fast in debug builds.
+
+use std::process::Command;
+
+fn run(binary: &str) -> (bool, String) {
+    let output = Command::new(binary).output().expect("binary runs");
+    (
+        output.status.success(),
+        format!(
+            "{}\n{}",
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr)
+        ),
+    )
+}
+
+macro_rules! smoke {
+    ($name:ident, $env:literal, $marker:literal) => {
+        #[test]
+        fn $name() {
+            let (ok, output) = run(env!($env));
+            assert!(ok, "experiment failed:\n{output}");
+            assert!(output.contains($marker), "missing marker in:\n{output}");
+        }
+    };
+}
+
+smoke!(fig1, "CARGO_BIN_EXE_exp_fig1", "6/6 paper-stated edges reproduced");
+smoke!(listing1, "CARGO_BIN_EXE_exp_listing1", "100% field accuracy");
+smoke!(listing2, "CARGO_BIN_EXE_exp_listing2", "Listing 2 encoding expressed and enforced");
+smoke!(pfc, "CARGO_BIN_EXE_exp_pfc", "caught and repaired");
+smoke!(checking, "CARGO_BIN_EXE_exp_checking", "existence checks easy");
+smoke!(case_study, "CARGO_BIN_EXE_exp_case_study", "case study reproduced end-to-end");
+smoke!(queries, "CARGO_BIN_EXE_exp_queries", "all three §5.1 queries answered");
+smoke!(reasoners, "CARGO_BIN_EXE_exp_reasoners", "engine exact");
+smoke!(explain, "CARGO_BIN_EXE_exp_explain", "explainability and modularity extensions");
+smoke!(capacity, "CARGO_BIN_EXE_exp_capacity", "fleet-sizing queries exactly");
+smoke!(measure, "CARGO_BIN_EXE_exp_measure", "measurement-triage workflow");
+smoke!(scaling, "CARGO_BIN_EXE_exp_scaling", "spec growth linear");

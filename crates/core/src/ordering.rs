@@ -1,0 +1,453 @@
+//! Conditional partial orders over systems — the paper's Figure 1.
+//!
+//! Performance knowledge is deliberately *not* numeric (§3.2): it is a set
+//! of rules-of-thumb of the form "A is better than B along dimension D,
+//! when condition C holds" (solid arrows in Figure 1), or "A and B are
+//! equal along D" (dashed lines). The order is intentionally *incomplete*:
+//! if no chain of edges connects two systems, they are incomparable, and
+//! the engine reports that rather than inventing an answer (§3.1: the
+//! missing Shenango↔Demikernel isolation comparison).
+
+use crate::condition::{Condition, StaticContext};
+use crate::types::{Dimension, SystemId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Edge flavor: strict preference (solid arrow) or equivalence (dashed).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// `better ≻ worse` (solid arrow, points to the lower system).
+    Strict,
+    /// `better ≈ worse` (dashed line, both equal).
+    Equal,
+}
+
+/// One rule-of-thumb preference edge.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct OrderingEdge {
+    /// The preferred system (for `Equal`, an arbitrary side).
+    pub better: SystemId,
+    /// The less-preferred system (for `Equal`, the other side).
+    pub worse: SystemId,
+    /// The dimension the edge speaks about.
+    pub dimension: Dimension,
+    /// When the edge applies (Figure 1: "Network load ≥ 40 Gbps").
+    pub condition: Condition,
+    /// Strict preference or equivalence.
+    pub kind: EdgeKind,
+    /// Source of the rule.
+    pub citation: Option<String>,
+}
+
+impl OrderingEdge {
+    /// An unconditional strict edge `better ≻ worse` on `dimension`.
+    pub fn strict(
+        better: impl Into<SystemId>,
+        worse: impl Into<SystemId>,
+        dimension: Dimension,
+    ) -> OrderingEdge {
+        OrderingEdge {
+            better: better.into(),
+            worse: worse.into(),
+            dimension,
+            condition: Condition::True,
+            kind: EdgeKind::Strict,
+            citation: None,
+        }
+    }
+
+    /// An unconditional equivalence edge on `dimension`.
+    pub fn equal(
+        a: impl Into<SystemId>,
+        b: impl Into<SystemId>,
+        dimension: Dimension,
+    ) -> OrderingEdge {
+        OrderingEdge {
+            better: a.into(),
+            worse: b.into(),
+            dimension,
+            condition: Condition::True,
+            kind: EdgeKind::Equal,
+            citation: None,
+        }
+    }
+
+    /// Restricts the edge to a condition.
+    pub fn when(mut self, condition: Condition) -> OrderingEdge {
+        self.condition = condition;
+        self
+    }
+
+    /// Attaches a citation.
+    pub fn cited(mut self, citation: impl Into<String>) -> OrderingEdge {
+        self.citation = Some(citation.into());
+        self
+    }
+}
+
+/// Outcome of comparing two systems in a context.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Comparison {
+    /// The first system strictly dominates the second.
+    Better,
+    /// The second system strictly dominates the first.
+    Worse,
+    /// Connected only through equivalence edges.
+    Equal,
+    /// No chain of applicable edges relates the two — the knowledge base
+    /// simply does not know (first-class incompleteness, §3.1).
+    Incomparable,
+}
+
+/// A set of conditional preference edges with dominance queries.
+#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+pub struct PreferenceOrder {
+    edges: Vec<OrderingEdge>,
+}
+
+impl PreferenceOrder {
+    /// Creates an empty order.
+    pub fn new() -> PreferenceOrder {
+        PreferenceOrder::default()
+    }
+
+    /// Adds an edge.
+    pub fn add(&mut self, edge: OrderingEdge) {
+        self.edges.push(edge);
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[OrderingEdge] {
+        &self.edges
+    }
+
+    /// Edges on a dimension.
+    pub fn edges_on<'a>(
+        &'a self,
+        dimension: &'a Dimension,
+    ) -> impl Iterator<Item = &'a OrderingEdge> + 'a {
+        self.edges.iter().filter(move |e| &e.dimension == dimension)
+    }
+
+    /// Edges on a dimension whose conditions hold statically in `ctx`
+    /// (dynamic conditions — ones that depend on solver choices — are
+    /// excluded; see [`PreferenceOrder::dynamic_edges_on`]).
+    pub fn active_edges_on<'a>(
+        &'a self,
+        dimension: &'a Dimension,
+        ctx: &dyn StaticContext,
+    ) -> Vec<&'a OrderingEdge> {
+        self.edges_on(dimension)
+            .filter(|e| e.condition.partial_eval(ctx) == Condition::True)
+            .collect()
+    }
+
+    /// Edges on a dimension that remain conditional after static
+    /// resolution, paired with their residual condition.
+    pub fn dynamic_edges_on<'a>(
+        &'a self,
+        dimension: &'a Dimension,
+        ctx: &dyn StaticContext,
+    ) -> Vec<(&'a OrderingEdge, Condition)> {
+        self.edges_on(dimension)
+            .filter_map(|e| match e.condition.partial_eval(ctx) {
+                Condition::True | Condition::False => None,
+                residual => Some((e, residual)),
+            })
+            .collect()
+    }
+
+    /// Systems strictly dominated by `system` in `ctx` (transitively,
+    /// traversing equivalence edges in both directions but requiring at
+    /// least one strict edge on the path).
+    pub fn dominated_by(
+        &self,
+        system: &SystemId,
+        dimension: &Dimension,
+        ctx: &dyn StaticContext,
+    ) -> BTreeSet<SystemId> {
+        let active = self.active_edges_on(dimension, ctx);
+        // State: (node, used_strict). BFS from `system`.
+        let mut out = BTreeSet::new();
+        let mut visited: BTreeSet<(SystemId, bool)> = BTreeSet::new();
+        let mut queue: VecDeque<(SystemId, bool)> = VecDeque::new();
+        queue.push_back((system.clone(), false));
+        visited.insert((system.clone(), false));
+        while let Some((node, strict)) = queue.pop_front() {
+            for e in &active {
+                let next: Vec<(SystemId, bool)> = match e.kind {
+                    EdgeKind::Strict if e.better == node => {
+                        vec![(e.worse.clone(), true)]
+                    }
+                    EdgeKind::Equal if e.better == node => {
+                        vec![(e.worse.clone(), strict)]
+                    }
+                    EdgeKind::Equal if e.worse == node => {
+                        vec![(e.better.clone(), strict)]
+                    }
+                    _ => continue,
+                };
+                for (n, s) in next {
+                    if s && n != *system {
+                        out.insert(n.clone());
+                    }
+                    if visited.insert((n.clone(), s)) {
+                        queue.push_back((n, s));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Systems reachable through equivalence edges only.
+    pub fn equal_to(
+        &self,
+        system: &SystemId,
+        dimension: &Dimension,
+        ctx: &dyn StaticContext,
+    ) -> BTreeSet<SystemId> {
+        let active = self.active_edges_on(dimension, ctx);
+        let mut out = BTreeSet::new();
+        let mut queue: VecDeque<SystemId> = VecDeque::new();
+        queue.push_back(system.clone());
+        out.insert(system.clone());
+        while let Some(node) = queue.pop_front() {
+            for e in &active {
+                if e.kind != EdgeKind::Equal {
+                    continue;
+                }
+                let next = if e.better == node {
+                    Some(e.worse.clone())
+                } else if e.worse == node {
+                    Some(e.better.clone())
+                } else {
+                    None
+                };
+                if let Some(n) = next {
+                    if out.insert(n.clone()) {
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        out.remove(system);
+        out
+    }
+
+    /// Compares two systems along a dimension in a static context.
+    pub fn compare(
+        &self,
+        a: &SystemId,
+        b: &SystemId,
+        dimension: &Dimension,
+        ctx: &dyn StaticContext,
+    ) -> Comparison {
+        let a_dominates = self.dominated_by(a, dimension, ctx).contains(b);
+        let b_dominates = self.dominated_by(b, dimension, ctx).contains(a);
+        match (a_dominates, b_dominates) {
+            (true, false) => Comparison::Better,
+            (false, true) => Comparison::Worse,
+            (true, true) => Comparison::Incomparable, // contradictory edges
+            (false, false) => {
+                if self.equal_to(a, dimension, ctx).contains(b) {
+                    Comparison::Equal
+                } else {
+                    Comparison::Incomparable
+                }
+            }
+        }
+    }
+
+    /// Dominance rank of each system in `universe`: the number of universe
+    /// members it strictly dominates. Used by the optimizer to scalarize
+    /// the partial order into soft-constraint weights.
+    pub fn ranks(
+        &self,
+        universe: &[SystemId],
+        dimension: &Dimension,
+        ctx: &dyn StaticContext,
+    ) -> BTreeMap<SystemId, usize> {
+        universe
+            .iter()
+            .map(|s| {
+                let dominated = self.dominated_by(s, dimension, ctx);
+                let count = universe.iter().filter(|u| dominated.contains(u)).count();
+                (s.clone(), count)
+            })
+            .collect()
+    }
+
+    /// Detects a strict-preference cycle among edges active in `ctx` on
+    /// `dimension`; returns one witness cycle of system ids when present.
+    pub fn find_cycle(
+        &self,
+        dimension: &Dimension,
+        ctx: &dyn StaticContext,
+    ) -> Option<Vec<SystemId>> {
+        let mut nodes: BTreeSet<SystemId> = BTreeSet::new();
+        for e in self.active_edges_on(dimension, ctx) {
+            nodes.insert(e.better.clone());
+            nodes.insert(e.worse.clone());
+        }
+        for start in &nodes {
+            let dominated = self.dominated_by(start, dimension, ctx);
+            if dominated.contains(start) {
+                return Some(vec![start.clone()]);
+            }
+            // A strict cycle exists iff some node strictly dominates itself
+            // through the closure; dominated_by excludes the start, so test
+            // mutual domination instead.
+            for other in &dominated {
+                if self.dominated_by(other, dimension, ctx).contains(start) {
+                    return Some(vec![start.clone(), other.clone()]);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::CmpOp;
+    use crate::types::{ParamName, Property};
+
+    struct Ctx {
+        link_speed: f64,
+    }
+
+    impl StaticContext for Ctx {
+        fn param(&self, name: &ParamName) -> Option<f64> {
+            (name.as_str() == "link_speed_gbps").then_some(self.link_speed)
+        }
+        fn workload_has(&self, _p: &Property) -> bool {
+            false
+        }
+    }
+
+    fn sid(s: &str) -> SystemId {
+        SystemId::new(s)
+    }
+
+    /// A miniature of Figure 1's throughput (yellow) ordering.
+    fn figure1_like() -> PreferenceOrder {
+        let mut o = PreferenceOrder::new();
+        let t = Dimension::Throughput;
+        o.add(
+            OrderingEdge::strict("NETCHANNEL", "LINUX", t.clone())
+                .when(Condition::param("link_speed_gbps", CmpOp::Ge, 40.0)),
+        );
+        o.add(
+            OrderingEdge::equal("NETCHANNEL", "LINUX", t.clone())
+                .when(Condition::param("link_speed_gbps", CmpOp::Lt, 40.0)),
+        );
+        o.add(OrderingEdge::strict("SNAP", "NETCHANNEL", t.clone()));
+        o.add(OrderingEdge::strict("SHENANGO", "LINUX", t));
+        o
+    }
+
+    #[test]
+    fn conditional_edge_activates_with_parameter() {
+        let o = figure1_like();
+        let t = Dimension::Throughput;
+        let fast = Ctx { link_speed: 100.0 };
+        let slow = Ctx { link_speed: 10.0 };
+        assert_eq!(o.compare(&sid("NETCHANNEL"), &sid("LINUX"), &t, &fast), Comparison::Better);
+        assert_eq!(o.compare(&sid("NETCHANNEL"), &sid("LINUX"), &t, &slow), Comparison::Equal);
+        assert_eq!(o.compare(&sid("LINUX"), &sid("NETCHANNEL"), &t, &fast), Comparison::Worse);
+    }
+
+    #[test]
+    fn transitive_dominance() {
+        let o = figure1_like();
+        let t = Dimension::Throughput;
+        let fast = Ctx { link_speed: 100.0 };
+        // SNAP ≻ NETCHANNEL ≻ LINUX (at 100 Gbps)
+        assert_eq!(o.compare(&sid("SNAP"), &sid("LINUX"), &t, &fast), Comparison::Better);
+        let dominated = o.dominated_by(&sid("SNAP"), &t, &fast);
+        assert!(dominated.contains(&sid("NETCHANNEL")));
+        assert!(dominated.contains(&sid("LINUX")));
+    }
+
+    #[test]
+    fn strictness_travels_through_equal_edges() {
+        // A ≻ B, B ≈ C ⇒ A ≻ C.
+        let mut o = PreferenceOrder::new();
+        let d = Dimension::Isolation;
+        o.add(OrderingEdge::strict("A", "B", d.clone()));
+        o.add(OrderingEdge::equal("B", "C", d.clone()));
+        let ctx = Ctx { link_speed: 0.0 };
+        assert_eq!(o.compare(&sid("A"), &sid("C"), &d, &ctx), Comparison::Better);
+        // But B vs C alone: Equal, no strict edge on the path.
+        assert_eq!(o.compare(&sid("B"), &sid("C"), &d, &ctx), Comparison::Equal);
+    }
+
+    #[test]
+    fn incomparability_is_reported_not_invented() {
+        // Figure 1: no isolation edge between SHENANGO and DEMIKERNEL.
+        let o = figure1_like();
+        let ctx = Ctx { link_speed: 100.0 };
+        assert_eq!(
+            o.compare(&sid("SHENANGO"), &sid("DEMIKERNEL"), &Dimension::Isolation, &ctx),
+            Comparison::Incomparable
+        );
+        // And SNAP vs SHENANGO on throughput: both beat others but no chain
+        // connects them.
+        assert_eq!(
+            o.compare(&sid("SNAP"), &sid("SHENANGO"), &Dimension::Throughput, &ctx),
+            Comparison::Incomparable
+        );
+    }
+
+    #[test]
+    fn ranks_scalarize_dominance() {
+        let o = figure1_like();
+        let t = Dimension::Throughput;
+        let fast = Ctx { link_speed: 100.0 };
+        let universe = vec![sid("SNAP"), sid("NETCHANNEL"), sid("LINUX"), sid("SHENANGO")];
+        let ranks = o.ranks(&universe, &t, &fast);
+        assert_eq!(ranks[&sid("SNAP")], 2); // dominates NETCHANNEL, LINUX
+        assert_eq!(ranks[&sid("NETCHANNEL")], 1);
+        assert_eq!(ranks[&sid("LINUX")], 0);
+        assert_eq!(ranks[&sid("SHENANGO")], 1);
+    }
+
+    #[test]
+    fn dynamic_edges_survive_partial_eval() {
+        let mut o = PreferenceOrder::new();
+        let t = Dimension::Throughput;
+        // Figure 1: "If (Pony enabled) > If (TCP enabled)" — dynamic on a
+        // system selection.
+        o.add(
+            OrderingEdge::strict("SNAP", "LINUX", t.clone())
+                .when(Condition::system("PONY")),
+        );
+        let ctx = Ctx { link_speed: 100.0 };
+        assert_eq!(o.active_edges_on(&t, &ctx).len(), 0);
+        let dynamic = o.dynamic_edges_on(&t, &ctx);
+        assert_eq!(dynamic.len(), 1);
+        assert_eq!(dynamic[0].1, Condition::system("PONY"));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut o = PreferenceOrder::new();
+        let d = Dimension::Latency;
+        o.add(OrderingEdge::strict("A", "B", d.clone()));
+        o.add(OrderingEdge::strict("B", "C", d.clone()));
+        let ctx = Ctx { link_speed: 0.0 };
+        assert_eq!(o.find_cycle(&d, &ctx), None);
+        o.add(OrderingEdge::strict("C", "A", d.clone()));
+        assert!(o.find_cycle(&d, &ctx).is_some());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let o = figure1_like();
+        let json = serde_json::to_string(&o).unwrap();
+        let back: PreferenceOrder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.edges().len(), o.edges().len());
+    }
+}

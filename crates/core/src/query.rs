@@ -1,0 +1,914 @@
+//! The query engine.
+//!
+//! [`Engine`] wraps a compiled scenario and answers the paper's query
+//! repertoire (§5.1):
+//!
+//! * **check** — "does there exist a choice of systems such that the
+//!   following properties and constraints are met?" (§3.4);
+//! * **optimize** — lexicographic `Optimize(latency > Hardware cost >
+//!   monitoring)` (Listing 3);
+//! * **diagnose** — when infeasible, *which requirements are in conflict*
+//!   (§6 Explainability), as a minimal set of named rules;
+//! * **enumerate** — equivalence classes of compliant designs (§6);
+//! * **compare** — rule-of-thumb comparison of two systems in context,
+//!   reporting incomparability honestly (§3.1).
+
+use crate::compile::{compile, Compiled, CompileStats};
+use crate::error::CompileError;
+use crate::ordering::Comparison;
+use crate::scenario::Scenario;
+use crate::solution::Design;
+use crate::types::{Dimension, SystemId};
+use netarch_logic::maxsat::{minimize, MaxSatAlgorithm, MaxSatOutcome};
+use netarch_logic::{Formula, Soft};
+use netarch_sat::SolveResult;
+
+/// A rule implicated in an infeasibility.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictRule {
+    /// Stable rule label (e.g. `req:SIMON:simon-needs-nic-timestamps`).
+    pub label: String,
+    /// Human-readable statement of the rule.
+    pub description: String,
+    /// Literature citation, when recorded.
+    pub citation: Option<String>,
+}
+
+/// Why a scenario is infeasible: a minimal set of mutually conflicting
+/// rules. Dropping any single one restores feasibility.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Diagnosis {
+    /// The conflicting rules.
+    pub conflicts: Vec<ConflictRule>,
+}
+
+/// Result of a satisfiability query.
+#[derive(Debug)]
+pub enum Outcome {
+    /// A compliant design exists.
+    Feasible(Design),
+    /// No compliant design; here is a minimal conflict.
+    Infeasible(Diagnosis),
+}
+
+impl Outcome {
+    /// The design, when feasible.
+    pub fn design(&self) -> Option<&Design> {
+        match self {
+            Outcome::Feasible(d) => Some(d),
+            Outcome::Infeasible(_) => None,
+        }
+    }
+
+    /// The diagnosis, when infeasible.
+    pub fn diagnosis(&self) -> Option<&Diagnosis> {
+        match self {
+            Outcome::Feasible(_) => None,
+            Outcome::Infeasible(d) => Some(d),
+        }
+    }
+}
+
+/// Report for one optimization level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelReport {
+    /// Human-readable objective description.
+    pub objective: String,
+    /// Total weight of preference rules this level had to violate.
+    pub penalty: u64,
+}
+
+/// An optimized design with its per-level objective report.
+#[derive(Clone, Debug)]
+pub struct OptimizedDesign {
+    /// The chosen design.
+    pub design: Design,
+    /// Objective achievement, most important level first.
+    pub levels: Vec<LevelReport>,
+}
+
+/// The reasoning engine over one scenario.
+pub struct Engine {
+    scenario: Scenario,
+    compiled: Compiled,
+    /// True once the solver state has been specialized (hardened groups or
+    /// enumeration blocking clauses); queries needing pristine state
+    /// recompile first.
+    poisoned: bool,
+}
+
+impl Engine {
+    /// Compiles a scenario into an engine.
+    pub fn new(scenario: Scenario) -> Result<Engine, CompileError> {
+        let compiled = compile(&scenario)?;
+        Ok(Engine { scenario, compiled, poisoned: false })
+    }
+
+    /// The scenario under analysis.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Compilation size metrics.
+    pub fn stats(&self) -> CompileStats {
+        self.compiled.stats
+    }
+
+    fn refresh(&mut self) -> Result<(), CompileError> {
+        if self.poisoned {
+            self.compiled = compile(&self.scenario)?;
+            self.poisoned = false;
+        }
+        Ok(())
+    }
+
+    fn extract_design(&self) -> Design {
+        Design::from_model(
+            &self.scenario,
+            |id| {
+                self.compiled
+                    .system_atoms
+                    .get(id)
+                    .and_then(|&a| self.compiled.encoder.atom_value(a))
+                    .unwrap_or(false)
+            },
+            |id| {
+                self.compiled
+                    .hardware_atoms
+                    .get(id)
+                    .and_then(|&a| self.compiled.encoder.atom_value(a))
+                    .unwrap_or(false)
+            },
+        )
+    }
+
+    fn diagnosis_from_mus(&self, mus: &[netarch_logic::GroupId]) -> Diagnosis {
+        diagnosis_from(&self.compiled, mus)
+    }
+
+    /// Satisfiability: find any compliant design, or a minimal conflict.
+    pub fn check(&mut self) -> Result<Outcome, CompileError> {
+        self.refresh()?;
+        let selectors = self.compiled.all_selectors();
+        match self.compiled.encoder.solve_with(&selectors) {
+            SolveResult::Sat => Ok(Outcome::Feasible(self.extract_design())),
+            SolveResult::Unsat | SolveResult::Unknown => {
+                let ids = self.compiled.groups.ids();
+                let mus = self
+                    .compiled
+                    .groups
+                    .find_mus(&mut self.compiled.encoder, &ids)
+                    .unwrap_or_default();
+                Ok(Outcome::Infeasible(self.diagnosis_from_mus(&mus)))
+            }
+        }
+    }
+
+    /// Lexicographic optimization over the scenario's objective stack,
+    /// with an implicit final parsimony level (prefer fewer systems) so
+    /// unconstrained selections don't ride along.
+    pub fn optimize(&mut self) -> Result<Result<OptimizedDesign, Diagnosis>, CompileError> {
+        self.refresh()?;
+        // First check feasibility (with usable diagnosis) before hardening.
+        let selectors = self.compiled.all_selectors();
+        if self.compiled.encoder.solve_with(&selectors) != SolveResult::Sat {
+            let ids = self.compiled.groups.ids();
+            let mus = self
+                .compiled
+                .groups
+                .find_mus(&mut self.compiled.encoder, &ids)
+                .unwrap_or_default();
+            let diagnosis = self.diagnosis_from_mus(&mus);
+            return Ok(Err(diagnosis));
+        }
+        // Harden all rule groups, then optimize level by level.
+        self.poisoned = true;
+        for sel in selectors {
+            netarch_logic::ClauseSink::add_clause(&mut self.compiled.encoder, &[sel]);
+        }
+        let mut levels = Vec::new();
+        let level_softs: Vec<(String, Vec<Soft>)> = self
+            .compiled
+            .objective_levels
+            .iter()
+            .map(|l| (format!("{:?}", l.objective), l.softs.clone()))
+            .collect();
+        for (name, softs) in level_softs {
+            match minimize(&mut self.compiled.encoder, &softs, MaxSatAlgorithm::LinearGte) {
+                MaxSatOutcome::Optimal { cost, .. } => {
+                    levels.push(LevelReport { objective: name, penalty: cost });
+                }
+                MaxSatOutcome::HardUnsat => {
+                    // Cannot happen: feasibility was established above and
+                    // hardening preserves it; treat defensively.
+                    return Ok(Err(Diagnosis::default()));
+                }
+            }
+        }
+        // Parsimony: prefer designs without gratuitous selections.
+        let parsimony: Vec<Soft> = self
+            .compiled
+            .system_atoms
+            .values()
+            .map(|&a| Soft::new(1, Formula::not(Formula::Atom(a))))
+            .collect();
+        match minimize(&mut self.compiled.encoder, &parsimony, MaxSatAlgorithm::LinearGte) {
+            MaxSatOutcome::Optimal { .. } => {}
+            MaxSatOutcome::HardUnsat => return Ok(Err(Diagnosis::default())),
+        }
+        let design = self.extract_design();
+        Ok(Ok(OptimizedDesign { design, levels }))
+    }
+
+    /// Enumerates up to `limit` compliant designs, projected onto system
+    /// selections (and hardware choices when `include_hardware`). Each
+    /// returned design is a distinct equivalence class under the chosen
+    /// projection (§6), extracted from a *representative full model* — so
+    /// even system-projected classes come back with a concrete,
+    /// constraint-satisfying hardware assignment.
+    pub fn enumerate_designs(
+        &self,
+        limit: usize,
+        include_hardware: bool,
+    ) -> Result<Vec<Design>, CompileError> {
+        // Fresh compile: enumeration permanently blocks models.
+        let mut compiled = compile(&self.scenario)?;
+        for sel in compiled.all_selectors() {
+            netarch_logic::ClauseSink::add_clause(&mut compiled.encoder, &[sel]);
+        }
+        let atoms = compiled.decision_atoms(include_hardware);
+        let mut designs = Vec::new();
+        while designs.len() < limit {
+            if compiled.encoder.solve() != netarch_sat::SolveResult::Sat {
+                break;
+            }
+            // Extract the design from the full model.
+            designs.push(Design::from_model(
+                &self.scenario,
+                |id| {
+                    compiled
+                        .system_atoms
+                        .get(id)
+                        .and_then(|&a| compiled.encoder.atom_value(a))
+                        .unwrap_or(false)
+                },
+                |id| {
+                    compiled
+                        .hardware_atoms
+                        .get(id)
+                        .and_then(|&a| compiled.encoder.atom_value(a))
+                        .unwrap_or(false)
+                },
+            ));
+            // Block this *projected* assignment so the next model is a new
+            // equivalence class.
+            let blocking: Vec<netarch_sat::Lit> = atoms
+                .iter()
+                .map(|&a| {
+                    let value = compiled.encoder.atom_value(a).unwrap_or(false);
+                    let lit = compiled.encoder.atom_lit(a);
+                    if value {
+                        !lit
+                    } else {
+                        lit
+                    }
+                })
+                .collect();
+            netarch_logic::ClauseSink::add_clause(&mut compiled.encoder, &blocking);
+        }
+        Ok(designs)
+    }
+
+    /// Solves with only the named rule groups active (all other compiled
+    /// rules are suspended). Primarily for verifying diagnoses: a minimal
+    /// conflict is UNSAT as a subset, and SAT once any member is dropped.
+    pub fn check_rule_subset(&mut self, labels: &[&str]) -> Result<bool, CompileError> {
+        self.refresh()?;
+        let ids = self.compiled.groups.ids();
+        let selectors: Vec<netarch_sat::Lit> = ids
+            .into_iter()
+            .filter(|&g| labels.contains(&self.compiled.rule(g).label.as_str()))
+            .map(|g| self.compiled.groups.selector(g))
+            .collect();
+        Ok(self.compiled.encoder.solve_with(&selectors) == SolveResult::Sat)
+    }
+
+    /// Plans a minimal sequence of role-level questions that would make
+    /// the compliant design unique (§6's "minimal-effort ordering for the
+    /// architect to provide"). Examines up to `limit` equivalence classes.
+    pub fn disambiguate(
+        &self,
+        limit: usize,
+    ) -> Result<crate::disambiguate::Disambiguation, CompileError> {
+        let designs = self.enumerate_designs(limit, false)?;
+        let truncated = designs.len() == limit;
+        Ok(crate::disambiguate::plan_questions(&designs, truncated))
+    }
+
+    /// Rule-of-thumb comparison of two systems along a dimension, in this
+    /// scenario's static context.
+    pub fn compare(&self, a: &SystemId, b: &SystemId, dimension: &Dimension) -> Comparison {
+        self.scenario
+            .catalog
+            .order()
+            .compare(a, b, dimension, &self.scenario)
+    }
+
+    /// Should the architect run a measurement comparing `a` and `b` on
+    /// `dimension`? The paper's §3.1 answer: "it is only needed if the
+    /// answer changes the final design."
+    ///
+    /// The engine hypothesizes each outcome (an `a ≻ b` edge, then a
+    /// `b ≻ a` edge, added via a modular [`crate::catalog::CatalogDelta`])
+    /// and optimizes under both. Measuring is worthwhile exactly when the
+    /// two hypothetical optima differ. This also captures §3.1's deadline
+    /// example: if one of the systems is undeployable anyway (e.g. a
+    /// research prototype under a production-only constraint), the optima
+    /// coincide and the measurement is declared pointless.
+    pub fn advise_measurement(
+        &self,
+        a: &SystemId,
+        b: &SystemId,
+        dimension: &Dimension,
+    ) -> Result<MeasurementAdvice, CompileError> {
+        let known = self.compare(a, b, dimension);
+        if known != Comparison::Incomparable {
+            return Ok(MeasurementAdvice {
+                worthwhile: false,
+                reason: format!(
+                    "the knowledge base already orders {a} vs {b} on {dimension}: {known:?}"
+                ),
+                design_if_first_better: None,
+                design_if_second_better: None,
+            });
+        }
+        let hypothesize = |better: &SystemId, worse: &SystemId| -> Result<
+            Option<Design>,
+            CompileError,
+        > {
+            let mut scenario = self.scenario.clone();
+            scenario
+                .catalog
+                .apply(crate::catalog::CatalogDelta {
+                    add_orderings: vec![crate::ordering::OrderingEdge::strict(
+                        better.clone(),
+                        worse.clone(),
+                        dimension.clone(),
+                    )],
+                    ..crate::catalog::CatalogDelta::default()
+                })
+                .map_err(|_| CompileError::UnknownSystem(better.clone()))?;
+            let mut engine = Engine::new(scenario)?;
+            Ok(engine.optimize()?.ok().map(|r| r.design))
+        };
+        let with_a = hypothesize(a, b)?;
+        let with_b = hypothesize(b, a)?;
+        let worthwhile = match (&with_a, &with_b) {
+            (Some(da), Some(db)) => da.selections != db.selections || da.hardware != db.hardware,
+            (None, None) => false,
+            _ => true, // one direction breaks feasibility: very informative
+        };
+        let reason = if worthwhile {
+            format!("the optimal design changes with the {a} vs {b} verdict — measure it")
+        } else if with_a.is_none() {
+            "the scenario is infeasible regardless of the verdict".to_string()
+        } else {
+            format!(
+                "the optimal design is the same under either verdict — \
+                 measuring {a} vs {b} cannot change the outcome"
+            )
+        };
+        Ok(MeasurementAdvice {
+            worthwhile,
+            reason,
+            design_if_first_better: with_a,
+            design_if_second_better: with_b,
+        })
+    }
+
+    /// Capacity planning: the smallest server fleet (up to `max_servers`)
+    /// that carries the workloads and a compliant system selection.
+    ///
+    /// The server count becomes an order-encoded solver variable; the
+    /// returned design is extracted at the optimal fleet size (costs and
+    /// resource accounting use that size). Budget constraints, when set,
+    /// are priced at the scenario's fixed `num_servers` — the query
+    /// answers *size*, with cost reported afterwards.
+    pub fn plan_capacity(
+        &self,
+        max_servers: u64,
+    ) -> Result<Result<CapacityPlan, Diagnosis>, CompileError> {
+        let cc = crate::compile::compile_capacity(&self.scenario, max_servers)?;
+        let mut compiled = cc.compiled;
+        let n = cc.server_count;
+        let selectors = compiled.all_selectors();
+        if compiled.encoder.solve_with(&selectors) != SolveResult::Sat {
+            let ids = compiled.groups.ids();
+            let mus = compiled
+                .groups
+                .find_mus(&mut compiled.encoder, &ids)
+                .unwrap_or_default();
+            return Ok(Err(diagnosis_from(&compiled, &mus)));
+        }
+        let read_n = |compiled: &Compiled, n: &netarch_logic::OrderInt| {
+            n.value(&|l| compiled.encoder.solver().model_lit_value(l))
+        };
+        let mut best = read_n(&compiled, &n);
+        let mut lo = n.lo();
+        while lo < best {
+            let mid = lo + (best - lo) / 2;
+            let mut assumptions = selectors.clone();
+            match n.ge_const(mid + 1) {
+                netarch_logic::Bound::Lit(q) => assumptions.push(!q),
+                netarch_logic::Bound::AlwaysFalse => {}
+                netarch_logic::Bound::AlwaysTrue => break,
+            }
+            match compiled.encoder.solve_with(&assumptions) {
+                SolveResult::Sat => best = read_n(&compiled, &n).min(mid),
+                SolveResult::Unsat | SolveResult::Unknown => lo = mid + 1,
+            }
+        }
+        // Restore a model at the optimum.
+        let mut assumptions = selectors.clone();
+        if let netarch_logic::Bound::Lit(q) = n.ge_const(best + 1) {
+            assumptions.push(!q);
+        }
+        let restored = compiled.encoder.solve_with(&assumptions);
+        debug_assert_eq!(restored, SolveResult::Sat);
+        // Extract the design against a scenario sized at the optimum.
+        let mut sized = self.scenario.clone();
+        sized.inventory.num_servers = best;
+        let design = Design::from_model(
+            &sized,
+            |id| {
+                compiled
+                    .system_atoms
+                    .get(id)
+                    .and_then(|&a| compiled.encoder.atom_value(a))
+                    .unwrap_or(false)
+            },
+            |id| {
+                compiled
+                    .hardware_atoms
+                    .get(id)
+                    .and_then(|&a| compiled.encoder.atom_value(a))
+                    .unwrap_or(false)
+            },
+        );
+        Ok(Ok(CapacityPlan { servers_needed: best, design }))
+    }
+}
+
+/// Result of [`Engine::advise_measurement`] — §3.1's "should I measure?"
+#[derive(Clone, Debug)]
+pub struct MeasurementAdvice {
+    /// True when the measurement's outcome would change the design.
+    pub worthwhile: bool,
+    /// Human-readable justification.
+    pub reason: String,
+    /// The optimal design if the first system measures better (None when
+    /// infeasible either way).
+    pub design_if_first_better: Option<Design>,
+    /// The optimal design if the second system measures better.
+    pub design_if_second_better: Option<Design>,
+}
+
+/// Result of [`Engine::plan_capacity`].
+#[derive(Clone, Debug)]
+pub struct CapacityPlan {
+    /// The minimal fleet size.
+    pub servers_needed: u64,
+    /// A compliant design at that fleet size.
+    pub design: Design,
+}
+
+fn diagnosis_from(compiled: &Compiled, mus: &[netarch_logic::GroupId]) -> Diagnosis {
+    Diagnosis {
+        conflicts: mus
+            .iter()
+            .map(|&g| {
+                let meta = compiled.rule(g);
+                ConflictRule {
+                    label: meta.label.clone(),
+                    description: meta.description.clone(),
+                    citation: meta.citation.clone(),
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::component::{HardwareSpec, SystemSpec};
+    use crate::condition::Condition;
+    use crate::ordering::OrderingEdge;
+    use crate::scenario::{Inventory, Objective, Pin, RoleRule};
+    use crate::types::{Category, HardwareId, HardwareKind};
+    use crate::workload::Workload;
+
+    /// A small but complete scenario: two monitoring systems (one needs a
+    /// NIC feature), two NIC models, one load balancer.
+    fn test_scenario() -> Scenario {
+        let mut catalog = Catalog::new();
+        catalog
+            .add_system(
+                SystemSpec::builder("SIMON", Category::Monitoring)
+                    .solves("detect_queue_length")
+                    .requires("needs-nic-timestamps", Condition::nics_have("NIC_TIMESTAMPS"))
+                    .cost(400)
+                    .build(),
+            )
+            .unwrap();
+        catalog
+            .add_system(
+                SystemSpec::builder("PINGMESH", Category::Monitoring)
+                    .solves("detect_queue_length")
+                    .cost(100)
+                    .build(),
+            )
+            .unwrap();
+        catalog
+            .add_system(
+                SystemSpec::builder("ECMP", Category::LoadBalancer)
+                    .solves("load_balancing")
+                    .build(),
+            )
+            .unwrap();
+        catalog
+            .add_ordering(OrderingEdge::strict(
+                "SIMON",
+                "PINGMESH",
+                Dimension::MonitoringQuality,
+            ))
+            .unwrap();
+        catalog
+            .add_ordering(OrderingEdge::strict(
+                "PINGMESH",
+                "SIMON",
+                Dimension::DeploymentEase,
+            ))
+            .unwrap();
+        catalog
+            .add_hardware(
+                HardwareSpec::builder("NIC_TS", HardwareKind::Nic)
+                    .feature("NIC_TIMESTAMPS")
+                    .cost(900)
+                    .build(),
+            )
+            .unwrap();
+        catalog
+            .add_hardware(
+                HardwareSpec::builder("NIC_PLAIN", HardwareKind::Nic).cost(300).build(),
+            )
+            .unwrap();
+        Scenario::new(catalog)
+            .with_workload(
+                Workload::builder("app").needs("detect_queue_length").build(),
+            )
+            .with_role(Category::Monitoring, RoleRule::Required)
+            .with_inventory(Inventory {
+                nic_candidates: vec![HardwareId::new("NIC_TS"), HardwareId::new("NIC_PLAIN")],
+                num_servers: 4,
+                ..Inventory::default()
+            })
+    }
+
+    #[test]
+    fn check_finds_a_compliant_design() {
+        let mut engine = Engine::new(test_scenario()).unwrap();
+        let outcome = engine.check().unwrap();
+        let design = outcome.design().expect("feasible");
+        // Some monitoring system selected, and if it is SIMON the NIC must
+        // be the timestamping model.
+        let monitoring = design.selection(&Category::Monitoring).expect("one monitor");
+        if monitoring.as_str() == "SIMON" {
+            assert_eq!(
+                design.hardware_for(HardwareKind::Nic).unwrap().as_str(),
+                "NIC_TS"
+            );
+        }
+    }
+
+    #[test]
+    fn pin_forces_nic_upgrade() {
+        let scenario = test_scenario().with_pin(Pin::Require(SystemId::new("SIMON")));
+        let mut engine = Engine::new(scenario).unwrap();
+        let outcome = engine.check().unwrap();
+        let design = outcome.design().expect("feasible");
+        assert!(design.includes(&SystemId::new("SIMON")));
+        assert_eq!(design.hardware_for(HardwareKind::Nic).unwrap().as_str(), "NIC_TS");
+    }
+
+    #[test]
+    fn contradictory_pins_yield_named_diagnosis() {
+        let scenario = test_scenario()
+            .with_pin(Pin::Require(SystemId::new("SIMON")))
+            .with_pin(Pin::Forbid(SystemId::new("SIMON")));
+        let mut engine = Engine::new(scenario).unwrap();
+        let outcome = engine.check().unwrap();
+        let diagnosis = outcome.diagnosis().expect("infeasible");
+        let labels: Vec<&str> = diagnosis.conflicts.iter().map(|c| c.label.as_str()).collect();
+        assert!(labels.contains(&"pin:require:SIMON"));
+        assert!(labels.contains(&"pin:forbid:SIMON"));
+        // Minimal: exactly the two pins, not the innocent rules.
+        assert_eq!(diagnosis.conflicts.len(), 2);
+    }
+
+    #[test]
+    fn requirement_conflict_names_the_requirement() {
+        // Forbid the only NIC with timestamps, require SIMON.
+        let mut scenario = test_scenario().with_pin(Pin::Require(SystemId::new("SIMON")));
+        scenario.inventory.nic_candidates = vec![HardwareId::new("NIC_PLAIN")];
+        let mut engine = Engine::new(scenario).unwrap();
+        let outcome = engine.check().unwrap();
+        let diagnosis = outcome.diagnosis().expect("infeasible");
+        let labels: Vec<&str> = diagnosis.conflicts.iter().map(|c| c.label.as_str()).collect();
+        assert!(
+            labels.contains(&"req:SIMON:needs-nic-timestamps"),
+            "diagnosis should name the NIC-timestamp rule, got {labels:?}"
+        );
+    }
+
+    #[test]
+    fn optimize_monitoring_quality_picks_simon() {
+        let scenario = test_scenario()
+            .with_objective(Objective::MaximizeDimension(Dimension::MonitoringQuality));
+        let mut engine = Engine::new(scenario).unwrap();
+        let result = engine.optimize().unwrap().expect("feasible");
+        assert_eq!(
+            result.design.selection(&Category::Monitoring).unwrap().as_str(),
+            "SIMON"
+        );
+        assert_eq!(result.levels[0].penalty, 0);
+    }
+
+    #[test]
+    fn optimize_cost_picks_pingmesh_and_cheap_nic() {
+        let scenario = test_scenario().with_objective(Objective::MinimizeCost);
+        let mut engine = Engine::new(scenario).unwrap();
+        let result = engine.optimize().unwrap().expect("feasible");
+        assert_eq!(
+            result.design.selection(&Category::Monitoring).unwrap().as_str(),
+            "PINGMESH"
+        );
+        assert_eq!(
+            result.design.hardware_for(HardwareKind::Nic).unwrap().as_str(),
+            "NIC_PLAIN"
+        );
+    }
+
+    #[test]
+    fn lexicographic_order_matters() {
+        // Quality first: SIMON + expensive NIC. Cost first: PINGMESH.
+        let quality_first = test_scenario()
+            .with_objective(Objective::MaximizeDimension(Dimension::MonitoringQuality))
+            .with_objective(Objective::MinimizeCost);
+        let mut engine = Engine::new(quality_first).unwrap();
+        let r1 = engine.optimize().unwrap().expect("feasible");
+        assert_eq!(r1.design.selection(&Category::Monitoring).unwrap().as_str(), "SIMON");
+
+        let cost_first = test_scenario()
+            .with_objective(Objective::MinimizeCost)
+            .with_objective(Objective::MaximizeDimension(Dimension::MonitoringQuality));
+        let mut engine = Engine::new(cost_first).unwrap();
+        let r2 = engine.optimize().unwrap().expect("feasible");
+        assert_eq!(r2.design.selection(&Category::Monitoring).unwrap().as_str(), "PINGMESH");
+    }
+
+    #[test]
+    fn engine_recovers_after_optimize() {
+        let scenario = test_scenario().with_objective(Objective::MinimizeCost);
+        let mut engine = Engine::new(scenario).unwrap();
+        let _ = engine.optimize().unwrap();
+        // Poisoned state must be refreshed transparently.
+        let outcome = engine.check().unwrap();
+        assert!(outcome.design().is_some());
+        let again = engine.optimize().unwrap().expect("feasible");
+        assert_eq!(
+            again.design.selection(&Category::Monitoring).unwrap().as_str(),
+            "PINGMESH"
+        );
+    }
+
+    #[test]
+    fn enumerate_designs_lists_equivalence_classes() {
+        let mut scenario = test_scenario();
+        scenario.roles.insert(Category::LoadBalancer, RoleRule::Forbidden);
+        let engine = Engine::new(scenario).unwrap();
+        // Projected on systems only: SIMON or PINGMESH (ECMP forbidden).
+        let designs = engine.enumerate_designs(16, false).unwrap();
+        assert_eq!(designs.len(), 2, "{designs:?}");
+        // Projected on systems + hardware: PINGMESH pairs with both NICs,
+        // SIMON only with NIC_TS → 3 classes.
+        let designs = engine.enumerate_designs(16, true).unwrap();
+        assert_eq!(designs.len(), 3, "{designs:?}");
+    }
+
+    #[test]
+    fn compare_exposes_order_and_incomparability() {
+        let engine = Engine::new(test_scenario()).unwrap();
+        assert_eq!(
+            engine.compare(
+                &SystemId::new("SIMON"),
+                &SystemId::new("PINGMESH"),
+                &Dimension::MonitoringQuality
+            ),
+            Comparison::Better
+        );
+        assert_eq!(
+            engine.compare(
+                &SystemId::new("SIMON"),
+                &SystemId::new("PINGMESH"),
+                &Dimension::DeploymentEase
+            ),
+            Comparison::Worse
+        );
+        assert_eq!(
+            engine.compare(
+                &SystemId::new("SIMON"),
+                &SystemId::new("ECMP"),
+                &Dimension::Throughput
+            ),
+            Comparison::Incomparable
+        );
+    }
+
+    #[test]
+    fn measurement_advice_depends_on_decision_relevance() {
+        // Two monitoring systems, incomparable on quality; the objective
+        // maximizes quality → the verdict decides the design → measure.
+        let scenario = {
+            let mut s = test_scenario();
+            // Remove the existing SIMON ≻ PINGMESH quality edge by
+            // rebuilding the catalog without orderings.
+            let mut catalog = Catalog::new();
+            for spec in s.catalog.systems() {
+                catalog.add_system(spec.clone()).unwrap();
+            }
+            for h in s.catalog.hardware_specs() {
+                catalog.add_hardware(h.clone()).unwrap();
+            }
+            s.catalog = catalog;
+            s.with_objective(Objective::MaximizeDimension(Dimension::MonitoringQuality))
+        };
+        let engine = Engine::new(scenario.clone()).unwrap();
+        let advice = engine
+            .advise_measurement(
+                &SystemId::new("SIMON"),
+                &SystemId::new("PINGMESH"),
+                &Dimension::MonitoringQuality,
+            )
+            .unwrap();
+        assert!(advice.worthwhile, "{}", advice.reason);
+        let da = advice.design_if_first_better.unwrap();
+        let db = advice.design_if_second_better.unwrap();
+        assert!(da.includes(&SystemId::new("SIMON")));
+        assert!(db.includes(&SystemId::new("PINGMESH")));
+    }
+
+    #[test]
+    fn measurement_not_worthwhile_when_already_ordered() {
+        let engine = Engine::new(test_scenario()).unwrap();
+        let advice = engine
+            .advise_measurement(
+                &SystemId::new("SIMON"),
+                &SystemId::new("PINGMESH"),
+                &Dimension::MonitoringQuality,
+            )
+            .unwrap();
+        assert!(!advice.worthwhile);
+        assert!(advice.reason.contains("already orders"));
+    }
+
+    #[test]
+    fn measurement_not_worthwhile_on_irrelevant_dimension() {
+        // Objectives ignore DeploymentEase and no edge exists on it for
+        // ECMP vs PINGMESH (different categories anyway): the design
+        // cannot change.
+        let scenario = test_scenario().with_objective(Objective::MinimizeCost);
+        let engine = Engine::new(scenario).unwrap();
+        let advice = engine
+            .advise_measurement(
+                &SystemId::new("ECMP"),
+                &SystemId::new("PINGMESH"),
+                &Dimension::Throughput,
+            )
+            .unwrap();
+        assert!(!advice.worthwhile, "{}", advice.reason);
+        assert!(advice.reason.contains("same under either verdict"));
+    }
+
+    #[test]
+    fn plan_capacity_sizes_the_fleet() {
+        use crate::condition::AmountExpr;
+        use crate::types::Resource;
+        let mut catalog = Catalog::new();
+        catalog
+            .add_system(
+                SystemSpec::builder("MONITOR", Category::Monitoring)
+                    .solves("monitoring")
+                    .consumes(Resource::Cores, AmountExpr::constant(40))
+                    .build(),
+            )
+            .unwrap();
+        catalog
+            .add_hardware(
+                HardwareSpec::builder("SRV32", HardwareKind::Server)
+                    .numeric("cores", 32.0)
+                    .cost(5_000)
+                    .build(),
+            )
+            .unwrap();
+        let scenario = Scenario::new(catalog)
+            .with_workload(
+                Workload::builder("app").needs("monitoring").peak_cores(200).build(),
+            )
+            .with_inventory(Inventory {
+                server_candidates: vec![HardwareId::new("SRV32")],
+                num_servers: 1, // irrelevant: capacity mode varies it
+                ..Inventory::default()
+            });
+        let engine = Engine::new(scenario).unwrap();
+        let plan = engine.plan_capacity(64).unwrap().expect("feasible");
+        // 200 workload + 40 system = 240 cores; 32/server → 8 servers.
+        assert_eq!(plan.servers_needed, 8);
+        assert!(plan.design.includes(&SystemId::new("MONITOR")));
+        let cores = &plan.design.resources[&Resource::Cores];
+        assert_eq!(cores.used, 240);
+        assert_eq!(cores.capacity, Some(256));
+    }
+
+    #[test]
+    fn plan_capacity_reports_impossible_fleets() {
+        let mut catalog = Catalog::new();
+        catalog
+            .add_system(SystemSpec::builder("X", Category::Monitoring).solves("m").build())
+            .unwrap();
+        catalog
+            .add_hardware(
+                HardwareSpec::builder("TINY", HardwareKind::Server)
+                    .numeric("cores", 2.0)
+                    .build(),
+            )
+            .unwrap();
+        let scenario = Scenario::new(catalog)
+            .with_workload(Workload::builder("app").needs("m").peak_cores(1000).build())
+            .with_inventory(Inventory {
+                server_candidates: vec![HardwareId::new("TINY")],
+                num_servers: 1,
+                ..Inventory::default()
+            });
+        let engine = Engine::new(scenario).unwrap();
+        // 1000 cores need 500 tiny servers; cap the fleet at 100 → infeasible.
+        let result = engine.plan_capacity(100).unwrap();
+        let diagnosis = result.unwrap_err();
+        assert!(diagnosis
+            .conflicts
+            .iter()
+            .any(|c| c.label.starts_with("capacity:cores:")));
+        // With a big enough cap it works.
+        let plan = engine.plan_capacity(600).unwrap().expect("feasible");
+        assert_eq!(plan.servers_needed, 500);
+    }
+
+    #[test]
+    fn workload_cores_checked_even_without_system_demands() {
+        let mut catalog = Catalog::new();
+        catalog
+            .add_system(SystemSpec::builder("X", Category::Monitoring).solves("m").build())
+            .unwrap();
+        catalog
+            .add_hardware(
+                HardwareSpec::builder("SRV8", HardwareKind::Server)
+                    .numeric("cores", 8.0)
+                    .build(),
+            )
+            .unwrap();
+        let scenario = Scenario::new(catalog)
+            .with_workload(Workload::builder("app").needs("m").peak_cores(100).build())
+            .with_inventory(Inventory {
+                server_candidates: vec![HardwareId::new("SRV8")],
+                num_servers: 2, // 16 cores < 100 required
+                ..Inventory::default()
+            });
+        let mut engine = Engine::new(scenario).unwrap();
+        let outcome = engine.check().unwrap();
+        assert!(
+            outcome.diagnosis().is_some(),
+            "engine must reject a fleet too small for the workload alone"
+        );
+    }
+
+    #[test]
+    fn stats_reflect_compilation() {
+        let engine = Engine::new(test_scenario()).unwrap();
+        let stats = engine.stats();
+        assert!(stats.rules >= 4); // roles, requirement, workload need, hw choice
+        assert_eq!(stats.decision_atoms, 5); // 3 systems + 2 NICs
+        assert!(stats.clauses > 0);
+        assert!(stats.solver_vars >= stats.decision_atoms);
+    }
+}

@@ -1,0 +1,230 @@
+//! Scenarios: a catalog plus the architect's inputs.
+//!
+//! A [`Scenario`] is one concrete design question: the hardware inventory
+//! under consideration, the workloads to carry, which roles must be
+//! filled, numeric parameters (link speed, flow counts), WhatIf pins
+//! ("I have already deployed Sonata", §5.1), and the objective stack
+//! (`Optimize(latency > Hardware cost > monitoring)`, Listing 3).
+
+use crate::catalog::Catalog;
+use crate::condition::StaticContext;
+use crate::types::{
+    Capability, Category, Dimension, HardwareId, ParamName, Property, SystemId,
+};
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The hardware under consideration: candidate models per slot and the
+/// deployment's unit counts.
+#[derive(Clone, Default, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Inventory {
+    /// Candidate server SKUs (the engine picks exactly one).
+    pub server_candidates: Vec<HardwareId>,
+    /// Candidate NIC models (one selected).
+    pub nic_candidates: Vec<HardwareId>,
+    /// Candidate switch models (one selected).
+    pub switch_candidates: Vec<HardwareId>,
+    /// Number of servers deployed (each with one NIC).
+    pub num_servers: u64,
+    /// Number of switches deployed.
+    pub num_switches: u64,
+}
+
+/// Whether a role must, may, or must not be filled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RoleRule {
+    /// Exactly one system of this category must be selected.
+    Required,
+    /// At most one system of this category may be selected.
+    Optional,
+    /// No system of this category may be selected.
+    Forbidden,
+}
+
+/// One level of the lexicographic objective stack.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Objective {
+    /// Prefer selections ranked higher in the preference order on this
+    /// dimension (Listing 3's `latency` / `monitoring` terms).
+    MaximizeDimension(Dimension),
+    /// Minimize total monetary cost of hardware and systems (Listing 3's
+    /// `Hardware cost` term).
+    MinimizeCost,
+    /// Prefer deployments that provide this capability (soft version of a
+    /// workload need).
+    PreferCapability(Capability),
+}
+
+/// A WhatIf pin: force a system in or out of the design.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Pin {
+    /// The system must be part of the design ("already deployed").
+    Require(SystemId),
+    /// The system must not be part of the design.
+    Forbid(SystemId),
+}
+
+/// A complete design question.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The knowledge catalog in force.
+    pub catalog: Catalog,
+    /// Workloads the architecture must carry.
+    pub workloads: Vec<Workload>,
+    /// Hardware candidates and counts.
+    pub inventory: Inventory,
+    /// Numeric parameters (`link_speed_gbps`, etc.). `num_flows` and
+    /// `peak_cores` are derived from workloads automatically but may be
+    /// overridden here.
+    pub params: BTreeMap<ParamName, f64>,
+    /// Role requirements. Categories not listed default to `Optional`.
+    pub roles: BTreeMap<Category, RoleRule>,
+    /// Lexicographic objective stack, most important first.
+    pub objectives: Vec<Objective>,
+    /// WhatIf pins.
+    pub pins: Vec<Pin>,
+    /// Optional budget cap on total cost, USD.
+    pub budget_usd: Option<u64>,
+}
+
+impl Scenario {
+    /// Creates a scenario over a catalog with everything else empty.
+    pub fn new(catalog: Catalog) -> Scenario {
+        Scenario {
+            catalog,
+            workloads: Vec::new(),
+            inventory: Inventory::default(),
+            params: BTreeMap::new(),
+            roles: BTreeMap::new(),
+            objectives: Vec::new(),
+            pins: Vec::new(),
+            budget_usd: None,
+        }
+    }
+
+    /// Adds a workload.
+    pub fn with_workload(mut self, workload: Workload) -> Scenario {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Sets a parameter.
+    pub fn with_param(mut self, name: impl Into<ParamName>, value: f64) -> Scenario {
+        self.params.insert(name.into(), value);
+        self
+    }
+
+    /// Declares a role rule.
+    pub fn with_role(mut self, category: Category, rule: RoleRule) -> Scenario {
+        self.roles.insert(category, rule);
+        self
+    }
+
+    /// Appends an objective level.
+    pub fn with_objective(mut self, objective: Objective) -> Scenario {
+        self.objectives.push(objective);
+        self
+    }
+
+    /// Adds a pin.
+    pub fn with_pin(mut self, pin: Pin) -> Scenario {
+        self.pins.push(pin);
+        self
+    }
+
+    /// Sets the inventory.
+    pub fn with_inventory(mut self, inventory: Inventory) -> Scenario {
+        self.inventory = inventory;
+        self
+    }
+
+    /// Sets the budget.
+    pub fn with_budget(mut self, usd: u64) -> Scenario {
+        self.budget_usd = Some(usd);
+        self
+    }
+
+    /// The effective role rule for a category.
+    pub fn role_rule(&self, category: &Category) -> RoleRule {
+        self.roles.get(category).copied().unwrap_or(RoleRule::Optional)
+    }
+
+    /// The effective value of a parameter: explicit params win, then
+    /// derived workload aggregates (`num_flows`, `peak_cores`,
+    /// `peak_bandwidth_gbps`, `num_workloads`).
+    pub fn param_value(&self, name: &ParamName) -> Option<f64> {
+        if let Some(v) = self.params.get(name) {
+            return Some(*v);
+        }
+        match name.as_str() {
+            "num_flows" => Some(self.workloads.iter().map(|w| w.num_flows).sum::<u64>() as f64),
+            "peak_cores" => Some(self.workloads.iter().map(|w| w.peak_cores).sum::<u64>() as f64),
+            "peak_bandwidth_gbps" => Some(
+                self.workloads
+                    .iter()
+                    .map(|w| w.peak_bandwidth_gbps)
+                    .sum::<u64>() as f64,
+            ),
+            "num_workloads" => Some(self.workloads.len() as f64),
+            "num_servers" => Some(self.inventory.num_servers as f64),
+            "num_switches" => Some(self.inventory.num_switches as f64),
+            _ => None,
+        }
+    }
+}
+
+impl StaticContext for Scenario {
+    fn param(&self, name: &ParamName) -> Option<f64> {
+        self.param_value(name)
+    }
+
+    fn workload_has(&self, property: &Property) -> bool {
+        self.workloads.iter().any(|w| w.has_property(property))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_params_aggregate_workloads() {
+        let s = Scenario::new(Catalog::new())
+            .with_workload(
+                Workload::builder("w1").num_flows(100).peak_cores(10).peak_bandwidth(5).build(),
+            )
+            .with_workload(
+                Workload::builder("w2").num_flows(50).peak_cores(20).peak_bandwidth(10).build(),
+            );
+        assert_eq!(s.param_value(&ParamName::new("num_flows")), Some(150.0));
+        assert_eq!(s.param_value(&ParamName::new("peak_cores")), Some(30.0));
+        assert_eq!(s.param_value(&ParamName::new("peak_bandwidth_gbps")), Some(15.0));
+        assert_eq!(s.param_value(&ParamName::new("num_workloads")), Some(2.0));
+        assert_eq!(s.param_value(&ParamName::new("undefined")), None);
+    }
+
+    #[test]
+    fn explicit_params_override_derived() {
+        let s = Scenario::new(Catalog::new())
+            .with_workload(Workload::builder("w").num_flows(100).build())
+            .with_param("num_flows", 9.0);
+        assert_eq!(s.param_value(&ParamName::new("num_flows")), Some(9.0));
+    }
+
+    #[test]
+    fn static_context_sees_workload_properties() {
+        let s = Scenario::new(Catalog::new())
+            .with_workload(Workload::builder("w").property("wan_traffic").build());
+        assert!(s.workload_has(&Property::new("wan_traffic")));
+        assert!(!s.workload_has(&Property::new("short_flows")));
+    }
+
+    #[test]
+    fn role_rules_default_to_optional() {
+        let s = Scenario::new(Catalog::new())
+            .with_role(Category::Monitoring, RoleRule::Required);
+        assert_eq!(s.role_rule(&Category::Monitoring), RoleRule::Required);
+        assert_eq!(s.role_rule(&Category::Firewall), RoleRule::Optional);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the conditional partial-order algebra: the BFS
+//! dominance closure must behave like a preorder with strictness —
+//! antisymmetric verdicts, transitive dominance, ranks consistent with
+//! pairwise comparisons, and equivalence symmetric.
+
+use netarch_core::condition::StaticContext;
+use netarch_core::ordering::{Comparison, OrderingEdge, PreferenceOrder};
+use netarch_core::prelude::*;
+use proptest::prelude::*;
+
+const N: usize = 6;
+
+fn sid(i: usize) -> SystemId {
+    SystemId::new(format!("S{i}"))
+}
+
+struct NoCtx;
+impl StaticContext for NoCtx {
+    fn param(&self, _n: &ParamName) -> Option<f64> {
+        None
+    }
+    fn workload_has(&self, _p: &Property) -> bool {
+        false
+    }
+}
+
+/// Random DAG-ish edge set: strict edges only from lower to higher index
+/// (guaranteeing acyclicity), equal edges anywhere.
+fn order_strategy() -> impl Strategy<Value = PreferenceOrder> {
+    let strict_edges = prop::collection::vec((0..N, 0..N), 0..10);
+    let equal_edges = prop::collection::vec((0..N, 0..N), 0..4);
+    (strict_edges, equal_edges).prop_map(|(strict, equal)| {
+        let mut o = PreferenceOrder::new();
+        for (a, b) in strict {
+            if a == b {
+                continue;
+            }
+            let (hi, lo) = if a < b { (a, b) } else { (b, a) };
+            o.add(OrderingEdge::strict(sid(hi), sid(lo), Dimension::Throughput));
+        }
+        for (a, b) in equal {
+            if a == b {
+                continue;
+            }
+            // Equal edges only between same-index-parity nodes to avoid
+            // collapsing strict chains into cycles.
+            if a % 2 == b % 2 {
+                o.add(OrderingEdge::equal(sid(a), sid(b), Dimension::Isolation));
+            }
+        }
+        o
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn comparisons_are_antisymmetric(o in order_strategy()) {
+        let dim = Dimension::Throughput;
+        for a in 0..N {
+            for b in 0..N {
+                if a == b { continue; }
+                let ab = o.compare(&sid(a), &sid(b), &dim, &NoCtx);
+                let ba = o.compare(&sid(b), &sid(a), &dim, &NoCtx);
+                let expected = match ab {
+                    Comparison::Better => Comparison::Worse,
+                    Comparison::Worse => Comparison::Better,
+                    other => other,
+                };
+                prop_assert_eq!(ba, expected, "S{} vs S{}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_is_transitive(o in order_strategy()) {
+        let dim = Dimension::Throughput;
+        for a in 0..N {
+            let da = o.dominated_by(&sid(a), &dim, &NoCtx);
+            for b in da.iter() {
+                let db = o.dominated_by(b, &dim, &NoCtx);
+                for c in db.iter() {
+                    prop_assert!(
+                        da.contains(c),
+                        "S{} ≻ {} ≻ {} but closure misses the chain", a, b, c
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strict_dominance_is_irreflexive_on_acyclic_inputs(o in order_strategy()) {
+        let dim = Dimension::Throughput;
+        prop_assert_eq!(o.find_cycle(&dim, &NoCtx), None);
+        for a in 0..N {
+            prop_assert!(
+                !o.dominated_by(&sid(a), &dim, &NoCtx).contains(&sid(a)),
+                "S{} dominates itself", a
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_agree_with_pairwise_dominance(o in order_strategy()) {
+        let dim = Dimension::Throughput;
+        let universe: Vec<SystemId> = (0..N).map(sid).collect();
+        let ranks = o.ranks(&universe, &dim, &NoCtx);
+        for a in 0..N {
+            let expected = (0..N)
+                .filter(|&b| b != a)
+                .filter(|&b| o.compare(&sid(a), &sid(b), &dim, &NoCtx) == Comparison::Better)
+                .count();
+            prop_assert_eq!(ranks[&sid(a)], expected, "rank of S{}", a);
+        }
+    }
+
+    #[test]
+    fn equality_is_symmetric_and_never_strict(o in order_strategy()) {
+        let dim = Dimension::Isolation;
+        for a in 0..N {
+            let ea = o.equal_to(&sid(a), &dim, &NoCtx);
+            for b in ea.iter() {
+                let idx: usize = b.as_str()[1..].parse().unwrap();
+                prop_assert!(
+                    o.equal_to(b, &dim, &NoCtx).contains(&sid(a)),
+                    "equality not symmetric: S{} ~ {}", a, b
+                );
+                // No strict edges exist on this dimension in the generator,
+                // so equality must be the whole story.
+                prop_assert_eq!(
+                    o.compare(&sid(a), &sid(idx), &dim, &NoCtx),
+                    Comparison::Equal
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_edges_do_not_leak_across_contexts(strict in prop::collection::vec((0..N, 0..N), 1..8)) {
+        // Every edge gated on a parameter the context lacks: nothing holds.
+        let mut o = PreferenceOrder::new();
+        for (a, b) in strict {
+            if a == b { continue; }
+            let (hi, lo) = if a < b { (a, b) } else { (b, a) };
+            o.add(
+                OrderingEdge::strict(sid(hi), sid(lo), Dimension::Latency)
+                    .when(Condition::param("undefined_param", CmpOp::Ge, 1.0)),
+            );
+        }
+        for a in 0..N {
+            for b in 0..N {
+                if a == b { continue; }
+                prop_assert_eq!(
+                    o.compare(&sid(a), &sid(b), &Dimension::Latency, &NoCtx),
+                    Comparison::Incomparable
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Congestion control encodings.
+//!
+//! Grounded rules: HPCC needs INT-enabled switches (§3.1); Timely and
+//! Swift depend on NIC timestamps and a dedicated QoS level for ACKs
+//! (§3.1); Annulus needs QCN-capable switches and matters only when WAN
+//! and DC traffic compete (§2.3, §4.1); delay-based algorithms such as
+//! Vegas/Swift cannot share a queue with buffer-filling traffic unless
+//! deployed as a scavenger with deep queues (§2.2, RFC 6297); DCQCN rides
+//! on PFC, which is deadlock-prone under flooding (§2.2, Guo et al. 2016);
+//! BFC needs programmable switches with per-flow queues.
+
+use crate::vocab::{caps, feats, props};
+use netarch_core::prelude::*;
+
+fn cc(id: &str) -> netarch_core::component::SystemSpecBuilder {
+    SystemSpec::builder(id, Category::CongestionControl).solves(caps::BANDWIDTH_ALLOCATION)
+}
+
+/// The delay-based scavenger caveat (§2.2): deployable only if no
+/// buffer-filling traffic shares the fabric, or the switches have deep
+/// buffers to protect the non-scavenger flows.
+fn delay_based_caveat() -> Condition {
+    Condition::any([
+        Condition::not(Condition::workload(props::BUFFER_FILLING_TRAFFIC)),
+        Condition::switches_have(feats::DEEP_BUFFERS),
+    ])
+}
+
+/// All congestion control encodings.
+pub fn systems() -> Vec<SystemSpec> {
+    vec![
+        cc("CUBIC")
+            .name("Cubic")
+            .notes("Linux default; loss-based buffer filler (Ha et al. 2008).")
+            .build(),
+        cc("RENO")
+            .name("NewReno")
+            .notes("Classic loss-based AIMD.")
+            .build(),
+        cc("BBR")
+            .name("BBR")
+            .notes("Model-based; no switch support needed.")
+            .build(),
+        cc("VEGAS")
+            .name("TCP Vegas")
+            .requires_cited(
+                "vegas-scavenger-caveat",
+                delay_based_caveat(),
+                "Brakmo et al. 1994; RFC 6297; paper §2.2",
+            )
+            .notes("Delay-based; loses to buffer fillers unless scavenger-deployed.")
+            .build(),
+        cc("DCTCP")
+            .name("DCTCP")
+            .requires_cited(
+                "dctcp-needs-ecn",
+                Condition::switches_have(feats::ECN),
+                "Alizadeh et al., SIGCOMM 2010",
+            )
+            .notes("ECN-proportional backoff; the DC workhorse.")
+            .build(),
+        cc("TIMELY")
+            .name("Timely")
+            .requires_cited(
+                "timely-needs-nic-timestamps",
+                Condition::nics_have(feats::NIC_TIMESTAMPS),
+                "Mittal et al., SIGCOMM 2015; paper §3.1",
+            )
+            .requires_cited(
+                "timely-needs-ack-qos-level",
+                Condition::True,
+                "paper §3.1 (dedicated QoS level for acknowledgements)",
+            )
+            .consumes(Resource::QosClasses, AmountExpr::constant(1))
+            .requires("timely-scavenger-caveat", delay_based_caveat())
+            .notes("RTT-gradient control from NIC timestamps.")
+            .build(),
+        cc("SWIFT")
+            .name("Swift")
+            .requires_cited(
+                "swift-needs-nic-timestamps",
+                Condition::nics_have(feats::NIC_TIMESTAMPS),
+                "Kumar et al., SIGCOMM 2020; paper §3.1",
+            )
+            .consumes(Resource::QosClasses, AmountExpr::constant(1))
+            .requires("swift-scavenger-caveat", delay_based_caveat())
+            .notes("Target-delay control; robust at scale.")
+            .build(),
+        cc("HPCC")
+            .name("HPCC")
+            .requires_cited(
+                "hpcc-needs-int-switches",
+                Condition::switches_have(feats::INT),
+                "Li et al., SIGCOMM 2019; paper §3.1",
+            )
+            .notes("Precise per-hop link utilization via INT.")
+            .build(),
+        cc("ANNULUS")
+            .name("Annulus")
+            .requires_cited(
+                "annulus-needs-qcn-switches",
+                Condition::switches_have(feats::QCN),
+                "Saeed et al., SIGCOMM 2020; paper §2.3",
+            )
+            .requires_cited(
+                "annulus-only-with-competing-wan-traffic",
+                Condition::workload(props::WAN_TRAFFIC),
+                "paper §4.1 (required only when WAN and DC traffic compete)",
+            )
+            .notes("Dual loop: QCN near-source control for WAN/DC aggregates.")
+            .build(),
+        cc("DCQCN")
+            .name("DCQCN")
+            .requires_cited(
+                "dcqcn-needs-ecn",
+                Condition::switches_have(feats::ECN),
+                "Zhu et al., SIGCOMM 2015",
+            )
+            .requires_cited(
+                "dcqcn-needs-rdma-transport",
+                Condition::system("ROCEV2"),
+                "DCQCN is the RoCEv2 congestion control",
+            )
+            .notes("RoCEv2 companion CC.")
+            .build(),
+        cc("BFC")
+            .name("Backpressure Flow Control")
+            .requires_cited(
+                "bfc-needs-programmable-switches",
+                Condition::all([
+                    Condition::switches_have(feats::P4),
+                    Condition::switches_have(feats::PER_FLOW_QUEUES),
+                ]),
+                "Goyal et al., NSDI 2022",
+            )
+            .consumes(Resource::P4Stages, AmountExpr::constant(3))
+            .notes("Per-hop per-flow backpressure in the fabric.")
+            .build(),
+        cc("FASTPASS")
+            .name("Fastpass")
+            .requires_cited(
+                "fastpass-dc-only",
+                Condition::workload(props::DC_FLOWS),
+                "Perry et al., SIGCOMM 2014",
+            )
+            .consumes(Resource::Cores, AmountExpr::scaled(crate::vocab::params::NUM_FLOWS, 0.0002))
+            .cost(3_000)
+            .notes("Centralized zero-queue arbiter; arbiter cores scale with flows.")
+            .build(),
+        cc("BWE")
+            .name("BwE")
+            .requires_cited(
+                "bwe-wan-only",
+                Condition::workload(props::WAN_TRAFFIC),
+                "Kumar et al., SIGCOMM 2015",
+            )
+            .consumes(Resource::Cores, AmountExpr::constant(8))
+            .cost(5_000)
+            .notes("Hierarchical WAN bandwidth allocator.")
+            .build(),
+        cc("PCC")
+            .name("PCC Vivace")
+            .notes("Online-learning rate control; host-only.")
+            .build(),
+        cc("HOMA_CC")
+            .name("Homa (receiver-driven CC)")
+            .requires_cited(
+                "homa-needs-priority-queues",
+                Condition::True,
+                "Montazeri et al., SIGCOMM 2018 (uses switch priority levels)",
+            )
+            .consumes(Resource::QosClasses, AmountExpr::constant(4))
+            .requires("homa-research-prototype", Condition::not(Condition::workload(props::PRODUCTION_ONLY)))
+            .notes("Receiver-driven grants over multiple priority levels.")
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_cc_systems() {
+        let all = systems();
+        assert_eq!(all.len(), 15);
+        for s in &all {
+            assert_eq!(s.category, Category::CongestionControl);
+        }
+    }
+
+    #[test]
+    fn hpcc_requires_int() {
+        let all = systems();
+        let hpcc = all.iter().find(|s| s.id.as_str() == "HPCC").unwrap();
+        assert!(hpcc
+            .requires
+            .iter()
+            .any(|r| r.condition == Condition::switches_have(feats::INT)));
+    }
+
+    #[test]
+    fn annulus_carries_both_paper_conditions() {
+        let all = systems();
+        let a = all.iter().find(|s| s.id.as_str() == "ANNULUS").unwrap();
+        assert!(a.requires.iter().any(|r| r.condition == Condition::switches_have(feats::QCN)));
+        assert!(a
+            .requires
+            .iter()
+            .any(|r| r.condition == Condition::workload(props::WAN_TRAFFIC)));
+    }
+
+    #[test]
+    fn delay_based_systems_carry_scavenger_caveat() {
+        let all = systems();
+        for id in ["VEGAS", "TIMELY", "SWIFT"] {
+            let s = all.iter().find(|s| s.id.as_str() == id).unwrap();
+            assert!(
+                s.requires.iter().any(|r| r.label.contains("scavenger")),
+                "{id} missing scavenger caveat"
+            );
+        }
+    }
+
+    #[test]
+    fn timely_and_swift_reserve_a_qos_class() {
+        let all = systems();
+        for id in ["TIMELY", "SWIFT"] {
+            let s = all.iter().find(|s| s.id.as_str() == id).unwrap();
+            assert!(s.resources.iter().any(|d| d.resource == Resource::QosClasses));
+        }
+    }
+
+    #[test]
+    fn dcqcn_depends_on_rocev2_selection() {
+        let all = systems();
+        let s = all.iter().find(|s| s.id.as_str() == "DCQCN").unwrap();
+        assert!(s.requires.iter().any(|r| r.condition == Condition::system("ROCEV2")));
+    }
+}

@@ -1,0 +1,98 @@
+//! Firewall encodings.
+//!
+//! Captures the paper's §1 observation that "deploying a load balancer at
+//! an edge site may make it easier to also deploy a firewall there since
+//! resources are already provisioned": the edge firewall requires the
+//! abstract `EDGE_PROVISIONED` feature, which L4 load balancers provide.
+
+use crate::vocab::{caps, feats};
+use netarch_core::prelude::*;
+
+fn fw(id: &str) -> netarch_core::component::SystemSpecBuilder {
+    SystemSpec::builder(id, Category::Firewall).solves(caps::FIREWALLING)
+}
+
+/// All firewall encodings.
+pub fn systems() -> Vec<SystemSpec> {
+    vec![
+        fw("IPTABLES")
+            .name("iptables/conntrack")
+            .consumes(Resource::Cores, AmountExpr::scaled(crate::vocab::params::NUM_FLOWS, 0.0001))
+            .cost(0)
+            .notes("Kernel firewall; per-flow connection tracking costs CPU.")
+            .build(),
+        fw("NFTABLES")
+            .name("nftables")
+            .consumes(Resource::Cores, AmountExpr::scaled(crate::vocab::params::NUM_FLOWS, 0.00008))
+            .cost(0)
+            .notes("Successor to iptables with a bytecode ruleset engine.")
+            .build(),
+        fw("XDP_FW")
+            .name("eBPF/XDP firewall")
+            .requires("xdpfw-needs-xdp-nic", Condition::nics_have(feats::XDP))
+            .consumes(Resource::Cores, AmountExpr::constant(2))
+            .cost(500)
+            .notes("Driver-level filtering before the stack; needs XDP-capable NIC drivers.")
+            .build(),
+        fw("SMARTNIC_FW")
+            .name("SmartNIC-offloaded firewall")
+            .requires(
+                "smartnicfw-needs-smartnic",
+                Condition::any([
+                    Condition::nics_have(feats::SMARTNIC_CPU),
+                    Condition::nics_have(feats::SMARTNIC_FPGA),
+                ]),
+            )
+            .consumes(Resource::SmartNicCapacity, AmountExpr::constant(30))
+            .cost(2_000)
+            .notes("Stateful filtering on the NIC; shares SmartNIC capacity (§2.3).")
+            .build(),
+        fw("HW_FIREWALL")
+            .name("Hardware firewall appliance")
+            .cost(30_000)
+            .notes("Dedicated appliance at the aggregation layer; costly but host-transparent.")
+            .build(),
+        fw("EDGE_FW")
+            .name("Edge-site firewall")
+            .requires_cited(
+                "edgefw-needs-provisioned-edge",
+                Condition::ProvidedFeature(Feature::new(feats::EDGE_PROVISIONED)),
+                "paper §1 (co-deploy with edge load balancer)",
+            )
+            .consumes(Resource::Cores, AmountExpr::constant(4))
+            .cost(1_000)
+            .notes("Cheap once an edge LB has provisioned the site.")
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_firewalls_all_solve_firewalling() {
+        let all = systems();
+        assert_eq!(all.len(), 6);
+        for s in &all {
+            assert!(s.solves(&Capability::new(caps::FIREWALLING)));
+        }
+    }
+
+    #[test]
+    fn edge_firewall_needs_provisioned_edge() {
+        let all = systems();
+        let edge = all.iter().find(|s| s.id.as_str() == "EDGE_FW").unwrap();
+        assert!(edge.requires.iter().any(|r| matches!(
+            &r.condition,
+            Condition::ProvidedFeature(f) if f.as_str() == feats::EDGE_PROVISIONED
+        )));
+    }
+
+    #[test]
+    fn smartnic_fw_consumes_shared_capacity() {
+        let all = systems();
+        let s = all.iter().find(|s| s.id.as_str() == "SMARTNIC_FW").unwrap();
+        assert!(s.resources.iter().any(|d| d.resource == Resource::SmartNicCapacity));
+    }
+}

@@ -1,0 +1,220 @@
+//! NIC model encodings.
+//!
+//! Feature attribution matters here more than anywhere else in the
+//! corpus, because the paper's marquee rules hinge on NIC capabilities:
+//! Timely/Swift/Simon want hardware timestamps, packet spraying wants
+//! reorder buffers, Shenango wants interrupt-aware polling, AccelNet
+//! wants an FPGA SmartNIC, RoCE wants RDMA silicon.
+
+use crate::vocab::feats;
+use netarch_core::prelude::*;
+
+/// One NIC row: id, name, speed (Gbit/s), ports, SmartNIC compute
+/// capacity (percent; 0 for fixed-function), cost, features.
+struct Row(
+    &'static str,
+    &'static str,
+    u32,
+    u32,
+    u32,
+    u64,
+    &'static [&'static str],
+);
+
+const BASIC: &[&str] = &[feats::SRIOV];
+const DPDK: &[&str] = &[feats::SRIOV, feats::KERNEL_BYPASS, feats::XDP];
+const DPDK_TS: &[&str] = &[feats::SRIOV, feats::KERNEL_BYPASS, feats::XDP, feats::NIC_TIMESTAMPS];
+const MLX_FULL: &[&str] = &[
+    feats::SRIOV,
+    feats::KERNEL_BYPASS,
+    feats::XDP,
+    feats::NIC_TIMESTAMPS,
+    feats::RDMA,
+    feats::INTERRUPT_POLLING,
+    feats::REORDER_BUFFER,
+];
+const MLX_MID: &[&str] = &[
+    feats::SRIOV,
+    feats::KERNEL_BYPASS,
+    feats::XDP,
+    feats::NIC_TIMESTAMPS,
+    feats::RDMA,
+    feats::INTERRUPT_POLLING,
+];
+const SMART_CPU: &[&str] = &[
+    feats::SRIOV,
+    feats::KERNEL_BYPASS,
+    feats::XDP,
+    feats::NIC_TIMESTAMPS,
+    feats::RDMA,
+    feats::INTERRUPT_POLLING,
+    feats::REORDER_BUFFER,
+    feats::SMARTNIC_CPU,
+];
+const SMART_FPGA: &[&str] = &[
+    feats::SRIOV,
+    feats::KERNEL_BYPASS,
+    feats::NIC_TIMESTAMPS,
+    feats::REORDER_BUFFER,
+    feats::SMARTNIC_FPGA,
+];
+const IWARP_SET: &[&str] = &[feats::SRIOV, feats::KERNEL_BYPASS, feats::IWARP, feats::NIC_TIMESTAMPS];
+
+#[rustfmt::skip]
+const ROWS: &[Row] = &[
+    // Intel fixed-function Ethernet.
+    Row("INTEL_82599",   "Intel 82599 10GbE",          10, 2, 0,    200, BASIC),
+    Row("INTEL_X710",    "Intel X710 10GbE",           10, 4, 0,    350, DPDK),
+    Row("INTEL_XL710",   "Intel XL710 40GbE",          40, 2, 0,    550, DPDK),
+    Row("INTEL_XXV710",  "Intel XXV710 25GbE",         25, 2, 0,    450, DPDK),
+    Row("INTEL_E810_25", "Intel E810 25GbE",           25, 2, 0,    500, DPDK_TS),
+    Row("INTEL_E810_100","Intel E810 100GbE",         100, 1, 0,    900, DPDK_TS),
+    // Mellanox/NVIDIA ConnectX.
+    Row("MLX_CX3_40",    "ConnectX-3 40GbE",           40, 2, 0,    400, &[feats::SRIOV, feats::KERNEL_BYPASS, feats::RDMA]),
+    Row("MLX_CX4_25",    "ConnectX-4 Lx 25GbE",        25, 2, 0,    500, MLX_MID),
+    Row("MLX_CX4_50",    "ConnectX-4 50GbE",           50, 2, 0,    650, MLX_MID),
+    Row("MLX_CX4_100",   "ConnectX-4 100GbE",         100, 1, 0,    800, MLX_MID),
+    Row("MLX_CX5_25",    "ConnectX-5 25GbE",           25, 2, 0,    600, MLX_FULL),
+    Row("MLX_CX5_100",   "ConnectX-5 100GbE",         100, 2, 0,    950, MLX_FULL),
+    Row("MLX_CX6_100",   "ConnectX-6 Dx 100GbE",      100, 2, 0,  1_200, MLX_FULL),
+    Row("MLX_CX6_200",   "ConnectX-6 200GbE",         200, 1, 0,  1_500, MLX_FULL),
+    Row("MLX_CX7_200",   "ConnectX-7 200GbE",         200, 2, 0,  1_900, MLX_FULL),
+    Row("MLX_CX7_400",   "ConnectX-7 400GbE",         400, 1, 0,  2_400, MLX_FULL),
+    // CPU SmartNICs / DPUs.
+    Row("BLUEFIELD1",    "BlueField-1 DPU 100GbE",    100, 2, 60,  1_800, SMART_CPU),
+    Row("BLUEFIELD2",    "BlueField-2 DPU 100GbE",    100, 2, 100, 2_400, SMART_CPU),
+    Row("BLUEFIELD3",    "BlueField-3 DPU 400GbE",    400, 2, 160, 3_800, SMART_CPU),
+    Row("STINGRAY",      "Broadcom Stingray PS225",    25, 2, 60,  1_500, SMART_CPU),
+    Row("PENSANDO_DSC25","Pensando DSC-25",            25, 2, 80,  1_600, SMART_CPU),
+    Row("PENSANDO_DSC100","Pensando DSC-100",         100, 2, 100, 2_200, SMART_CPU),
+    Row("INTEL_IPU_E2000","Intel IPU E2000 200GbE",   200, 2, 120, 3_000, SMART_CPU),
+    Row("OCTEON10",      "Marvell Octeon 10 DPU",     100, 2, 90,  2_000, SMART_CPU),
+    // FPGA SmartNICs.
+    Row("CATAPULT",      "MS Catapult FPGA 40GbE",     40, 1, 80,  2_500, SMART_FPGA),
+    Row("ALVEO_U25",     "AMD Alveo U25N 25GbE",       25, 2, 70,  2_200, SMART_FPGA),
+    Row("ALVEO_U45",     "AMD Alveo SN1000 100GbE",   100, 2, 120, 3_500, SMART_FPGA),
+    Row("NAPATECH_NT200","Napatech NT200 FPGA 100GbE",100, 2, 90,  3_200, SMART_FPGA),
+    Row("INTEL_N3000",   "Intel FPGA PAC N3000 25GbE", 25, 4, 80,  2_800, SMART_FPGA),
+    Row("INTEL_N6000",   "Intel IPU F2000X FPGA 100G",100, 2, 130, 4_000, SMART_FPGA),
+    // iWARP line.
+    Row("CHELSIO_T5",    "Chelsio T580 40GbE",         40, 2, 0,    700, IWARP_SET),
+    Row("CHELSIO_T6_25", "Chelsio T6225 25GbE",        25, 2, 0,    650, IWARP_SET),
+    Row("CHELSIO_T6_100","Chelsio T62100 100GbE",     100, 2, 0,  1_100, IWARP_SET),
+    // Cloud-vendor virtual NICs (fixed-function, no bypass).
+    Row("ENA_25",        "AWS ENA 25GbE",              25, 1, 0,      0, BASIC),
+    Row("ENA_100",       "AWS ENA 100GbE",            100, 1, 0,      0, BASIC),
+    Row("GVNIC_100",     "Google gVNIC 100GbE",       100, 1, 0,      0, BASIC),
+    // Broadcom fixed-function.
+    Row("BCM_57414",     "Broadcom 57414 25GbE",       25, 2, 0,    400, &[feats::SRIOV, feats::KERNEL_BYPASS, feats::XDP, feats::RDMA]),
+    Row("BCM_57508",     "Broadcom 57508 100GbE",     100, 2, 0,    900, &[feats::SRIOV, feats::KERNEL_BYPASS, feats::XDP, feats::RDMA, feats::NIC_TIMESTAMPS]),
+    Row("BCM_57608",     "Broadcom 57608 400GbE",     400, 2, 0,  1_800, &[feats::SRIOV, feats::KERNEL_BYPASS, feats::XDP, feats::RDMA, feats::NIC_TIMESTAMPS]),
+    // Solarflare/Xilinx low-latency line (Onload's home silicon).
+    Row("SFC_X2522",     "Solarflare X2522 25GbE",     25, 2, 0,  1_000, DPDK_TS),
+    Row("SFC_X2541",     "Solarflare X2541 100GbE",   100, 1, 0,  1_600, DPDK_TS),
+    Row("SFC_8522",      "Solarflare 8522 10GbE",      10, 2, 0,    600, &[feats::SRIOV, feats::KERNEL_BYPASS, feats::NIC_TIMESTAMPS]),
+    // Netronome SmartNICs.
+    Row("AGILIO_CX25",   "Netronome Agilio CX 25GbE",  25, 2, 50,  1_200, SMART_CPU),
+    Row("AGILIO_LX100",  "Netronome Agilio LX 100GbE",100, 2, 80,  2_000, SMART_CPU),
+    // Marvell/QLogic FastLinQ (iWARP + RoCE universal RDMA).
+    Row("QL45000",       "Marvell FastLinQ 45000 25GbE", 25, 2, 0,   550, IWARP_SET),
+    Row("QL41000",       "Marvell FastLinQ 41000 10GbE", 10, 2, 0,   400, IWARP_SET),
+    // Additional Intel SKUs.
+    Row("INTEL_E823",    "Intel E823 25GbE (timestamps)", 25, 4, 0,  600, DPDK_TS),
+    Row("INTEL_E830",    "Intel E830 200GbE",         200, 2, 0,  1_400, DPDK_TS),
+    Row("INTEL_X550",    "Intel X550 10GBASE-T",       10, 2, 0,    300, BASIC),
+    Row("INTEL_I225",    "Intel i225 2.5GbE",           2, 1, 0,     50, BASIC),
+    // More ConnectX configurations.
+    Row("MLX_CX4121A",   "ConnectX-4 Lx 10GbE",        10, 2, 0,    350, MLX_MID),
+    Row("MLX_CX512F",    "ConnectX-5 50GbE",           50, 2, 0,    800, MLX_FULL),
+    Row("MLX_CX621",     "ConnectX-6 Dx 25GbE",        25, 2, 0,    700, MLX_FULL),
+    Row("MLX_CX75",      "ConnectX-7 100GbE",         100, 2, 0,  1_500, MLX_FULL),
+    // More DPUs / FPGA cards.
+    Row("FUNGIBLE_F1",   "Fungible F1 DPU 200GbE",    200, 2, 140, 3_200, SMART_CPU),
+    Row("HUAWEI_IN200",  "Huawei IN200 SmartNIC 100G",100, 2, 80,  1_800, SMART_CPU),
+    Row("ALVEO_U280",    "AMD Alveo U280 100GbE FPGA",100, 2, 140, 4_500, SMART_FPGA),
+    Row("BITTWARE_385A", "BittWare 385A FPGA 40GbE",   40, 2, 70,  2_600, SMART_FPGA),
+    // Cloud vNICs.
+    Row("EFA_100",       "AWS EFA 100GbE (SRD)",      100, 1, 0,      0, &[feats::SRIOV, feats::KERNEL_BYPASS]),
+    Row("AZURE_MANA",    "Azure MANA 200GbE",         200, 1, 0,      0, &[feats::SRIOV, feats::KERNEL_BYPASS, feats::RDMA]),
+    // Older/lower-speed parts that still populate real fleets.
+    Row("INTEL_I350",    "Intel i350 1GbE",             1, 4, 0,    100, BASIC),
+    Row("BCM_5720",      "Broadcom 5720 1GbE",          1, 2, 0,     80, BASIC),
+    Row("MLX_CX3PRO_10", "ConnectX-3 Pro 10GbE",       10, 2, 0,    250, &[feats::SRIOV, feats::KERNEL_BYPASS, feats::RDMA]),
+    Row("QL41112",       "Marvell FastLinQ 41112 10GbE",10, 2, 0,   300, &[feats::SRIOV, feats::KERNEL_BYPASS]),
+    Row("X540_T2",       "Intel X540-T2 10GBASE-T",    10, 2, 0,    250, BASIC),
+    Row("SFN7122F",      "Solarflare SFN7122F 10GbE",  10, 2, 0,    450, &[feats::SRIOV, feats::KERNEL_BYPASS, feats::NIC_TIMESTAMPS]),
+    // Current high-end additions.
+    Row("MLX_CX8_800",   "ConnectX-8 800GbE",         800, 1, 0,  3_500, MLX_FULL),
+    Row("BLUEFIELD3_B3220", "BlueField-3 B3220 200GbE", 200, 2, 140, 3_200, SMART_CPU),
+    Row("INTEL_E810_XXVDA4", "Intel E810-XXVDA4 25GbE", 25, 4, 0,    650, DPDK_TS),
+    Row("THOR2_400",     "Broadcom Thor-2 400GbE",    400, 1, 0,  2_200, &[feats::SRIOV, feats::KERNEL_BYPASS, feats::XDP, feats::RDMA, feats::NIC_TIMESTAMPS, feats::REORDER_BUFFER]),
+];
+
+/// All NIC encodings.
+pub fn specs() -> Vec<HardwareSpec> {
+    ROWS.iter()
+        .map(|Row(id, name, speed, ports, smart_capacity, cost, features)| {
+            let mut b = HardwareSpec::builder(*id, HardwareKind::Nic)
+                .model_name(*name)
+                .numeric("port_bandwidth_gbps", f64::from(*speed))
+                .numeric("ports", f64::from(*ports))
+                .cost(*cost);
+            if *smart_capacity > 0 {
+                b = b.numeric("smartnic_capacity", f64::from(*smart_capacity));
+            }
+            for f in *features {
+                b = b.feature(*f);
+            }
+            b.build()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nic_count_and_uniqueness() {
+        let all = specs();
+        assert!(all.len() >= 38, "got {}", all.len());
+        let ids: std::collections::BTreeSet<_> = all.iter().map(|h| h.id.clone()).collect();
+        assert_eq!(ids.len(), all.len());
+        for h in &all {
+            assert_eq!(h.kind, HardwareKind::Nic);
+        }
+    }
+
+    #[test]
+    fn smartnics_expose_capacity() {
+        let all = specs();
+        for h in &all {
+            let smart = h.has_feature(&Feature::new(feats::SMARTNIC_CPU))
+                || h.has_feature(&Feature::new(feats::SMARTNIC_FPGA));
+            let capacity = h.numeric("smartnic_capacity").unwrap_or(0.0);
+            assert_eq!(smart, capacity > 0.0, "{}: SmartNIC flag vs capacity", h.id);
+        }
+    }
+
+    #[test]
+    fn rule_critical_feature_coverage() {
+        let all = specs();
+        let with = |f: &str| all.iter().filter(|h| h.has_feature(&Feature::new(f))).count();
+        assert!(with(feats::NIC_TIMESTAMPS) >= 15, "timestamps scarce");
+        assert!(with(feats::REORDER_BUFFER) >= 10, "reorder buffers scarce");
+        assert!(with(feats::INTERRUPT_POLLING) >= 10, "interrupt polling scarce");
+        assert!(with(feats::RDMA) >= 10, "rdma scarce");
+        assert!(with(feats::IWARP) >= 3, "iwarp scarce");
+        assert!(with(feats::SMARTNIC_FPGA) >= 5, "fpga smartnics scarce");
+        // And scarcity in the other direction: plenty of NICs *lack*
+        // timestamps, so the Simon/Timely rules actually bind.
+        assert!(with(feats::NIC_TIMESTAMPS) < all.len());
+    }
+
+    #[test]
+    fn speeds_span_figure1_conditions() {
+        let all = specs();
+        assert!(all.iter().any(|h| h.numeric("port_bandwidth_gbps") == Some(10.0)));
+        assert!(all.iter().any(|h| h.numeric("port_bandwidth_gbps").unwrap_or(0.0) >= 400.0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Server SKU encodings.
+//!
+//! Generated as a grid of CPU generations × core-count configurations —
+//! which is exactly how vendor SKU sheets look. Core counts feed the
+//! `Resource::Cores` capacity; the paper notes such numeric hardware
+//! properties are the easy, reliably-encodable part (§3.1).
+
+use crate::vocab::feats;
+use netarch_core::prelude::*;
+
+/// One CPU generation: id prefix, marketing family, available
+/// (cores, memory GiB, cost USD) configurations, watts per config scale,
+/// platform feature flags.
+struct Family {
+    prefix: &'static str,
+    name: &'static str,
+    configs: &'static [(u32, u32, u64)],
+    base_power_w: u32,
+    features: &'static [&'static str],
+}
+
+const FAMILIES: &[Family] = &[
+    Family {
+        prefix: "XEON_SKY",
+        name: "2U Intel Xeon Skylake-SP",
+        configs: &[(16, 128, 4_500), (20, 160, 5_200), (24, 192, 6_000), (28, 224, 6_800), (32, 256, 7_500), (40, 384, 9_500)],
+        base_power_w: 350,
+        features: &[],
+    },
+    Family {
+        prefix: "XEON_CAS",
+        name: "2U Intel Xeon Cascade Lake",
+        configs: &[(24, 192, 6_500), (32, 256, 8_000), (40, 320, 9_500), (48, 384, 11_000), (56, 512, 13_500)],
+        base_power_w: 380,
+        features: &[],
+    },
+    Family {
+        prefix: "XEON_ICE",
+        name: "2U Intel Xeon Ice Lake",
+        configs: &[(32, 256, 9_000), (40, 384, 10_500), (48, 512, 12_500), (56, 640, 14_000), (64, 768, 16_000), (72, 896, 18_500), (80, 1024, 21_000)],
+        base_power_w: 420,
+        features: &[],
+    },
+    Family {
+        prefix: "XEON_SPR",
+        name: "2U Intel Xeon Sapphire Rapids",
+        configs: &[(48, 512, 14_000), (56, 640, 15_500), (64, 768, 18_000), (80, 896, 21_500), (96, 1024, 26_000), (112, 2048, 34_000)],
+        base_power_w: 480,
+        features: &[feats::CXL],
+    },
+    Family {
+        prefix: "EPYC_ROME",
+        name: "1U AMD EPYC Rome",
+        configs: &[(32, 256, 7_000), (48, 384, 9_500), (64, 512, 12_000), (96, 768, 17_000), (128, 1024, 22_000)],
+        base_power_w: 400,
+        features: &[],
+    },
+    Family {
+        prefix: "EPYC_MILAN",
+        name: "1U AMD EPYC Milan",
+        configs: &[(32, 256, 8_000), (48, 512, 11_000), (56, 640, 12_500), (64, 768, 14_000), (96, 896, 19_000), (128, 1024, 25_000)],
+        base_power_w: 420,
+        features: &[],
+    },
+    Family {
+        prefix: "EPYC_GENOA",
+        name: "1U AMD EPYC Genoa",
+        configs: &[(48, 512, 13_000), (64, 768, 16_500), (84, 1024, 20_000), (96, 1152, 23_000), (128, 1536, 29_000), (192, 2304, 40_000)],
+        base_power_w: 460,
+        features: &[feats::CXL],
+    },
+    Family {
+        prefix: "XEON_BDW",
+        name: "2U Intel Xeon Broadwell-EP",
+        configs: &[(12, 96, 3_200), (16, 128, 3_800), (22, 192, 4_800)],
+        base_power_w: 300,
+        features: &[],
+    },
+    Family {
+        prefix: "EPYC_BERGAMO",
+        name: "1U AMD EPYC Bergamo (cloud-native)",
+        configs: &[(112, 1152, 26_000), (128, 1536, 30_000), (256, 2304, 48_000)],
+        base_power_w: 500,
+        features: &[feats::CXL],
+    },
+    Family {
+        prefix: "ARM_GRAVITON",
+        name: "1U Graviton-class Arm",
+        configs: &[(64, 512, 9_000), (96, 768, 13_000), (128, 1024, 16_500)],
+        base_power_w: 300,
+        features: &[],
+    },
+    Family {
+        prefix: "ARM_ALTRA",
+        name: "1U Ampere Altra",
+        configs: &[(64, 512, 10_000), (80, 768, 12_500), (96, 768, 14_000), (128, 1024, 17_000)],
+        base_power_w: 350,
+        features: &[],
+    },
+];
+
+/// All server encodings.
+pub fn specs() -> Vec<HardwareSpec> {
+    FAMILIES
+        .iter()
+        .flat_map(|family| {
+            family.configs.iter().map(move |&(cores, memory_gb, cost)| {
+                let b = HardwareSpec::builder(
+                    format!("{}_{cores}C", family.prefix),
+                    HardwareKind::Server,
+                )
+                .model_name(format!("{} ({cores} cores, {memory_gb} GiB)", family.name))
+                .numeric("cores", f64::from(cores))
+                .numeric("memory_gb", f64::from(memory_gb))
+                .numeric(
+                    "max_power_w",
+                    f64::from(family.base_power_w) + 2.0 * f64::from(cores),
+                )
+                .cost(cost);
+                let b = family
+                    .features
+                    .iter()
+                    .fold(b, |b, f| b.feature(*f));
+                b.build()
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_count_and_uniqueness() {
+        let all = specs();
+        assert!(all.len() >= 30, "got {}", all.len());
+        let ids: std::collections::BTreeSet<_> = all.iter().map(|h| h.id.clone()).collect();
+        assert_eq!(ids.len(), all.len());
+    }
+
+    #[test]
+    fn cores_capacity_is_derivable() {
+        for h in specs() {
+            assert_eq!(h.kind, HardwareKind::Server);
+            assert!(h.capacity(&Resource::Cores) >= 12);
+            assert!(h.capacity(&Resource::ServerMemoryGb) >= 96);
+            assert!(h.cost_usd >= 3_000);
+        }
+    }
+
+    #[test]
+    fn core_counts_span_small_to_huge() {
+        let all = specs();
+        let cores: Vec<u64> = all.iter().map(|h| h.capacity(&Resource::Cores)).collect();
+        assert!(cores.iter().any(|&c| c <= 16));
+        assert!(cores.iter().any(|&c| c >= 192));
+    }
+}

@@ -1,0 +1,240 @@
+//! Switch model encodings (Listing 1 style).
+//!
+//! Product families are encoded table-driven: each row is one model with
+//! its port configuration, resources, and feature flags, mirroring the
+//! fields the paper's auto-extraction produced for the Cisco Catalyst
+//! 9500-40X (Listing 1). Feature attribution follows public datasheets at
+//! the granularity the paper endorses (§3.1: hardware properties are easy
+//! to characterize accurately); per-model numbers are representative, not
+//! gospel.
+
+use crate::vocab::feats;
+use netarch_core::prelude::*;
+
+/// One switch model row: identifier, marketing name, port count, per-port
+/// Gbit/s, packet-buffer/table memory (MB), max power (W), MAC table
+/// entries (thousands), unit cost (USD), P4 pipeline stages (0 = fixed
+/// function), feature flags.
+struct Row(
+    &'static str,
+    &'static str,
+    u32,
+    u32,
+    u32,
+    u32,
+    u32,
+    u64,
+    u32,
+    &'static [&'static str],
+);
+
+const COMMODITY: &[&str] = &[feats::ECN, feats::PFC, feats::SFLOW];
+const COMMODITY_MIRROR: &[&str] = &[feats::ECN, feats::PFC, feats::SFLOW, feats::MIRRORING];
+const MODERN: &[&str] = &[
+    feats::ECN,
+    feats::PFC,
+    feats::SFLOW,
+    feats::MIRRORING,
+    feats::FLOWLET_SWITCHING,
+];
+const MODERN_QCN: &[&str] = &[
+    feats::ECN,
+    feats::PFC,
+    feats::QCN,
+    feats::SFLOW,
+    feats::MIRRORING,
+    feats::FLOWLET_SWITCHING,
+];
+const PROGRAMMABLE: &[&str] = &[
+    feats::ECN,
+    feats::PFC,
+    feats::P4,
+    feats::INT,
+    feats::MIRRORING,
+    feats::PER_FLOW_QUEUES,
+    feats::FLOWLET_SWITCHING,
+];
+const DEEP_BUFFER: &[&str] = &[
+    feats::ECN,
+    feats::PFC,
+    feats::DEEP_BUFFERS,
+    feats::SFLOW,
+    feats::MIRRORING,
+];
+
+#[rustfmt::skip]
+const ROWS: &[Row] = &[
+    // The paper's Listing 1 entry, verbatim fields.
+    Row("CISCO_CATALYST_9500_40X", "Cisco Catalyst 9500-40X", 40, 10, 16_384, 950, 64, 24_000, 0, &[feats::ECN]),
+    // Cisco Nexus fixed-function family.
+    Row("CISCO_N9K_C9336C",  "Cisco Nexus 9336C-FX2",     36, 100, 40,  650, 256, 38_000, 0, COMMODITY_MIRROR),
+    Row("CISCO_N9K_C93180YC","Cisco Nexus 93180YC-FX",    48,  25, 40,  440, 256, 21_000, 0, COMMODITY_MIRROR),
+    Row("CISCO_N9K_C9364C",  "Cisco Nexus 9364C",         64, 100, 40,  750, 256, 55_000, 0, COMMODITY_MIRROR),
+    Row("CISCO_N3K_C3172",   "Cisco Nexus 3172PQ",        48,  10, 12,  250, 128,  9_000, 0, COMMODITY),
+    // Broadcom Trident merchant silicon (speeds by generation).
+    Row("TRIDENT2_T48",   "Trident II 48x10G",            48,  10, 12,  300, 128,  8_000, 0, COMMODITY),
+    Row("TRIDENT2_T32",   "Trident II 32x40G",            32,  40, 12,  350, 128, 12_000, 0, COMMODITY),
+    Row("TRIDENT3_T48",   "Trident 3 48x25G",             48,  25, 32,  380, 256, 16_000, 0, MODERN),
+    Row("TRIDENT3_T32",   "Trident 3 32x100G",            32, 100, 32,  420, 256, 24_000, 0, MODERN),
+    Row("TRIDENT4_T48",   "Trident 4 48x100G",            48, 100, 64,  500, 512, 34_000, 0, MODERN_QCN),
+    Row("TRIDENT4_T32",   "Trident 4 32x400G",            32, 400, 64,  600, 512, 48_000, 0, MODERN_QCN),
+    // Broadcom Tomahawk generations.
+    Row("TOMAHAWK1_T32",  "Tomahawk 32x100G",             32, 100, 16,  450, 136, 20_000, 0, COMMODITY),
+    Row("TOMAHAWK2_T64",  "Tomahawk 2 64x100G",           64, 100, 42,  600, 136, 30_000, 0, COMMODITY_MIRROR),
+    Row("TOMAHAWK3_T32",  "Tomahawk 3 32x400G",           32, 400, 64,  700, 136, 45_000, 0, MODERN),
+    Row("TOMAHAWK4_T64",  "Tomahawk 4 64x400G",           64, 400, 113, 900, 256, 65_000, 0, MODERN_QCN),
+    Row("TOMAHAWK5_T64",  "Tomahawk 5 64x800G",           64, 800, 165, 1100, 256, 90_000, 0, MODERN_QCN),
+    // Intel/Barefoot Tofino programmable pipelines.
+    Row("TOFINO_T32",     "Tofino 32x100G",               32, 100, 22,  450, 128, 30_000, 12, PROGRAMMABLE),
+    Row("TOFINO_T64",     "Tofino 64x100G",               64, 100, 22,  550, 128, 42_000, 12, PROGRAMMABLE),
+    Row("TOFINO2_T32",    "Tofino 2 32x400G",             32, 400, 64,  650, 256, 60_000, 20, PROGRAMMABLE),
+    Row("TOFINO2_T64",    "Tofino 2 64x200G",             64, 200, 64,  650, 256, 55_000, 20, PROGRAMMABLE),
+    // Arista platforms (7280R = deep buffer).
+    Row("ARISTA_7050X3",  "Arista 7050X3 48x25G",         48,  25, 32,  400, 288, 18_000, 0, MODERN),
+    Row("ARISTA_7060X4",  "Arista 7060X4 32x400G",        32, 400, 64,  550, 288, 40_000, 0, MODERN),
+    Row("ARISTA_7170",    "Arista 7170 64x100G",          64, 100, 22,  600, 128, 45_000, 12, PROGRAMMABLE),
+    Row("ARISTA_7280R",   "Arista 7280R 48x100G",         48, 100, 8_192, 800, 512, 70_000, 0, DEEP_BUFFER),
+    Row("ARISTA_7280R3",  "Arista 7280R3 48x400G",        48, 400, 16_384, 950, 512, 95_000, 0, DEEP_BUFFER),
+    // Mellanox/NVIDIA Spectrum.
+    Row("SPECTRUM_SN2700","Spectrum SN2700 32x100G",      32, 100, 42,  400, 176, 22_000, 0, MODERN_QCN),
+    Row("SPECTRUM2_SN3700","Spectrum-2 SN3700 32x200G",   32, 200, 42,  450, 512, 32_000, 0, MODERN_QCN),
+    Row("SPECTRUM3_SN4700","Spectrum-3 SN4700 32x400G",   32, 400, 64,  550, 512, 45_000, 0, MODERN_QCN),
+    Row("SPECTRUM4_SN5600","Spectrum-4 SN5600 64x800G",   64, 800, 160, 800, 512, 85_000, 0, MODERN_QCN),
+    // Juniper QFX.
+    Row("JUNIPER_QFX5100", "Juniper QFX5100 48x10G",      48,  10, 12,  350, 288, 10_000, 0, COMMODITY),
+    Row("JUNIPER_QFX5200", "Juniper QFX5200 32x100G",     32, 100, 16,  450, 288, 24_000, 0, COMMODITY_MIRROR),
+    Row("JUNIPER_QFX5700", "Juniper QFX5700 32x400G",     32, 400, 64,  650, 512, 50_000, 0, MODERN),
+    // Whitebox / SONiC.
+    Row("EDGECORE_AS7712", "Edgecore AS7712 32x100G",     32, 100, 16,  400, 136, 14_000, 0, COMMODITY),
+    Row("EDGECORE_AS9716", "Edgecore AS9716 32x400G",     32, 400, 64,  700, 256, 35_000, 0, MODERN),
+    Row("WEDGE100",        "Facebook Wedge 100 32x100G",  32, 100, 16,  400, 136, 13_000, 0, COMMODITY),
+    Row("WEDGE400",        "Facebook Wedge 400 32x400G",  32, 400, 64,  650, 256, 32_000, 0, MODERN),
+    // CONGA-era custom fabric (leaf/spine pair).
+    Row("ACI_LEAF_9336",   "Cisco ACI leaf (CONGA fabric)", 36, 40, 40, 500, 256, 28_000, 0,
+        &[feats::ECN, feats::PFC, feats::MIRRORING, feats::CONGA_FABRIC, feats::FLOWLET_SWITCHING]),
+    Row("ACI_SPINE_9508",  "Cisco ACI spine (CONGA fabric)", 64, 40, 60, 900, 512, 55_000, 0,
+        &[feats::ECN, feats::PFC, feats::MIRRORING, feats::CONGA_FABRIC]),
+    // More Cisco fixed-function platforms.
+    Row("CISCO_C9300_48",  "Cisco Catalyst 9300 48x1G",     48,   1, 8_192, 350, 32,  6_000, 0, &[feats::ECN]),
+    Row("CISCO_C9400_48",  "Cisco Catalyst 9400 48x10G",    48,  10, 16_384, 900, 64, 18_000, 0, &[feats::ECN]),
+    Row("CISCO_N9K_C93108","Cisco Nexus 93108TC-FX",        48,  10, 40,  420, 256, 14_000, 0, COMMODITY_MIRROR),
+    Row("CISCO_N9K_C9332D","Cisco Nexus 9332D-GX2B",        32, 400, 80,  700, 256, 52_000, 0, COMMODITY_MIRROR),
+    Row("CISCO_N3K_C3548", "Cisco Nexus 3548 (low latency)",48,  10, 18,  300, 64, 16_000, 0, COMMODITY),
+    // More Arista platforms.
+    Row("ARISTA_7010T",    "Arista 7010T 48x1G",            48,   1,  4,  120, 64,  4_000, 0, COMMODITY),
+    Row("ARISTA_7020R",    "Arista 7020R 48x10G",           48,  10, 3_072, 350, 288, 22_000, 0, DEEP_BUFFER),
+    Row("ARISTA_7050X4",   "Arista 7050X4 32x200G",         32, 200, 64,  500, 288, 30_000, 0, MODERN),
+    Row("ARISTA_7060DX5",  "Arista 7060DX5 32x800G",        32, 800, 165, 950, 288, 80_000, 0, MODERN_QCN),
+    Row("ARISTA_7130",     "Arista 7130 (L1/FPGA)",         32,  10, 16,  250, 64, 35_000, 0, &[feats::MIRRORING]),
+    Row("ARISTA_7500R3",   "Arista 7500R3 96x400G chassis", 96, 400, 24_576, 3_000, 512, 220_000, 0, DEEP_BUFFER),
+    // More NVIDIA/Mellanox.
+    Row("SPECTRUM_SN2010", "Spectrum SN2010 18x25G+4x100G", 22,  25, 42,  200, 176, 11_000, 0, MODERN_QCN),
+    Row("SPECTRUM_SN2100", "Spectrum SN2100 16x100G",       16, 100, 42,  250, 176, 15_000, 0, MODERN_QCN),
+    Row("SPECTRUM2_SN3420","Spectrum-2 SN3420 48x25G",      48,  25, 42,  350, 512, 20_000, 0, MODERN_QCN),
+    Row("SPECTRUM3_SN4410","Spectrum-3 SN4410 48x100G",     48, 100, 64,  500, 512, 38_000, 0, MODERN_QCN),
+    // More Juniper.
+    Row("JUNIPER_QFX5110", "Juniper QFX5110 48x10G",        48,  10, 16,  380, 288, 13_000, 0, COMMODITY_MIRROR),
+    Row("JUNIPER_QFX5120", "Juniper QFX5120 48x25G",        48,  25, 32,  420, 288, 19_000, 0, MODERN),
+    Row("JUNIPER_QFX5210", "Juniper QFX5210 64x100G",       64, 100, 42,  650, 288, 38_000, 0, MODERN),
+    Row("JUNIPER_QFX10002","Juniper QFX10002 72x40G (deep)",72,  40, 12_288, 1_100, 512, 85_000, 0, DEEP_BUFFER),
+    // Dell / whitebox.
+    Row("DELL_S4148F",     "Dell S4148F-ON 48x10G",         48,  10, 16,  350, 136,  9_000, 0, COMMODITY),
+    Row("DELL_S5248F",     "Dell S5248F-ON 48x25G",         48,  25, 32,  400, 256, 15_000, 0, MODERN),
+    Row("DELL_Z9332F",     "Dell Z9332F-ON 32x400G",        32, 400, 64,  650, 256, 42_000, 0, MODERN),
+    Row("EDGECORE_AS5812", "Edgecore AS5812 48x10G",        48,  10, 12,  300, 136,  7_000, 0, COMMODITY),
+    Row("EDGECORE_AS7326", "Edgecore AS7326 48x25G",        48,  25, 32,  380, 256, 12_000, 0, MODERN),
+    Row("EDGECORE_WEDGE100BF", "Edgecore Wedge100BF-32X (Tofino)", 32, 100, 22, 450, 128, 26_000, 12, PROGRAMMABLE),
+    Row("CELESTICA_DX010", "Celestica Seastone DX010 32x100G", 32, 100, 16, 400, 136, 12_000, 0, COMMODITY),
+    Row("QUANTA_IX8",      "QuantaMesh IX8 48x25G",         48,  25, 32,  380, 256, 11_000, 0, COMMODITY_MIRROR),
+    // Huawei / H3C.
+    Row("HUAWEI_CE6865",   "Huawei CE6865 48x25G",          48,  25, 42,  400, 256, 14_000, 0, MODERN_QCN),
+    Row("HUAWEI_CE8850",   "Huawei CE8850 32x100G",         32, 100, 42,  500, 512, 26_000, 0, MODERN_QCN),
+    Row("H3C_S6850",       "H3C S6850 48x25G",              48,  25, 42,  400, 256, 13_000, 0, MODERN),
+    // Campus/management-tier and additional fabric models.
+    Row("CISCO_C9200_24",  "Cisco Catalyst 9200 24x1G",     24,   1, 4_096, 125, 16,  2_500, 0, &[]),
+    Row("ARISTA_720XP",    "Arista 720XP 48x1G PoE",        48,   1, 2_048, 600, 64,  5_500, 0, &[feats::ECN]),
+    Row("SN2201_MGMT",     "Spectrum SN2201 48x1G mgmt",    48,   1, 16,  150, 88,  4_000, 0, COMMODITY),
+    Row("TOMAHAWK5_T32",   "Tomahawk 5 32x800G+64x400G",    96, 400, 165, 1_050, 256, 82_000, 0, MODERN_QCN),
+    Row("TRIDENT5_T48",    "Trident 5 48x200G",             48, 200, 113, 700, 512, 55_000, 0, MODERN_QCN),
+    Row("JERICHO2_J48",    "Broadcom Jericho2 48x100G (deep)", 48, 100, 8_192, 900, 512, 75_000, 0, DEEP_BUFFER),
+    Row("RAMON_FABRIC",    "Broadcom Ramon fabric element", 48, 400, 64,  800, 128, 60_000, 0, &[feats::ECN, feats::PFC]),
+    Row("SILICONONE_G100", "Cisco Silicon One 32x400G",     32, 400, 108, 650, 512, 58_000, 0, MODERN_QCN),
+];
+
+/// All switch encodings.
+pub fn specs() -> Vec<HardwareSpec> {
+    ROWS.iter()
+        .map(|Row(id, name, ports, speed, mem_mb, power, mac_k, cost, stages, features)| {
+            let mut b = HardwareSpec::builder(*id, HardwareKind::Switch)
+                .model_name(*name)
+                .numeric("ports", f64::from(*ports))
+                .numeric("port_bandwidth_gbps", f64::from(*speed))
+                .numeric("memory_mb", f64::from(*mem_mb))
+                .numeric("max_power_w", f64::from(*power))
+                .numeric("mac_table_entries", f64::from(*mac_k) * 1000.0)
+                .numeric("qos_classes", 8.0)
+                .cost(*cost);
+            if *stages > 0 {
+                b = b.numeric("p4_stages", f64::from(*stages));
+            }
+            for f in *features {
+                b = b.feature(*f);
+            }
+            b.build()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_count_and_uniqueness() {
+        let all = specs();
+        assert!(all.len() >= 38, "got {}", all.len());
+        let ids: std::collections::BTreeSet<_> = all.iter().map(|h| h.id.clone()).collect();
+        assert_eq!(ids.len(), all.len());
+        for h in &all {
+            assert_eq!(h.kind, HardwareKind::Switch);
+            assert!(h.numeric("ports").unwrap() > 0.0);
+            assert!(h.cost_usd > 0);
+        }
+    }
+
+    #[test]
+    fn listing_1_catalyst_matches_the_paper() {
+        let all = specs();
+        let c = all
+            .iter()
+            .find(|h| h.id.as_str() == "CISCO_CATALYST_9500_40X")
+            .unwrap();
+        assert_eq!(c.model_name, "Cisco Catalyst 9500-40X");
+        assert_eq!(c.numeric("port_bandwidth_gbps"), Some(10.0));
+        assert_eq!(c.numeric("max_power_w"), Some(950.0));
+        assert_eq!(c.numeric("ports"), Some(40.0));
+        assert_eq!(c.numeric("memory_mb"), Some(16_384.0)); // 16 GB
+        assert_eq!(c.numeric("mac_table_entries"), Some(64_000.0));
+        assert!(c.has_feature(&Feature::new(feats::ECN)));
+        assert!(!c.has_feature(&Feature::new(feats::P4))); // "P4 Supported?": "No"
+        assert_eq!(c.numeric("p4_stages"), None); // "N/A"
+    }
+
+    #[test]
+    fn programmable_switches_expose_stages() {
+        let all = specs();
+        for h in &all {
+            let p4 = h.has_feature(&Feature::new(feats::P4));
+            let stages = h.numeric("p4_stages").unwrap_or(0.0);
+            assert_eq!(p4, stages > 0.0, "{}: P4 flag and stages must agree", h.id);
+        }
+    }
+
+    #[test]
+    fn qcn_and_deep_buffer_models_exist() {
+        let all = specs();
+        assert!(all.iter().any(|h| h.has_feature(&Feature::new(feats::QCN))));
+        assert!(all.iter().any(|h| h.has_feature(&Feature::new(feats::DEEP_BUFFERS))));
+        assert!(all.iter().any(|h| h.has_feature(&Feature::new(feats::CONGA_FABRIC))));
+    }
+}

@@ -1,0 +1,158 @@
+//! Load balancing encodings.
+//!
+//! The §2.3 chain is encoded faithfully: ECMP can leave load imbalanced
+//! (it sits at the bottom of the quality order), packet spraying fixes
+//! that but "requires larger reorder buffers at NICs". Fabric schemes
+//! (CONGA/HULA/DRILL/LetFlow) need specific switch support. Maglev and
+//! Katran are *service* (L4) load balancers — a different capability —
+//! and provision edge compute, which the edge firewall can then reuse
+//! (§1).
+
+use crate::vocab::{caps, feats, props};
+use netarch_core::prelude::*;
+
+fn lb(id: &str) -> netarch_core::component::SystemSpecBuilder {
+    SystemSpec::builder(id, Category::LoadBalancer)
+}
+
+/// All load balancer encodings.
+pub fn systems() -> Vec<SystemSpec> {
+    vec![
+        lb("ECMP")
+            .name("ECMP")
+            .solves(caps::LOAD_BALANCING)
+            .cost(0)
+            .notes("Per-flow hashing; prone to imbalance under elephants (§2.3).")
+            .build(),
+        lb("WCMP")
+            .name("WCMP")
+            .solves(caps::LOAD_BALANCING)
+            .consumes(Resource::SwitchMemoryMb, AmountExpr::constant(8))
+            .cost(300)
+            .notes("Weighted ECMP; needs larger multipath group tables.")
+            .build(),
+        lb("VLB")
+            .name("Valiant load balancing")
+            .solves(caps::LOAD_BALANCING)
+            .cost(0)
+            .notes("Two-hop randomization; balanced but adds path stretch.")
+            .build(),
+        lb("PACKET_SPRAY")
+            .name("Packet spraying")
+            .solves(caps::LOAD_BALANCING)
+            .requires_cited(
+                "spray-needs-nic-reorder-buffers",
+                Condition::nics_have(feats::REORDER_BUFFER),
+                "paper §2.3 (packet spraying requires larger reorder buffers at NICs)",
+            )
+            .cost(200)
+            .notes("Per-packet multipath; reordering absorbed at the NIC.")
+            .build(),
+        lb("LETFLOW")
+            .name("LetFlow")
+            .solves(caps::LOAD_BALANCING)
+            .requires("letflow-needs-flowlet-switching", Condition::switches_have(feats::FLOWLET_SWITCHING))
+            .cost(400)
+            .notes("Flowlet rehashing in the fabric.")
+            .build(),
+        lb("CONGA")
+            .name("CONGA")
+            .solves(caps::LOAD_BALANCING)
+            .requires_cited(
+                "conga-needs-fabric-asic",
+                Condition::switches_have(feats::CONGA_FABRIC),
+                "Alizadeh et al., SIGCOMM 2014 (custom leaf-spine ASIC)",
+            )
+            .cost(2_000)
+            .notes("Congestion-aware flowlet routing; custom fabric silicon.")
+            .build(),
+        lb("HULA")
+            .name("HULA")
+            .solves(caps::LOAD_BALANCING)
+            .requires("hula-needs-p4", Condition::switches_have(feats::P4))
+            .consumes(Resource::P4Stages, AmountExpr::constant(2))
+            .requires(
+                "hula-research-prototype",
+                Condition::not(Condition::workload(props::PRODUCTION_ONLY)),
+            )
+            .cost(800)
+            .notes("Programmable-switch distance-vector utilization probes.")
+            .build(),
+        lb("DRILL")
+            .name("DRILL")
+            .solves(caps::LOAD_BALANCING)
+            .requires("drill-needs-queue-depth-asic", Condition::switches_have(feats::PER_FLOW_QUEUES))
+            .requires(
+                "drill-research-prototype",
+                Condition::not(Condition::workload(props::PRODUCTION_ONLY)),
+            )
+            .cost(800)
+            .notes("Per-packet local decisions from queue depths.")
+            .build(),
+        lb("MAGLEV")
+            .name("Maglev")
+            .solves(caps::L4_LOAD_BALANCING)
+            .consumes(Resource::Cores, AmountExpr::constant(16))
+            .provides(feats::EDGE_PROVISIONED)
+            .cost(4_000)
+            .notes("Software L4 LB with consistent hashing; provisions edge compute (§1).")
+            .build(),
+        lb("KATRAN")
+            .name("Katran")
+            .solves(caps::L4_LOAD_BALANCING)
+            .requires("katran-needs-xdp-nic", Condition::nics_have(feats::XDP))
+            .consumes(Resource::Cores, AmountExpr::constant(8))
+            .provides(feats::EDGE_PROVISIONED)
+            .cost(1_000)
+            .notes("XDP-based L4 LB; cheaper per packet than userspace LBs.")
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_load_balancers() {
+        assert_eq!(systems().len(), 10);
+    }
+
+    #[test]
+    fn packet_spray_needs_reorder_buffers() {
+        let all = systems();
+        let spray = all.iter().find(|s| s.id.as_str() == "PACKET_SPRAY").unwrap();
+        assert!(spray
+            .requires
+            .iter()
+            .any(|r| r.condition == Condition::nics_have(feats::REORDER_BUFFER)));
+    }
+
+    #[test]
+    fn l4_lbs_provision_the_edge() {
+        let all = systems();
+        for id in ["MAGLEV", "KATRAN"] {
+            let s = all.iter().find(|s| s.id.as_str() == id).unwrap();
+            assert!(s.provides.contains(&Feature::new(feats::EDGE_PROVISIONED)), "{id}");
+            assert!(s.solves(&Capability::new(caps::L4_LOAD_BALANCING)));
+        }
+    }
+
+    #[test]
+    fn fabric_lbs_need_switch_support() {
+        let all = systems();
+        for (id, feature) in [
+            ("LETFLOW", feats::FLOWLET_SWITCHING),
+            ("CONGA", feats::CONGA_FABRIC),
+            ("HULA", feats::P4),
+        ] {
+            let s = all.iter().find(|s| s.id.as_str() == id).unwrap();
+            assert!(
+                s.requires
+                    .iter()
+                    .any(|r| r.condition == Condition::switches_have(feature)),
+                "{id} should require switches.have({feature})"
+            );
+        }
+    }
+}

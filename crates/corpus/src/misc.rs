@@ -1,0 +1,43 @@
+//! Miscellaneous systems outside the paper's seven core categories,
+//! needed by the §5.1 queries (CXL memory pooling).
+
+use crate::vocab::feats;
+use netarch_core::prelude::*;
+
+/// Extra systems: memory pooling (query 3 of §5.1).
+pub fn systems() -> Vec<SystemSpec> {
+    vec![
+        SystemSpec::builder("CXL_POOL", Category::Custom("memory-pooling".into()))
+            .name("CXL memory pooling")
+            .solves("memory_pooling")
+            .requires(
+                "cxl-needs-cxl-servers",
+                Condition::ServerFeature(Feature::new(feats::CXL)),
+            )
+            .consumes(Resource::Cores, AmountExpr::constant(4))
+            .cost(12_000)
+            .notes("Pools far memory across hosts; only on CXL-capable platforms (§5.1 q3).")
+            .build(),
+        SystemSpec::builder("LOCAL_DRAM_ONLY", Category::Custom("memory-pooling".into()))
+            .name("Local DRAM only (no pooling)")
+            .solves("memory_provisioning")
+            .cost(0)
+            .notes("Status quo: overprovision DRAM per host.")
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cxl_requires_capable_servers() {
+        let all = systems();
+        let cxl = all.iter().find(|s| s.id.as_str() == "CXL_POOL").unwrap();
+        assert!(cxl.requires.iter().any(|r| matches!(
+            &r.condition,
+            Condition::ServerFeature(f) if f.as_str() == feats::CXL
+        )));
+    }
+}

@@ -1,0 +1,179 @@
+//! Network monitoring encodings.
+//!
+//! Listing 2 is reproduced verbatim for SIMON (capture_delays +
+//! detect_queue_length; NIC timestamps; cores ∝ flows). §2.3 adds that
+//! Simon wants SmartNICs — modeled as a SmartNIC-capacity demand, which
+//! also captures the paper's marginal-cost observation: once SmartNICs are
+//! in the inventory for Simon, other SmartNIC consumers share them.
+//! Sonata and Marple consume programmable-switch pipeline stages.
+
+use crate::vocab::{caps, feats};
+use netarch_core::prelude::*;
+
+fn mon(id: &str) -> netarch_core::component::SystemSpecBuilder {
+    SystemSpec::builder(id, Category::Monitoring)
+}
+
+/// Listing 2's CPU_FACTOR: one collector core per 2 000 concurrent flows
+/// (corpus assumption; the paper leaves the constant symbolic).
+pub const SIMON_CPU_FACTOR: f64 = 0.0005;
+
+/// All monitoring encodings.
+pub fn systems() -> Vec<SystemSpec> {
+    vec![
+        mon("SIMON")
+            .name("SIMON")
+            .solves(caps::CAPTURE_DELAYS)
+            .solves(caps::DETECT_QUEUE_LENGTH)
+            .requires_cited(
+                "simon-needs-nic-timestamps",
+                Condition::nics_have(feats::NIC_TIMESTAMPS),
+                "Geng et al., NSDI 2019; paper Listing 2",
+            )
+            .consumes(
+                Resource::Cores,
+                AmountExpr::scaled(crate::vocab::params::NUM_FLOWS, SIMON_CPU_FACTOR),
+            )
+            .consumes(Resource::SmartNicCapacity, AmountExpr::constant(20))
+            .cost(1_500)
+            .notes("Reconstructs queue lengths/delays from host timestamps (Listing 2).")
+            .build(),
+        mon("PINGMESH")
+            .name("Pingmesh")
+            .solves(caps::REACHABILITY_MONITORING)
+            .solves(caps::CAPTURE_DELAYS)
+            .consumes(Resource::Cores, AmountExpr::constant(2))
+            .cost(200)
+            .notes("Always-on ping matrix; coarse but trivially deployable.")
+            .build(),
+        mon("SONATA")
+            .name("Sonata")
+            .solves(caps::TELEMETRY_QUERIES)
+            .solves(caps::DETECT_QUEUE_LENGTH)
+            .requires_cited(
+                "sonata-needs-p4-switches",
+                Condition::switches_have(feats::P4),
+                "Gupta et al., SIGCOMM 2018",
+            )
+            .consumes(Resource::P4Stages, AmountExpr::constant(4))
+            .consumes(Resource::Cores, AmountExpr::constant(8))
+            .cost(2_000)
+            .notes("Query-driven telemetry split across switch and stream processor.")
+            .build(),
+        mon("MARPLE")
+            .name("Marple")
+            .solves(caps::TELEMETRY_QUERIES)
+            .solves(caps::DETECT_QUEUE_LENGTH)
+            .requires_cited(
+                "marple-needs-p4-switches",
+                Condition::switches_have(feats::P4),
+                "Narayana et al., SIGCOMM 2017",
+            )
+            .consumes(Resource::P4Stages, AmountExpr::constant(3))
+            .consumes(Resource::SwitchMemoryMb, AmountExpr::constant(32))
+            .cost(1_500)
+            .notes("Language-directed switch telemetry with host backing store.")
+            .build(),
+        mon("INT_COLLECTOR")
+            .name("INT telemetry collector")
+            .solves(caps::DETECT_QUEUE_LENGTH)
+            .solves(caps::CAPTURE_DELAYS)
+            .requires(
+                "int-collector-needs-int-switches",
+                Condition::switches_have(feats::INT),
+            )
+            .consumes(Resource::Cores, AmountExpr::constant(6))
+            .cost(800)
+            .notes("Per-hop queue depth from in-band telemetry headers.")
+            .build(),
+        mon("EVERFLOW")
+            .name("Everflow")
+            .solves(caps::REACHABILITY_MONITORING)
+            .solves(caps::TELEMETRY_QUERIES)
+            .requires(
+                "everflow-needs-mirroring-switches",
+                Condition::switches_have(feats::MIRRORING),
+            )
+            .consumes(Resource::Cores, AmountExpr::constant(12))
+            .cost(1_200)
+            .notes("Match-and-mirror packet tracing with commodity switches.")
+            .build(),
+        mon("NETFLOW")
+            .name("NetFlow/IPFIX")
+            .solves(caps::REACHABILITY_MONITORING)
+            .consumes(Resource::Cores, AmountExpr::constant(2))
+            .consumes(Resource::SwitchMemoryMb, AmountExpr::constant(64))
+            .cost(100)
+            .notes("Flow-record export; per-flow switch cache.")
+            .build(),
+        mon("SFLOW_MON")
+            .name("sFlow")
+            .solves(caps::REACHABILITY_MONITORING)
+            .requires("sflow-needs-switch-support", Condition::switches_have(feats::SFLOW))
+            .consumes(Resource::Cores, AmountExpr::constant(1))
+            .cost(100)
+            .notes("Sampled datagram export; negligible switch state.")
+            .build(),
+        mon("LANZ")
+            .name("LANZ queue-length streaming")
+            .solves(caps::DETECT_QUEUE_LENGTH)
+            .requires("lanz-needs-mirroring", Condition::switches_have(feats::MIRRORING))
+            .consumes(Resource::Cores, AmountExpr::constant(1))
+            .cost(400)
+            .notes("Vendor microburst/queue telemetry stream.")
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_monitoring_systems() {
+        let all = systems();
+        assert_eq!(all.len(), 9);
+        for s in &all {
+            assert_eq!(s.category, Category::Monitoring);
+        }
+    }
+
+    #[test]
+    fn simon_matches_listing_2() {
+        let all = systems();
+        let simon = all.iter().find(|s| s.id.as_str() == "SIMON").unwrap();
+        assert!(simon.solves(&Capability::new(caps::CAPTURE_DELAYS)));
+        assert!(simon.solves(&Capability::new(caps::DETECT_QUEUE_LENGTH)));
+        assert!(simon
+            .requires
+            .iter()
+            .any(|r| r.condition == Condition::nics_have(feats::NIC_TIMESTAMPS)));
+        let cores = simon
+            .resources
+            .iter()
+            .find(|d| d.resource == Resource::Cores)
+            .expect("cores demand");
+        assert_eq!(
+            cores.amount,
+            AmountExpr::scaled("num_flows", SIMON_CPU_FACTOR)
+        );
+    }
+
+    #[test]
+    fn sonata_consumes_p4_stages() {
+        let all = systems();
+        let sonata = all.iter().find(|s| s.id.as_str() == "SONATA").unwrap();
+        assert!(sonata.resources.iter().any(|d| d.resource == Resource::P4Stages));
+        assert!(sonata.requires.iter().any(|r| r.condition == Condition::switches_have(feats::P4)));
+    }
+
+    #[test]
+    fn queue_length_has_multiple_providers() {
+        let providers: Vec<String> = systems()
+            .iter()
+            .filter(|s| s.solves(&Capability::new(caps::DETECT_QUEUE_LENGTH)))
+            .map(|s| s.id.as_str().to_string())
+            .collect();
+        assert!(providers.len() >= 4, "{providers:?}");
+    }
+}

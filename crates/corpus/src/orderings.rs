@@ -1,0 +1,270 @@
+//! Preference orderings — Figure 1 and the paper's other rules-of-thumb.
+//!
+//! The Figure 1 reconstruction (network stacks over throughput /
+//! isolation / app-modification) follows the paper's text precisely where
+//! it speaks and is conservative elsewhere:
+//!
+//! * "Linux is usually sufficiently performant at low link rates
+//!   (< 40 Gbps)" → NetChannel ≈ Linux below 40 G, ≻ above (§3.1, §2.3);
+//! * "Snap performs better when using Pony, using Pony requires
+//!   application modification" → Pony engine ≻ TCP engine on throughput,
+//!   ≺ on app-compatibility (§3.1);
+//! * "Shenango offers low latencies but less process isolation" (§2.3);
+//! * deliberately **no** isolation edge between Shenango and Demikernel —
+//!   "we couldn't find a comparison in the literature" (§3.1).
+//!
+//! Listing 2's monitoring edges (Simon ≻ Pingmesh on quality, Pingmesh ≻
+//! Simon on deployment ease) and the §2.3 load-balancing / tail-latency
+//! rules round out the set.
+
+use crate::vocab::{params, props};
+use netarch_core::prelude::*;
+
+/// At-or-above the Figure 1 link-speed threshold.
+fn fast_links() -> Condition {
+    Condition::param(params::LINK_SPEED_GBPS, CmpOp::Ge, 40.0)
+}
+
+/// Below the Figure 1 link-speed threshold.
+fn slow_links() -> Condition {
+    Condition::param(params::LINK_SPEED_GBPS, CmpOp::Lt, 40.0)
+}
+
+/// All ordering edges of the corpus.
+pub fn edges() -> Vec<OrderingEdge> {
+    let mut out = Vec::new();
+    let t = Dimension::Throughput;
+    let iso = Dimension::Isolation;
+    let app = Dimension::AppCompatibility;
+    let lat = Dimension::Latency;
+    let tail = Dimension::TailLatency;
+    let monq = Dimension::MonitoringQuality;
+    let ease = Dimension::DeploymentEase;
+    let lbq = Dimension::LoadBalancingQuality;
+    let cpu = Dimension::CpuEfficiency;
+
+    // ---- Figure 1: throughput (yellow) ----
+    out.extend([
+        OrderingEdge::strict("NETCHANNEL", "LINUX", t.clone())
+            .when(fast_links())
+            .cited("Cai et al. 2022; paper Figure 1 (load ≥ 40 Gbps)"),
+        OrderingEdge::equal("NETCHANNEL", "LINUX", t.clone())
+            .when(slow_links())
+            .cited("paper §3.1: Linux sufficient at low link rates"),
+        OrderingEdge::strict("SNAP_PONY", "SNAP_TCP", t.clone())
+            .cited("Marty et al. 2019; paper Figure 1 (Pony > TCP engine)"),
+        OrderingEdge::strict("SNAP_TCP", "LINUX", t.clone())
+            .when(fast_links())
+            .cited("Marty et al. 2019"),
+        OrderingEdge::strict("ZYGOS", "LINUX", t.clone()).cited("Prekas et al. 2017"),
+        OrderingEdge::strict("SHENANGO", "LINUX", t.clone()).cited("Ousterhout et al. 2019"),
+        OrderingEdge::strict("DEMIKERNEL", "LINUX", t.clone()).cited("Zhang et al. 2021"),
+        OrderingEdge::strict("CALADAN", "SHENANGO", t.clone()).cited("Fried et al. 2020"),
+    ]);
+
+    // ---- Figure 1: isolation (red) ----
+    out.extend([
+        OrderingEdge::strict("LINUX", "SHENANGO", iso.clone())
+            .cited("paper §2.3: Shenango offers less process isolation"),
+        OrderingEdge::strict("SNAP_TCP", "SHENANGO", iso.clone())
+            .cited("Snap's microkernel isolates engines from apps"),
+        OrderingEdge::equal("SNAP_TCP", "SNAP_PONY", iso.clone()),
+        OrderingEdge::strict("LINUX", "ZYGOS", iso.clone()),
+        OrderingEdge::strict("LINUX", "MTCP", iso.clone()),
+        // Intentionally ABSENT: SHENANGO vs DEMIKERNEL isolation (§3.1).
+    ]);
+
+    // ---- Figure 1: application modification (blue; higher = fewer
+    //      modifications needed) ----
+    out.extend([
+        OrderingEdge::strict("LINUX", "SNAP_PONY", app.clone())
+            .cited("paper §3.1: Pony requires application modification"),
+        OrderingEdge::strict("SNAP_TCP", "SNAP_PONY", app.clone())
+            .cited("paper Figure 1: If (Pony enabled) > If (TCP enabled)"),
+        OrderingEdge::equal("LINUX", "SNAP_TCP", app.clone()),
+        OrderingEdge::strict("LINUX", "DEMIKERNEL", app.clone()),
+        OrderingEdge::strict("LINUX", "ZYGOS", app.clone()),
+        OrderingEdge::strict("LINUX", "MTCP", app.clone()),
+        OrderingEdge::strict("LINUX", "IX", app.clone()),
+        OrderingEdge::strict("ONLOAD", "MTCP", app.clone())
+            .cited("Onload is binary-compatible with sockets apps"),
+    ]);
+
+    // ---- Stack latency / CPU efficiency (paper §2.3 narrative) ----
+    out.extend([
+        OrderingEdge::strict("SHENANGO", "LINUX", lat.clone()).cited("Ousterhout et al. 2019"),
+        OrderingEdge::strict("CALADAN", "LINUX", lat.clone()),
+        OrderingEdge::strict("ZYGOS", "LINUX", lat.clone()),
+        OrderingEdge::strict("DEMIKERNEL", "LINUX", lat.clone()),
+        OrderingEdge::strict("SNAP_PONY", "LINUX", lat.clone()),
+        OrderingEdge::strict("SHENANGO", "SNAP_TCP", cpu.clone())
+            .cited("Shenango's core reallocation beats static provisioning"),
+        OrderingEdge::strict("SNAP_TCP", "LINUX", cpu.clone()),
+    ]);
+
+    // ---- Listing 2: monitoring ----
+    out.extend([
+        OrderingEdge::strict("SIMON", "PINGMESH", monq.clone())
+            .cited("paper Listing 2: Ordering(SIMON, monitoring, better_than = PINGMESH)"),
+        OrderingEdge::strict("PINGMESH", "SIMON", ease.clone())
+            .cited("paper Listing 2: Ordering(PINGMESH, deployment_ease, better_than = SIMON)"),
+        OrderingEdge::strict("SONATA", "NETFLOW", monq.clone()),
+        OrderingEdge::strict("MARPLE", "NETFLOW", monq.clone()),
+        OrderingEdge::strict("INT_COLLECTOR", "PINGMESH", monq.clone()),
+        OrderingEdge::strict("EVERFLOW", "NETFLOW", monq.clone()),
+        OrderingEdge::strict("NETFLOW", "SFLOW_MON", monq.clone()),
+        OrderingEdge::strict("SFLOW_MON", "SONATA", ease.clone()),
+        OrderingEdge::strict("NETFLOW", "SONATA", ease.clone()),
+        OrderingEdge::strict("PINGMESH", "SONATA", ease.clone()),
+        OrderingEdge::strict("PINGMESH", "MARPLE", ease.clone()),
+    ]);
+
+    // ---- Load balancing quality (§2.3: ECMP imbalance → spraying) ----
+    out.extend([
+        OrderingEdge::strict("PACKET_SPRAY", "ECMP", lbq.clone())
+            .cited("paper §2.3: ECMP load imbalance; spraying instead"),
+        OrderingEdge::strict("LETFLOW", "ECMP", lbq.clone()),
+        OrderingEdge::strict("CONGA", "LETFLOW", lbq.clone()).cited("Alizadeh et al. 2014"),
+        OrderingEdge::strict("CONGA", "PACKET_SPRAY", lbq.clone()),
+        OrderingEdge::strict("HULA", "PACKET_SPRAY", lbq.clone()),
+        OrderingEdge::strict("DRILL", "PACKET_SPRAY", lbq.clone()),
+        OrderingEdge::strict("WCMP", "ECMP", lbq.clone()),
+        OrderingEdge::equal("VLB", "ECMP", lbq.clone()),
+        OrderingEdge::strict("ECMP", "PACKET_SPRAY", ease.clone()),
+        OrderingEdge::strict("ECMP", "CONGA", ease.clone()),
+    ]);
+
+    // ---- Congestion control: latency & tail latency ----
+    out.extend([
+        OrderingEdge::strict("DCTCP", "CUBIC", lat.clone())
+            .cited("Alizadeh et al. 2010")
+            .when(Condition::workload(props::DC_FLOWS)),
+        OrderingEdge::strict("SWIFT", "DCTCP", lat.clone()).cited("Kumar et al. 2020"),
+        OrderingEdge::strict("TIMELY", "DCTCP", lat.clone()).cited("Mittal et al. 2015"),
+        OrderingEdge::strict("HPCC", "DCTCP", tail.clone()).cited("Li et al. 2019"),
+        OrderingEdge::strict("SWIFT", "TIMELY", tail.clone())
+            .cited("Kumar et al. 2020 (Swift supersedes Timely at Google)"),
+        OrderingEdge::strict("BFC", "HPCC", tail.clone()).cited("Goyal et al. 2022"),
+        OrderingEdge::strict("ANNULUS", "CUBIC", tail.clone())
+            .when(Condition::workload(props::WAN_TRAFFIC))
+            .cited("Saeed et al. 2020; paper §2.3: Annulus improves tail latency"),
+        OrderingEdge::strict("CUBIC", "RENO", t.clone()).cited("Ha et al. 2008"),
+        OrderingEdge::strict("BBR", "CUBIC", t.clone())
+            .when(Condition::workload(props::WAN_TRAFFIC)),
+        OrderingEdge::strict("FASTPASS", "DCTCP", tail.clone())
+            .cited("Perry et al. 2014 (zero-queue)"),
+        // §2.3: QCN-class features degrade alongside virtualization —
+        // a *dynamic* edge conditioned on a virtual switch being deployed.
+        OrderingEdge::strict("SWIFT", "ANNULUS", tail.clone())
+            .when(Condition::CategoryFilled(Category::VirtualSwitch))
+            .cited("paper §2.3: lower performance when QCN used with virtualization features"),
+        // Deployment ease.
+        OrderingEdge::strict("CUBIC", "DCTCP", ease.clone()),
+        OrderingEdge::strict("DCTCP", "HPCC", ease.clone()),
+        OrderingEdge::strict("DCTCP", "BFC", ease.clone()),
+        OrderingEdge::strict("CUBIC", "FASTPASS", ease.clone()),
+    ]);
+
+    // ---- Transports ----
+    out.extend([
+        OrderingEdge::strict("ROCEV2", "TCP", lat.clone()).cited("Guo et al. 2016"),
+        OrderingEdge::strict("ROCEV2", "IWARP", lat.clone()),
+        OrderingEdge::strict("IWARP", "TCP", lat.clone()),
+        OrderingEdge::strict("HOMA_TRANSPORT", "TCP", tail.clone())
+            .when(Condition::workload(props::SHORT_FLOWS))
+            .cited("Montazeri et al. 2018 (short-message tail latency)"),
+        OrderingEdge::strict("TCP", "ROCEV2", ease.clone()),
+        OrderingEdge::strict("TCP", "QUIC", cpu.clone()),
+        OrderingEdge::strict("ROCEV2", "TCP", cpu.clone()),
+    ]);
+
+    // ---- Virtual switches ----
+    out.extend([
+        OrderingEdge::strict("ACCELNET", "OVS", t.clone()).cited("Firestone et al. 2018"),
+        OrderingEdge::strict("ACCELNET", "OVS", cpu.clone()),
+        OrderingEdge::strict("OVS_DPDK", "OVS", t.clone()),
+        OrderingEdge::strict("ANDROMEDA", "OVS", t.clone()).cited("Dalton et al. 2018"),
+        OrderingEdge::strict("SRIOV_PASSTHROUGH", "OVS", lat.clone()),
+        OrderingEdge::strict("OVS", "OVS_DPDK", cpu.clone()),
+        OrderingEdge::strict("OVS", "ACCELNET", ease.clone()),
+        OrderingEdge::strict("OVS", "ANDROMEDA", ease.clone()),
+    ]);
+
+    // ---- Firewalls ----
+    out.extend([
+        OrderingEdge::strict("XDP_FW", "IPTABLES", cpu.clone()),
+        OrderingEdge::strict("NFTABLES", "IPTABLES", cpu.clone()),
+        OrderingEdge::strict("SMARTNIC_FW", "XDP_FW", cpu.clone()),
+        OrderingEdge::strict("HW_FIREWALL", "IPTABLES", t.clone()),
+        OrderingEdge::strict("IPTABLES", "HW_FIREWALL", ease.clone()),
+    ]);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_reference_only_known_dimensions() {
+        // Smoke: every edge builds and the set is non-trivial.
+        let all = edges();
+        assert!(all.len() >= 60, "got {}", all.len());
+    }
+
+    #[test]
+    fn figure1_absence_is_preserved() {
+        // No isolation edge touches both SHENANGO and DEMIKERNEL.
+        let all = edges();
+        let offending = all.iter().any(|e| {
+            e.dimension == Dimension::Isolation
+                && ((e.better.as_str() == "SHENANGO" && e.worse.as_str() == "DEMIKERNEL")
+                    || (e.better.as_str() == "DEMIKERNEL" && e.worse.as_str() == "SHENANGO"))
+        });
+        assert!(!offending, "the paper deliberately leaves this pair incomparable");
+    }
+
+    #[test]
+    fn listing2_monitoring_edges_exact() {
+        let all = edges();
+        assert!(all.iter().any(|e| e.dimension == Dimension::MonitoringQuality
+            && e.better.as_str() == "SIMON"
+            && e.worse.as_str() == "PINGMESH"));
+        assert!(all.iter().any(|e| e.dimension == Dimension::DeploymentEase
+            && e.better.as_str() == "PINGMESH"
+            && e.worse.as_str() == "SIMON"));
+    }
+
+    #[test]
+    fn netchannel_edges_are_speed_conditioned() {
+        let all = edges();
+        let strict = all
+            .iter()
+            .find(|e| {
+                e.kind == EdgeKind::Strict
+                    && e.better.as_str() == "NETCHANNEL"
+                    && e.worse.as_str() == "LINUX"
+            })
+            .unwrap();
+        assert_ne!(strict.condition, Condition::True);
+        let equal = all
+            .iter()
+            .find(|e| {
+                e.kind == EdgeKind::Equal
+                    && e.better.as_str() == "NETCHANNEL"
+                    && e.worse.as_str() == "LINUX"
+            })
+            .unwrap();
+        assert_ne!(equal.condition, Condition::True);
+    }
+
+    #[test]
+    fn dynamic_virtualization_edge_present() {
+        let all = edges();
+        assert!(all.iter().any(|e| {
+            e.condition == Condition::CategoryFilled(Category::VirtualSwitch)
+                && e.dimension == Dimension::TailLatency
+        }));
+    }
+}

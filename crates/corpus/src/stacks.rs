@@ -1,0 +1,214 @@
+//! Network stack encodings (paper Figure 1 plus research stacks).
+//!
+//! Rules are grounded in the paper where it speaks: Linux suffices below
+//! ~40 Gbps (§3.1), NetChannel's benefits appear only at ≥ 40 Gbps (§2.3),
+//! Snap's Pony Express engine outperforms its TCP engine but requires
+//! application modification (§3.1/Figure 1), Shenango needs NICs that
+//! support interrupt-aware polling (§4.2) and a dedicated spin-polling
+//! core (§4.2) while offering less process isolation (§2.3). Research
+//! stacks carry a `production_only` caveat: an architect with a sharp
+//! deadline cannot deploy them (§3.1).
+
+use crate::vocab::{caps, feats, props};
+use netarch_core::prelude::*;
+
+fn stack(id: &str) -> netarch_core::component::SystemSpecBuilder {
+    SystemSpec::builder(id, Category::NetworkStack).solves(caps::HOST_NETWORKING)
+}
+
+/// Requirement shared by research prototypes: not deployable when the
+/// architect demands production-hardened systems only (§3.1's deadline
+/// example).
+fn research_caveat() -> Condition {
+    Condition::not(Condition::workload(props::PRODUCTION_ONLY))
+}
+
+/// All network stack encodings.
+pub fn systems() -> Vec<SystemSpec> {
+    vec![
+        stack("LINUX")
+            .name("Linux kernel stack")
+            .cost(0)
+            .notes("Default choice; sufficient below ~40 Gbps link rates (paper §3.1).")
+            .build(),
+        stack("SNAP_TCP")
+            .name("Snap (TCP engine)")
+            .requires_cited(
+                "snap-needs-dedicated-cores",
+                Condition::True,
+                "Marty et al., SOSP 2019",
+            )
+            .consumes(Resource::Cores, AmountExpr::constant(4))
+            .cost(2_000)
+            .notes("Microkernel host networking, unmodified-app engine.")
+            .build(),
+        stack("SNAP_PONY")
+            .name("Snap (Pony Express engine)")
+            .requires_cited(
+                "pony-needs-app-modification",
+                Condition::workload(props::APPS_MODIFIABLE),
+                "Marty et al., SOSP 2019; paper §3.1",
+            )
+            .consumes(Resource::Cores, AmountExpr::constant(4))
+            .provides(feats::PONY)
+            .cost(2_500)
+            .notes("Pony Express outperforms the TCP engine but applications must be ported.")
+            .build(),
+        stack("NETCHANNEL")
+            .name("NetChannel")
+            .requires_cited(
+                "netchannel-relevant-at-40g",
+                Condition::param(crate::vocab::params::LINK_SPEED_GBPS, CmpOp::Ge, 40.0),
+                "Cai et al., SIGCOMM 2022; paper §2.3",
+            )
+            .requires("netchannel-research-prototype", research_caveat())
+            .consumes(Resource::Cores, AmountExpr::constant(6))
+            .cost(1_000)
+            .notes("Disaggregated kernel stack; only relevant at NIC speeds ≥ 40 Gbit/s.")
+            .build(),
+        stack("SHENANGO")
+            .name("Shenango")
+            .requires_cited(
+                "shenango-needs-interrupt-polling-nic",
+                Condition::nics_have(feats::INTERRUPT_POLLING),
+                "Ousterhout et al., NSDI 2019; paper §4.2",
+            )
+            .requires("shenango-research-prototype", research_caveat())
+            // Dedicated IOKernel spin-polling core (paper §4.2).
+            .consumes(Resource::Cores, AmountExpr::constant(1))
+            .cost(500)
+            .notes("Low latency via a dedicated spin-polling IOKernel core; less isolation.")
+            .build(),
+        stack("DEMIKERNEL")
+            .name("Demikernel")
+            .requires_cited(
+                "demikernel-needs-kernel-bypass-nic",
+                Condition::nics_have(feats::KERNEL_BYPASS),
+                "Zhang et al., SOSP 2021",
+            )
+            .requires("demikernel-needs-app-port", Condition::workload(props::APPS_MODIFIABLE))
+            .requires("demikernel-research-prototype", research_caveat())
+            .consumes(Resource::Cores, AmountExpr::constant(2))
+            .cost(500)
+            .notes("Library OS datapath for microsecond-scale apps.")
+            .build(),
+        stack("ZYGOS")
+            .name("ZygOS")
+            .requires_cited(
+                "zygos-needs-kernel-bypass-nic",
+                Condition::nics_have(feats::KERNEL_BYPASS),
+                "Prekas et al., SOSP 2017",
+            )
+            .requires("zygos-needs-app-port", Condition::workload(props::APPS_MODIFIABLE))
+            .requires("zygos-research-prototype", research_caveat())
+            .consumes(Resource::Cores, AmountExpr::constant(2))
+            .cost(500)
+            .notes("Work-stealing kernel-bypass stack for µs-scale RPCs.")
+            .build(),
+        stack("CALADAN")
+            .name("Caladan")
+            .requires("caladan-needs-kernel-bypass-nic", Condition::nics_have(feats::KERNEL_BYPASS))
+            .requires("caladan-research-prototype", research_caveat())
+            .consumes(Resource::Cores, AmountExpr::constant(1))
+            .cost(500)
+            .notes("Interference-aware core allocation; Shenango lineage.")
+            .build(),
+        stack("MTCP")
+            .name("mTCP")
+            .requires("mtcp-needs-kernel-bypass-nic", Condition::nics_have(feats::KERNEL_BYPASS))
+            .requires("mtcp-needs-app-port", Condition::workload(props::APPS_MODIFIABLE))
+            .requires("mtcp-research-prototype", research_caveat())
+            .consumes(Resource::Cores, AmountExpr::constant(2))
+            .cost(200)
+            .notes("User-level TCP over DPDK/netmap.")
+            .build(),
+        stack("IX")
+            .name("IX")
+            .requires("ix-needs-kernel-bypass-nic", Condition::nics_have(feats::KERNEL_BYPASS))
+            .requires("ix-needs-app-port", Condition::workload(props::APPS_MODIFIABLE))
+            .requires("ix-research-prototype", research_caveat())
+            .consumes(Resource::Cores, AmountExpr::constant(2))
+            .cost(200)
+            .notes("Dataplane OS with adaptive batching.")
+            .build(),
+        stack("TAS")
+            .name("TAS (TCP acceleration service)")
+            .requires("tas-needs-kernel-bypass-nic", Condition::nics_have(feats::KERNEL_BYPASS))
+            .requires("tas-research-prototype", research_caveat())
+            .consumes(Resource::Cores, AmountExpr::constant(2))
+            .cost(300)
+            .notes("Fast-path TCP as a separate service on dedicated cores.")
+            .build(),
+        stack("FSTACK")
+            .name("F-Stack")
+            .requires("fstack-needs-kernel-bypass-nic", Condition::nics_have(feats::KERNEL_BYPASS))
+            .requires("fstack-needs-app-port", Condition::workload(props::APPS_MODIFIABLE))
+            .consumes(Resource::Cores, AmountExpr::constant(2))
+            .cost(100)
+            .notes("FreeBSD stack over DPDK; production use at Tencent.")
+            .build(),
+        stack("ONLOAD")
+            .name("OpenOnload")
+            .requires("onload-needs-kernel-bypass-nic", Condition::nics_have(feats::KERNEL_BYPASS))
+            .consumes(Resource::Cores, AmountExpr::constant(1))
+            .cost(3_000)
+            .notes("Vendor kernel-bypass sockets; binary-compatible with unmodified apps.")
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_stacks_all_solve_host_networking() {
+        let all = systems();
+        assert_eq!(all.len(), 13);
+        for s in &all {
+            assert_eq!(s.category, Category::NetworkStack);
+            assert!(s.solves(&Capability::new(caps::HOST_NETWORKING)), "{}", s.id);
+        }
+    }
+
+    #[test]
+    fn figure1_stacks_present() {
+        let ids: Vec<String> = systems().iter().map(|s| s.id.as_str().to_string()).collect();
+        for required in ["ZYGOS", "LINUX", "SNAP_TCP", "SNAP_PONY", "NETCHANNEL", "SHENANGO", "DEMIKERNEL"] {
+            assert!(ids.contains(&required.to_string()), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn pony_requires_app_modification() {
+        let all = systems();
+        let pony = all.iter().find(|s| s.id.as_str() == "SNAP_PONY").unwrap();
+        assert!(pony
+            .requires
+            .iter()
+            .any(|r| r.condition == Condition::workload(props::APPS_MODIFIABLE)));
+        assert!(pony.provides.contains(&Feature::new(feats::PONY)));
+    }
+
+    #[test]
+    fn netchannel_gated_on_40g() {
+        let all = systems();
+        let nc = all.iter().find(|s| s.id.as_str() == "NETCHANNEL").unwrap();
+        assert!(nc.requires.iter().any(|r| matches!(
+            &r.condition,
+            Condition::Param(name, CmpOp::Ge, v) if name.as_str() == "link_speed_gbps" && *v == 40.0
+        )));
+    }
+
+    #[test]
+    fn shenango_needs_interrupt_polling() {
+        let all = systems();
+        let sh = all.iter().find(|s| s.id.as_str() == "SHENANGO").unwrap();
+        assert!(sh
+            .requires
+            .iter()
+            .any(|r| r.condition == Condition::nics_have(feats::INTERRUPT_POLLING)));
+        // Dedicated spin core.
+        assert!(sh.resources.iter().any(|d| d.resource == Resource::Cores));
+    }
+}

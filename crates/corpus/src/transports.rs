@@ -1,0 +1,130 @@
+//! Transport protocol and L2 address-resolution encodings.
+//!
+//! The §2.2 PFC-deadlock vignette is encoded here: RoCEv2 requires
+//! PFC-capable switches *and* the absence of any flooding-based address
+//! resolution — the rule the paper says "an expert might have anticipated
+//! … and could have encoded: PFC cannot be used with any flooding
+//! algorithms" (§3.4, after Guo et al., SIGCOMM 2016). The L2 category
+//! (Custom) offers flooding or an ARP proxy/SDN directory, so the engine
+//! can both *catch* the deadlock configuration and *synthesize* the fix.
+
+use crate::vocab::{caps, feats, props};
+use netarch_core::prelude::*;
+
+fn tp(id: &str) -> netarch_core::component::SystemSpecBuilder {
+    SystemSpec::builder(id, Category::Transport).solves(caps::TRANSPORT)
+}
+
+fn l2(id: &str) -> netarch_core::component::SystemSpecBuilder {
+    SystemSpec::builder(id, Category::Custom("l2-address-resolution".into()))
+        .solves(caps::ADDRESS_RESOLUTION)
+}
+
+/// All transport and L2 encodings.
+pub fn systems() -> Vec<SystemSpec> {
+    vec![
+        tp("TCP").name("TCP").cost(0).notes("The default reliable transport.").build(),
+        tp("UDP")
+            .name("UDP (app-level reliability)")
+            .cost(0)
+            .notes("Datagram transport; reliability left to the application.")
+            .build(),
+        tp("QUIC")
+            .name("QUIC")
+            .consumes(Resource::Cores, AmountExpr::constant(4))
+            .cost(500)
+            .notes("Userspace encrypted transport; more CPU per byte than TCP.")
+            .build(),
+        tp("ROCEV2")
+            .name("RDMA over Converged Ethernet v2")
+            .requires_cited(
+                "rocev2-needs-rdma-nics",
+                Condition::nics_have(feats::RDMA),
+                "Guo et al., SIGCOMM 2016",
+            )
+            .requires_cited(
+                "rocev2-needs-pfc-switches",
+                Condition::switches_have(feats::PFC),
+                "Guo et al., SIGCOMM 2016",
+            )
+            .requires_cited(
+                "pfc-forbids-flooding",
+                Condition::not(Condition::system("ARP_FLOODING")),
+                "paper §2.2/§3.4: PFC deadlocks under packet flooding (Guo et al. 2016)",
+            )
+            .cost(2_000)
+            .notes("Kernel-bypass RDMA; lossless fabric via PFC, deadlock-prone with flooding.")
+            .build(),
+        tp("IWARP")
+            .name("iWARP")
+            .requires("iwarp-needs-iwarp-nics", Condition::nics_have(feats::IWARP))
+            .cost(2_500)
+            .notes("RDMA over TCP; no lossless fabric requirement, higher latency than RoCE.")
+            .build(),
+        tp("HOMA_TRANSPORT")
+            .name("Homa (message transport)")
+            .consumes(Resource::QosClasses, AmountExpr::constant(4))
+            .requires(
+                "homa-transport-research-prototype",
+                Condition::not(Condition::workload(props::PRODUCTION_ONLY)),
+            )
+            .cost(500)
+            .notes("Receiver-driven message transport over priority queues.")
+            .build(),
+        // --- L2 address resolution (Custom category) ---
+        l2("ARP_FLOODING")
+            .name("Classic ARP flooding")
+            .cost(0)
+            .notes("Broadcast-based resolution; breaks up-down routing invariants (§2.2).")
+            .build(),
+        l2("ARP_PROXY")
+            .name("ARP proxy / SDN directory")
+            .consumes(Resource::Cores, AmountExpr::constant(2))
+            .cost(800)
+            .notes("Directory-based resolution; no flooding, safe with PFC.")
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_transport_layer_systems() {
+        assert_eq!(systems().len(), 8);
+    }
+
+    #[test]
+    fn rocev2_encodes_the_pfc_deadlock_rule() {
+        let all = systems();
+        let roce = all.iter().find(|s| s.id.as_str() == "ROCEV2").unwrap();
+        assert!(roce
+            .requires
+            .iter()
+            .any(|r| r.condition == Condition::not(Condition::system("ARP_FLOODING"))));
+        assert!(roce
+            .requires
+            .iter()
+            .any(|r| r.condition == Condition::switches_have(feats::PFC)));
+        let deadlock_rule = roce
+            .requires
+            .iter()
+            .find(|r| r.label == "pfc-forbids-flooding")
+            .unwrap();
+        assert!(deadlock_rule.citation.as_deref().unwrap().contains("Guo"));
+    }
+
+    #[test]
+    fn l2_category_offers_flooding_and_proxy() {
+        let all = systems();
+        let l2: Vec<&SystemSpec> = all
+            .iter()
+            .filter(|s| s.category == Category::Custom("l2-address-resolution".into()))
+            .collect();
+        assert_eq!(l2.len(), 2);
+        for s in &l2 {
+            assert!(s.solves(&Capability::new(caps::ADDRESS_RESOLUTION)));
+        }
+    }
+}

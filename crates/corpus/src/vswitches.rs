@@ -1,0 +1,105 @@
+//! Virtual switch / network virtualization encodings (§2.3's first role).
+
+use crate::vocab::{caps, feats, props};
+use netarch_core::prelude::*;
+
+fn vs(id: &str) -> netarch_core::component::SystemSpecBuilder {
+    SystemSpec::builder(id, Category::VirtualSwitch).solves(caps::VIRTUALIZATION)
+}
+
+/// All virtual switch encodings.
+pub fn systems() -> Vec<SystemSpec> {
+    vec![
+        vs("OVS")
+            .name("Open vSwitch")
+            .consumes(Resource::Cores, AmountExpr::constant(2))
+            .cost(0)
+            .notes("The simplest choice in the paper's §2.3 starting design.")
+            .build(),
+        vs("OVS_DPDK")
+            .name("Open vSwitch (DPDK datapath)")
+            .requires("ovsdpdk-needs-kernel-bypass-nic", Condition::nics_have(feats::KERNEL_BYPASS))
+            .consumes(Resource::Cores, AmountExpr::constant(6))
+            .cost(500)
+            .notes("Poll-mode datapath: better throughput, dedicated cores.")
+            .build(),
+        vs("ANDROMEDA")
+            .name("Andromeda")
+            .consumes(Resource::Cores, AmountExpr::constant(4))
+            .cost(4_000)
+            .notes("Hierarchical dataplane with hotspot offload (Dalton et al., NSDI 2018).")
+            .build(),
+        vs("VFP")
+            .name("VFP")
+            .consumes(Resource::Cores, AmountExpr::constant(3))
+            .cost(3_000)
+            .notes("Layered match-action host SDN (Firestone, NSDI 2017).")
+            .build(),
+        vs("ACCELNET")
+            .name("AccelNet (FPGA SmartNIC offload)")
+            .requires_cited(
+                "accelnet-needs-fpga-smartnic",
+                Condition::nics_have(feats::SMARTNIC_FPGA),
+                "Firestone et al., NSDI 2018",
+            )
+            .consumes(Resource::SmartNicCapacity, AmountExpr::constant(40))
+            .provides(feats::TUNNEL_OFFLOAD)
+            .cost(5_000)
+            .notes("Hardware-offloaded virtualization (§2.3's hardware-offloaded approach).")
+            .build(),
+        vs("SRIOV_PASSTHROUGH")
+            .name("SR-IOV passthrough")
+            .requires("sriov-needs-sriov-nic", Condition::nics_have(feats::SRIOV))
+            .requires_cited(
+                "sriov-blocks-live-migration",
+                Condition::not(Condition::workload(props::LIVE_MIGRATION)),
+                "VF passthrough pins VMs to hosts",
+            )
+            .cost(0)
+            .notes("Near-native I/O, but bypasses the hypervisor dataplane.")
+            .build(),
+        vs("BESS")
+            .name("BESS")
+            .requires("bess-needs-kernel-bypass-nic", Condition::nics_have(feats::KERNEL_BYPASS))
+            .requires(
+                "bess-research-prototype",
+                Condition::not(Condition::workload(props::PRODUCTION_ONLY)),
+            )
+            .consumes(Resource::Cores, AmountExpr::constant(4))
+            .cost(200)
+            .notes("Modular software switch for NFV pipelines.")
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_virtual_switches() {
+        let all = systems();
+        assert_eq!(all.len(), 7);
+        for s in &all {
+            assert!(s.solves(&Capability::new(caps::VIRTUALIZATION)));
+        }
+    }
+
+    #[test]
+    fn accelnet_provides_tunnel_offload_and_uses_smartnic() {
+        let all = systems();
+        let a = all.iter().find(|s| s.id.as_str() == "ACCELNET").unwrap();
+        assert!(a.provides.contains(&Feature::new(feats::TUNNEL_OFFLOAD)));
+        assert!(a.resources.iter().any(|d| d.resource == Resource::SmartNicCapacity));
+    }
+
+    #[test]
+    fn sriov_excludes_live_migration_workloads() {
+        let all = systems();
+        let s = all.iter().find(|s| s.id.as_str() == "SRIOV_PASSTHROUGH").unwrap();
+        assert!(s
+            .requires
+            .iter()
+            .any(|r| r.condition == Condition::not(Condition::workload(props::LIVE_MIGRATION))));
+    }
+}

@@ -1,0 +1,200 @@
+//! The simulated LLM encoding checker (§4.2).
+//!
+//! §4.2's findings, reproduced as a calibrated detector:
+//!
+//! * "it does a better job in finding faults in the sample encodings that
+//!   we wrote by hand" — **missing conditions** are detected reliably
+//!   (e.g. the missed interrupt-polling requirement for Shenango);
+//! * "LLMs could not always check for the correctness of a condition
+//!   (especially if it's loaded with numbers), but they did a better job
+//!   of checking for the existence of a condition" — **wrong numeric
+//!   values** are detected poorly, while a **missing** numeric condition
+//!   (e.g. no P4-stage requirement at all for Sonata) is flagged.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded defect injected into a candidate encoding (for evaluation) or
+/// found by comparing a candidate against ground truth.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum DefectClass {
+    /// A requirement present in ground truth is absent from the candidate.
+    MissingCondition,
+    /// A requirement exists but its numeric payload is wrong (e.g. wrong
+    /// number of P4 stages).
+    WrongNumericValue,
+    /// A requirement exists but references the wrong feature/system.
+    WrongReference,
+    /// A capability claim the system does not actually have.
+    OverclaimedCapability,
+}
+
+/// Per-class detection probabilities.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckerModel {
+    /// P(flag a missing condition).
+    pub missing_condition: f64,
+    /// P(flag a wrong numeric value).
+    pub wrong_numeric_value: f64,
+    /// P(flag a wrong reference).
+    pub wrong_reference: f64,
+    /// P(flag an overclaimed capability).
+    pub overclaimed_capability: f64,
+    /// P(raise a spurious flag on a correct encoding) — per check.
+    pub false_positive: f64,
+}
+
+impl Default for CheckerModel {
+    fn default() -> CheckerModel {
+        CheckerModel {
+            missing_condition: 0.85,
+            wrong_numeric_value: 0.35,
+            wrong_reference: 0.70,
+            overclaimed_capability: 0.75,
+            false_positive: 0.05,
+        }
+    }
+}
+
+/// Verdict for one checked encoding entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// The checker flagged the entry.
+    Flagged,
+    /// The checker passed the entry.
+    Passed,
+}
+
+/// The simulated checking pass.
+pub struct Checker {
+    model: CheckerModel,
+    rng: StdRng,
+}
+
+impl Checker {
+    /// Creates a checker with the default calibration.
+    pub fn new(seed: u64) -> Checker {
+        Checker::with_model(CheckerModel::default(), seed)
+    }
+
+    /// Creates a checker with an explicit model.
+    pub fn with_model(model: CheckerModel, seed: u64) -> Checker {
+        Checker { model, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Checks one defective entry: does the checker catch it?
+    pub fn check_defect(&mut self, defect: DefectClass) -> Verdict {
+        let p = match defect {
+            DefectClass::MissingCondition => self.model.missing_condition,
+            DefectClass::WrongNumericValue => self.model.wrong_numeric_value,
+            DefectClass::WrongReference => self.model.wrong_reference,
+            DefectClass::OverclaimedCapability => self.model.overclaimed_capability,
+        };
+        if self.rng.gen_bool(p) {
+            Verdict::Flagged
+        } else {
+            Verdict::Passed
+        }
+    }
+
+    /// Checks one *correct* entry: does the checker spuriously flag it?
+    pub fn check_correct(&mut self) -> Verdict {
+        if self.rng.gen_bool(self.model.false_positive) {
+            Verdict::Flagged
+        } else {
+            Verdict::Passed
+        }
+    }
+}
+
+/// Aggregate detection-rate report per defect class.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DetectionReport {
+    /// `(defects_checked, defects_flagged)` per class.
+    pub per_class: std::collections::BTreeMap<String, (usize, usize)>,
+    /// Correct entries checked / spuriously flagged.
+    pub correct_checked: usize,
+    /// Spurious flags raised.
+    pub false_positives: usize,
+}
+
+impl DetectionReport {
+    /// Detection rate for a class, if any were checked.
+    pub fn rate(&self, class: DefectClass) -> Option<f64> {
+        let (total, hit) = self.per_class.get(&format!("{class:?}"))?;
+        (*total > 0).then(|| *hit as f64 / *total as f64)
+    }
+
+    /// Records one checked defect.
+    pub fn record(&mut self, class: DefectClass, verdict: Verdict) {
+        let entry = self.per_class.entry(format!("{class:?}")).or_insert((0, 0));
+        entry.0 += 1;
+        if verdict == Verdict::Flagged {
+            entry.1 += 1;
+        }
+    }
+
+    /// Records one checked correct entry.
+    pub fn record_correct(&mut self, verdict: Verdict) {
+        self.correct_checked += 1;
+        if verdict == Verdict::Flagged {
+            self.false_positives += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_conditions_detected_better_than_wrong_numbers() {
+        let mut checker = Checker::new(3);
+        let mut report = DetectionReport::default();
+        for _ in 0..2000 {
+            report.record(
+                DefectClass::MissingCondition,
+                checker.check_defect(DefectClass::MissingCondition),
+            );
+            report.record(
+                DefectClass::WrongNumericValue,
+                checker.check_defect(DefectClass::WrongNumericValue),
+            );
+        }
+        let missing = report.rate(DefectClass::MissingCondition).unwrap();
+        let wrong = report.rate(DefectClass::WrongNumericValue).unwrap();
+        assert!(
+            missing > wrong + 0.3,
+            "§4.2 gap not reproduced: missing={missing:.2} wrong={wrong:.2}"
+        );
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut checker = Checker::new(5);
+        let mut report = DetectionReport::default();
+        for _ in 0..2000 {
+            report.record_correct(checker.check_correct());
+        }
+        let fp = report.false_positives as f64 / report.correct_checked as f64;
+        assert!(fp < 0.10, "false positive rate {fp:.3}");
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let mut a = Checker::new(9);
+        let mut b = Checker::new(9);
+        for _ in 0..100 {
+            assert_eq!(
+                a.check_defect(DefectClass::WrongReference),
+                b.check_defect(DefectClass::WrongReference)
+            );
+        }
+    }
+
+    #[test]
+    fn rate_none_when_class_unchecked() {
+        let report = DetectionReport::default();
+        assert_eq!(report.rate(DefectClass::MissingCondition), None);
+    }
+}

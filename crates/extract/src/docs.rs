@@ -1,0 +1,274 @@
+//! The synthetic document corpus.
+//!
+//! §4 of the paper feeds two kinds of source material to an LLM: vendor
+//! spec sheets ("highly structured and specific … a crucial factor" in the
+//! 100% extraction accuracy) and research papers ("much more heterogeneous
+//! document formats" that are "written to be largely positive about the
+//! systems they propose"). This module renders both from ground-truth
+//! encodings:
+//!
+//! * [`render_spec_sheet`] — a key/value datasheet, one field per line,
+//!   with absent fields printed as `N/A` (Listing 1's shape);
+//! * [`render_paper_prose`] — templated paper-style sentences where each
+//!   fact appears with positive spin, hedged conditionals, and spelled-out
+//!   numbers; every sentence carries its ground-truth [`Fact`] so the
+//!   extraction *error model* (not a parser) decides what an LLM would
+//!   recover.
+
+use netarch_core::component::{HardwareSpec, SystemSpec};
+use netarch_core::condition::{AmountExpr, Condition};
+
+/// A ground-truth fact embedded in a document sentence.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fact {
+    /// The system solves a capability.
+    Solves(String),
+    /// A plain (unconditional-shape) requirement, e.g. a hardware feature.
+    PlainRequirement {
+        /// The requirement's label in the ground-truth encoding.
+        label: String,
+    },
+    /// A requirement whose applicability is *conditional* — the kind LLMs
+    /// missed in §4.1 (e.g. "Annulus is required only when there is
+    /// competing WAN and DC traffic").
+    ConditionalRequirement {
+        /// The requirement's label in the ground-truth encoding.
+        label: String,
+    },
+    /// A resource quantity ("how much of a resource is needed" — also
+    /// reported as commonly missed in §4.1).
+    ResourceQuantity {
+        /// Resource display name.
+        resource: String,
+        /// The amount expression, stringified.
+        amount: String,
+    },
+    /// A numeric hardware attribute.
+    HardwareNumeric {
+        /// Canonical field key.
+        key: String,
+        /// The value.
+        value: f64,
+    },
+    /// A boolean hardware feature flag.
+    HardwareFeature {
+        /// Feature token.
+        feature: String,
+    },
+}
+
+/// One sentence of a document with its underlying fact.
+#[derive(Clone, Debug)]
+pub struct Sentence {
+    /// The rendered text (what a human or LLM would read).
+    pub text: String,
+    /// The ground truth behind it.
+    pub fact: Fact,
+}
+
+/// A document in the corpus.
+#[derive(Clone, Debug)]
+pub struct Document {
+    /// Which component the document describes.
+    pub subject: String,
+    /// Structured spec sheet or free-form prose.
+    pub kind: DocKind,
+    /// The sentences/lines.
+    pub sentences: Vec<Sentence>,
+}
+
+/// Document genre.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DocKind {
+    /// Vendor datasheet: structured key/value lines.
+    SpecSheet,
+    /// Research-paper prose: heterogeneous, positively spun.
+    PaperProse,
+}
+
+/// Classifies a condition: conditional requirements are those gated on
+/// workload properties, parameters, or other systems — the nuances §4.1
+/// says LLMs miss. Pure hardware-feature conditions read as plain
+/// checklist items.
+fn is_conditional(condition: &Condition) -> bool {
+    match condition {
+        Condition::True
+        | Condition::False
+        | Condition::NicFeature(_)
+        | Condition::SwitchFeature(_)
+        | Condition::ServerFeature(_)
+        | Condition::ProvidedFeature(_) => false,
+        Condition::WorkloadProperty(_)
+        | Condition::Param(..)
+        | Condition::SystemSelected(_)
+        | Condition::CategoryFilled(_) => true,
+        Condition::Not(inner) => is_conditional(inner),
+        Condition::All(parts) | Condition::Any(parts) => parts.iter().any(is_conditional),
+    }
+}
+
+fn amount_text(amount: &AmountExpr) -> String {
+    match amount {
+        AmountExpr::Const(v) => format!("{v}"),
+        AmountExpr::ParamScaled { param, factor } => format!("{factor} x {param}"),
+        AmountExpr::Sum(parts) => parts
+            .iter()
+            .map(amount_text)
+            .collect::<Vec<_>>()
+            .join(" + "),
+    }
+}
+
+/// Renders a vendor spec sheet for a hardware model.
+pub fn render_spec_sheet(spec: &HardwareSpec) -> Document {
+    let mut sentences = Vec::new();
+    for (key, value) in &spec.numeric {
+        sentences.push(Sentence {
+            text: format!("{key}: {value}"),
+            fact: Fact::HardwareNumeric { key: key.clone(), value: *value },
+        });
+    }
+    for feature in &spec.features {
+        sentences.push(Sentence {
+            text: format!("{feature}: Yes"),
+            fact: Fact::HardwareFeature { feature: feature.as_str().to_string() },
+        });
+    }
+    Document {
+        subject: spec.id.as_str().to_string(),
+        kind: DocKind::SpecSheet,
+        sentences,
+    }
+}
+
+/// Renders paper-style prose for a system. Templates rotate
+/// deterministically so the corpus is heterogeneous but reproducible.
+pub fn render_paper_prose(spec: &SystemSpec) -> Document {
+    let mut sentences = Vec::new();
+    let name = &spec.name;
+    for (i, cap) in spec.solves.iter().enumerate() {
+        let text = match i % 3 {
+            0 => format!("{name} delivers state-of-the-art {cap} for modern datacenters."),
+            1 => format!("Our evaluation shows {name} excels at {cap}."),
+            _ => format!("{name} was designed from the ground up for {cap}."),
+        };
+        sentences.push(Sentence { text, fact: Fact::Solves(cap.as_str().to_string()) });
+    }
+    for (i, req) in spec.requires.iter().enumerate() {
+        if is_conditional(&req.condition) {
+            // Hedged, buried qualifier — positive spin hides the caveat.
+            let text = match i % 2 {
+                0 => format!(
+                    "{name} shines in the appropriate deployment regime ({}).",
+                    req.condition
+                ),
+                _ => format!(
+                    "Note that, as with prior systems, {name} assumes {} in practice.",
+                    req.condition
+                ),
+            };
+            sentences.push(Sentence {
+                text,
+                fact: Fact::ConditionalRequirement { label: req.label.clone() },
+            });
+        } else {
+            let text = format!("{name} builds on commodity support for {}.", req.condition);
+            sentences.push(Sentence {
+                text,
+                fact: Fact::PlainRequirement { label: req.label.clone() },
+            });
+        }
+    }
+    for demand in &spec.resources {
+        sentences.push(Sentence {
+            text: format!(
+                "{name}'s footprint is modest: roughly {} of {}.",
+                amount_text(&demand.amount),
+                demand.resource
+            ),
+            fact: Fact::ResourceQuantity {
+                resource: demand.resource.to_string(),
+                amount: amount_text(&demand.amount),
+            },
+        });
+    }
+    Document {
+        subject: spec.id.as_str().to_string(),
+        kind: DocKind::PaperProse,
+        sentences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netarch_core::prelude::*;
+
+    fn sample_system() -> SystemSpec {
+        SystemSpec::builder("ANNULUS", Category::CongestionControl)
+            .name("Annulus")
+            .solves("bandwidth_allocation")
+            .requires("annulus-needs-qcn-switches", Condition::switches_have("QCN"))
+            .requires(
+                "annulus-only-with-competing-wan-traffic",
+                Condition::workload("wan_traffic"),
+            )
+            .consumes(Resource::Cores, AmountExpr::constant(4))
+            .build()
+    }
+
+    #[test]
+    fn spec_sheet_covers_every_field() {
+        let hw = HardwareSpec::builder("SW", HardwareKind::Switch)
+            .numeric("ports", 48.0)
+            .numeric("memory_mb", 32.0)
+            .feature("ECN")
+            .build();
+        let doc = render_spec_sheet(&hw);
+        assert_eq!(doc.kind, DocKind::SpecSheet);
+        assert_eq!(doc.sentences.len(), 3);
+        assert!(doc.sentences.iter().any(|s| s.text == "ports: 48"));
+        assert!(doc.sentences.iter().any(|s| s.text == "ECN: Yes"));
+    }
+
+    #[test]
+    fn prose_separates_plain_and_conditional_requirements() {
+        let doc = render_paper_prose(&sample_system());
+        let conditional: Vec<_> = doc
+            .sentences
+            .iter()
+            .filter(|s| matches!(s.fact, Fact::ConditionalRequirement { .. }))
+            .collect();
+        let plain: Vec<_> = doc
+            .sentences
+            .iter()
+            .filter(|s| matches!(s.fact, Fact::PlainRequirement { .. }))
+            .collect();
+        assert_eq!(conditional.len(), 1, "WAN-traffic gate is conditional");
+        assert_eq!(plain.len(), 1, "QCN feature is a plain checklist item");
+    }
+
+    #[test]
+    fn prose_carries_resource_quantities() {
+        let doc = render_paper_prose(&sample_system());
+        assert!(doc
+            .sentences
+            .iter()
+            .any(|s| matches!(&s.fact, Fact::ResourceQuantity { resource, .. } if resource == "cores")));
+    }
+
+    #[test]
+    fn conditional_classifier() {
+        assert!(!is_conditional(&Condition::switches_have("ECN")));
+        assert!(is_conditional(&Condition::workload("wan_traffic")));
+        assert!(is_conditional(&Condition::param("link_speed_gbps", CmpOp::Ge, 40.0)));
+        assert!(is_conditional(&Condition::all([
+            Condition::switches_have("ECN"),
+            Condition::workload("wan_traffic"),
+        ])));
+        assert!(!is_conditional(&Condition::all([
+            Condition::switches_have("ECN"),
+            Condition::nics_have("RDMA"),
+        ])));
+    }
+}

@@ -1,0 +1,193 @@
+//! Downstream impact of extraction errors (experiment E13).
+//!
+//! §4 measures extraction accuracy *per field*; this module measures what
+//! those errors cost *downstream*: rebuild each system encoding from what
+//! the simulated LLM actually recovered (missed requirements dropped,
+//! corrupted quantities mis-scaled), hand the lossy catalog to the
+//! reasoning engine, and check its designs against the ground-truth
+//! semantics. The result quantifies the paper's warning that "for the
+//! time being, human supervision is necessary" (§4.1): encodings that
+//! look mostly right still produce deployments that violate the missed
+//! caveats.
+
+use crate::docs::{render_paper_prose, Fact};
+use crate::extractor::{Extractor, Prompt};
+use netarch_core::component::SystemSpec;
+use netarch_core::condition::AmountExpr;
+
+/// Degrades one system encoding to what the extractor recovered.
+///
+/// * Missed requirements are dropped entirely.
+/// * Missed resource quantities drop the demand (the extractor "knew a
+///   resource was involved" only if it kept the sentence).
+/// * Unfaithfully extracted quantities are mis-transcribed: scaled down
+///   4× (the optimistic direction — papers undersell costs).
+pub fn degrade_system(spec: &SystemSpec, extractor: &mut Extractor, prompt: Prompt) -> SystemSpec {
+    let doc = render_paper_prose(spec);
+    let extraction = extractor.extract(&doc, prompt);
+    let mut degraded = spec.clone();
+
+    let kept_requirement = |label: &str| {
+        extraction.extracted.iter().any(|e| match &e.fact {
+            Fact::PlainRequirement { label: l } | Fact::ConditionalRequirement { label: l } => {
+                l == label
+            }
+            _ => false,
+        })
+    };
+    degraded.requires.retain(|r| kept_requirement(&r.label));
+
+    let quantity_state = |resource: &str| -> Option<bool> {
+        // Some(faithful) when extracted, None when missed.
+        extraction.extracted.iter().find_map(|e| match &e.fact {
+            Fact::ResourceQuantity { resource: r, .. } if r == resource => Some(e.faithful),
+            _ => None,
+        })
+    };
+    let mut kept_resources = Vec::new();
+    for demand in &degraded.resources {
+        match quantity_state(&demand.resource.to_string()) {
+            None => {} // missed: demand vanishes from the encoding
+            Some(true) => kept_resources.push(demand.clone()),
+            Some(false) => {
+                let mut d = demand.clone();
+                d.amount = scale_down(&d.amount);
+                kept_resources.push(d);
+            }
+        }
+    }
+    degraded.resources = kept_resources;
+
+    // Rarely, a capability claim is missed too (solves recall < 1).
+    let kept_solves = |cap: &str| {
+        extraction
+            .extracted
+            .iter()
+            .any(|e| matches!(&e.fact, Fact::Solves(c) if c == cap))
+    };
+    degraded.solves.retain(|c| kept_solves(c.as_str()));
+    degraded
+}
+
+fn scale_down(amount: &AmountExpr) -> AmountExpr {
+    match amount {
+        AmountExpr::Const(v) => AmountExpr::Const((*v / 4).max(1)),
+        AmountExpr::ParamScaled { param, factor } => AmountExpr::ParamScaled {
+            param: param.clone(),
+            factor: factor / 4.0,
+        },
+        AmountExpr::Sum(parts) => AmountExpr::Sum(parts.iter().map(scale_down).collect()),
+    }
+}
+
+/// Degrades a whole system list with one extractor pass.
+pub fn degrade_systems(
+    systems: &[SystemSpec],
+    prompt: Prompt,
+    seed: u64,
+) -> Vec<SystemSpec> {
+    let mut extractor = Extractor::new(seed);
+    systems
+        .iter()
+        .map(|s| degrade_system(s, &mut extractor, prompt))
+        .collect()
+}
+
+/// Aggregate numbers for the downstream study.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DownstreamReport {
+    /// Extraction seeds evaluated.
+    pub rounds: usize,
+    /// Rounds where the engine (over the lossy catalog) produced a design
+    /// violating ground-truth semantics.
+    pub unsafe_designs: usize,
+    /// Rounds where the lossy catalog made the scenario unsolvable.
+    pub infeasible: usize,
+    /// Rounds where the lossy design happened to satisfy ground truth.
+    pub safe_designs: usize,
+    /// Total ground-truth violations across unsafe designs.
+    pub total_violations: usize,
+}
+
+impl DownstreamReport {
+    /// Fraction of rounds that yielded an unsafe deployment.
+    pub fn unsafe_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        self.unsafe_designs as f64 / self.rounds as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netarch_core::prelude::*;
+
+    fn rich_system() -> SystemSpec {
+        SystemSpec::builder("X", Category::CongestionControl)
+            .solves("bandwidth_allocation")
+            .requires("plain-req", Condition::switches_have("ECN"))
+            .requires("conditional-req", Condition::workload("wan_traffic"))
+            .consumes(Resource::Cores, AmountExpr::constant(16))
+            .build()
+    }
+
+    #[test]
+    fn degradation_drops_missed_requirements() {
+        // Over many seeds, conditional requirements vanish far more often
+        // than plain ones.
+        let spec = rich_system();
+        let mut lost_plain = 0;
+        let mut lost_conditional = 0;
+        const RUNS: u64 = 300;
+        for seed in 0..RUNS {
+            let mut ex = Extractor::new(seed);
+            let d = degrade_system(&spec, &mut ex, Prompt::Naive);
+            if !d.requires.iter().any(|r| r.label == "plain-req") {
+                lost_plain += 1;
+            }
+            if !d.requires.iter().any(|r| r.label == "conditional-req") {
+                lost_conditional += 1;
+            }
+        }
+        assert!(
+            lost_conditional > lost_plain + (RUNS as i64 / 10) as i32 as u64,
+            "conditional {lost_conditional} vs plain {lost_plain}"
+        );
+    }
+
+    #[test]
+    fn degradation_shrinks_or_drops_quantities() {
+        let spec = rich_system();
+        let mut dropped = 0;
+        let mut shrunk = 0;
+        for seed in 0..300 {
+            let mut ex = Extractor::new(seed);
+            let d = degrade_system(&spec, &mut ex, Prompt::Naive);
+            match d.resources.first().map(|r| &r.amount) {
+                None => dropped += 1,
+                Some(AmountExpr::Const(4)) => shrunk += 1,
+                Some(AmountExpr::Const(16)) => {}
+                other => panic!("unexpected amount {other:?}"),
+            }
+        }
+        assert!(dropped > 0, "quantities must sometimes vanish");
+        assert!(shrunk > 0, "quantities must sometimes be mis-transcribed");
+    }
+
+    #[test]
+    fn degradation_never_invents_facts() {
+        let spec = rich_system();
+        for seed in 0..50 {
+            let mut ex = Extractor::new(seed);
+            let d = degrade_system(&spec, &mut ex, Prompt::Adversarial);
+            // Degraded requirement labels ⊆ original labels.
+            for r in &d.requires {
+                assert!(spec.requires.iter().any(|o| o.label == r.label));
+            }
+            assert!(d.resources.len() <= spec.resources.len());
+            assert!(d.solves.iter().all(|c| spec.solves.contains(c)));
+        }
+    }
+}

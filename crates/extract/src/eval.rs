@@ -1,0 +1,209 @@
+//! Evaluation harnesses for the §4 experiments (E6, E7).
+
+use crate::checker::{Checker, DefectClass, DetectionReport};
+use crate::docs::{render_paper_prose, render_spec_sheet, Fact};
+use crate::extractor::{Extraction, Extractor, Prompt};
+use netarch_core::component::{HardwareSpec, SystemSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-class extraction accuracy over a corpus (experiment E6).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExtractionReport {
+    /// Field-level recall on structured hardware sheets.
+    pub hardware_recall: f64,
+    /// Recall of `solves` capabilities from prose.
+    pub solves_recall: f64,
+    /// Recall of plain requirements from prose.
+    pub plain_requirement_recall: f64,
+    /// Recall of conditional requirements from prose.
+    pub conditional_recall: f64,
+    /// Recall of resource quantities from prose.
+    pub quantity_recall: f64,
+    /// Fraction of extracted facts that were faithful.
+    pub precision: f64,
+    /// Documents processed.
+    pub documents: usize,
+}
+
+fn class_totals(
+    extractions: &[Extraction],
+    class: impl Fn(&Fact) -> bool + Copy,
+) -> (usize, usize) {
+    let hits: usize = extractions
+        .iter()
+        .map(|e| e.extracted.iter().filter(|x| class(&x.fact)).count())
+        .sum();
+    let misses: usize = extractions
+        .iter()
+        .map(|e| e.missed.iter().filter(|f| class(f)).count())
+        .sum();
+    (hits, hits + misses)
+}
+
+fn safe_rate((hits, total): (usize, usize)) -> f64 {
+    if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Runs the extraction study over hardware sheets and system prose.
+pub fn run_extraction_study(
+    hardware: &[HardwareSpec],
+    systems: &[SystemSpec],
+    prompt: Prompt,
+    seed: u64,
+) -> ExtractionReport {
+    let mut extractor = Extractor::new(seed);
+    let hw_extractions: Vec<Extraction> = hardware
+        .iter()
+        .map(|h| extractor.extract(&render_spec_sheet(h), prompt))
+        .collect();
+    let sys_extractions: Vec<Extraction> = systems
+        .iter()
+        .map(|s| extractor.extract(&render_paper_prose(s), prompt))
+        .collect();
+
+    let all: Vec<Extraction> = hw_extractions
+        .iter()
+        .chain(sys_extractions.iter())
+        .cloned()
+        .collect();
+    let extracted_total: usize = all.iter().map(|e| e.extracted.len()).sum();
+    let faithful: usize = all
+        .iter()
+        .map(|e| e.extracted.iter().filter(|x| x.faithful).count())
+        .sum();
+
+    ExtractionReport {
+        hardware_recall: safe_rate(class_totals(&hw_extractions, |_| true)),
+        solves_recall: safe_rate(class_totals(&sys_extractions, |f| {
+            matches!(f, Fact::Solves(_))
+        })),
+        plain_requirement_recall: safe_rate(class_totals(&sys_extractions, |f| {
+            matches!(f, Fact::PlainRequirement { .. })
+        })),
+        conditional_recall: safe_rate(class_totals(&sys_extractions, |f| {
+            matches!(f, Fact::ConditionalRequirement { .. })
+        })),
+        quantity_recall: safe_rate(class_totals(&sys_extractions, |f| {
+            matches!(f, Fact::ResourceQuantity { .. })
+        })),
+        precision: if extracted_total == 0 {
+            1.0
+        } else {
+            faithful as f64 / extracted_total as f64
+        },
+        documents: hardware.len() + systems.len(),
+    }
+}
+
+/// Runs the checking study (E7): inject defects of each class into
+/// candidate encodings derived from `systems`, measure detection rates.
+pub fn run_checking_study(systems: &[SystemSpec], seed: u64) -> DetectionReport {
+    let mut checker = Checker::new(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let mut report = DetectionReport::default();
+    let classes = [
+        DefectClass::MissingCondition,
+        DefectClass::WrongNumericValue,
+        DefectClass::WrongReference,
+        DefectClass::OverclaimedCapability,
+    ];
+    for spec in systems {
+        // Each requirement entry gets checked; with probability 1/2 we
+        // corrupt it with a random defect class first.
+        for _req in &spec.requires {
+            if rng.gen_bool(0.5) {
+                let class = classes[rng.gen_range(0..classes.len())];
+                let verdict = checker.check_defect(class);
+                report.record(class, verdict);
+            } else {
+                let verdict = checker.check_correct();
+                report.record_correct(verdict);
+            }
+        }
+        // Capability claims can be overclaimed too.
+        for _cap in &spec.solves {
+            if rng.gen_bool(0.2) {
+                let verdict = checker.check_defect(DefectClass::OverclaimedCapability);
+                report.record(DefectClass::OverclaimedCapability, verdict);
+            } else {
+                let verdict = checker.check_correct();
+                report.record_correct(verdict);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netarch_core::prelude::*;
+
+    fn sample_systems(n: usize) -> Vec<SystemSpec> {
+        (0..n)
+            .map(|i| {
+                SystemSpec::builder(format!("S{i}"), Category::CongestionControl)
+                    .solves("bandwidth_allocation")
+                    .requires("plain", Condition::switches_have("ECN"))
+                    .requires("conditional", Condition::workload("wan_traffic"))
+                    .consumes(Resource::Cores, AmountExpr::constant(4))
+                    .build()
+            })
+            .collect()
+    }
+
+    fn sample_hardware(n: usize) -> Vec<HardwareSpec> {
+        (0..n)
+            .map(|i| {
+                HardwareSpec::builder(format!("H{i}"), HardwareKind::Switch)
+                    .numeric("ports", 48.0)
+                    .numeric("memory_mb", 32.0)
+                    .feature("ECN")
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extraction_study_reproduces_section_4_1_shape() {
+        let report = run_extraction_study(
+            &sample_hardware(50),
+            &sample_systems(50),
+            Prompt::Naive,
+            1234,
+        );
+        assert_eq!(report.hardware_recall, 1.0, "hardware must be perfect (§4.1)");
+        assert!(report.plain_requirement_recall > report.conditional_recall + 0.15);
+        assert!(report.solves_recall > 0.9);
+        assert!(report.precision < 1.0, "some quantities must be corrupted");
+        assert_eq!(report.documents, 100);
+    }
+
+    #[test]
+    fn adversarial_prompt_narrows_the_conditional_gap() {
+        let naive = run_extraction_study(&[], &sample_systems(80), Prompt::Naive, 9);
+        let adv = run_extraction_study(&[], &sample_systems(80), Prompt::Adversarial, 9);
+        assert!(
+            adv.conditional_recall > naive.conditional_recall + 0.1,
+            "naive {:.2} vs adversarial {:.2}",
+            naive.conditional_recall,
+            adv.conditional_recall
+        );
+    }
+
+    #[test]
+    fn checking_study_reproduces_section_4_2_shape() {
+        let report = run_checking_study(&sample_systems(300), 77);
+        let missing = report.rate(DefectClass::MissingCondition).unwrap();
+        let wrong = report.rate(DefectClass::WrongNumericValue).unwrap();
+        assert!(missing > 0.7, "missing-condition detection {missing:.2}");
+        assert!(wrong < 0.55, "wrong-number detection {wrong:.2}");
+        assert!(missing > wrong);
+        assert!(report.correct_checked > 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! The simulated LLM extractor.
+//!
+//! DESIGN.md substitution #1: GPT-4o is replaced by a deterministic
+//! extractor plus a seeded *error model* calibrated to §4.1's qualitative
+//! findings:
+//!
+//! * structured spec sheets extract at 100% accuracy ("The highly
+//!   structured and specific nature of the spec sheets was a crucial
+//!   factor");
+//! * paper prose: plain requirements are mostly recovered, but
+//!   **conditional** requirements ("under what conditions can a system not
+//!   be deployed") and **resource quantities** ("how much of a resource is
+//!   needed") are frequently missed;
+//! * numbers that are recovered are occasionally *wrong* (transcribed with
+//!   the wrong magnitude) — feeding §4.2's checking study;
+//! * the adversarial prompt ("find requirements without which the
+//!   mechanism cannot work") recovers a large share of the conditionals a
+//!   naive prompt misses.
+
+use crate::docs::{DocKind, Document, Fact};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-fact-class recovery probabilities.
+#[derive(Clone, Copy, Debug)]
+pub struct ErrorModel {
+    /// P(recover a `solves` capability from prose).
+    pub solves_recall: f64,
+    /// P(recover a plain requirement from prose).
+    pub plain_requirement_recall: f64,
+    /// P(recover a conditional requirement from prose, naive prompt).
+    pub conditional_recall: f64,
+    /// P(recover a conditional requirement with the adversarial prompt).
+    pub conditional_recall_adversarial: f64,
+    /// P(recover a resource quantity from prose).
+    pub quantity_recall: f64,
+    /// P(a recovered number is transcribed wrong).
+    pub number_corruption: f64,
+}
+
+impl Default for ErrorModel {
+    fn default() -> ErrorModel {
+        // Calibrated to the paper's qualitative report (§4.1): hardware
+        // ≈ perfect; systems mostly right but nuance-lossy.
+        ErrorModel {
+            solves_recall: 0.97,
+            plain_requirement_recall: 0.90,
+            conditional_recall: 0.45,
+            conditional_recall_adversarial: 0.80,
+            quantity_recall: 0.60,
+            number_corruption: 0.12,
+        }
+    }
+}
+
+/// Prompting strategy (§4.1 found the adversarial phrasing "more
+/// productive").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Prompt {
+    /// "Create an encoding capturing all requirements and nuances."
+    Naive,
+    /// "Find requirements without which the mechanism cannot work."
+    Adversarial,
+}
+
+/// One extracted fact, possibly corrupted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Extracted {
+    /// The ground-truth fact this extraction corresponds to.
+    pub fact: Fact,
+    /// Whether the extracted content is faithful (false = e.g. a number
+    /// transcribed at the wrong magnitude).
+    pub faithful: bool,
+}
+
+/// Extraction output for one document.
+#[derive(Clone, Debug, Default)]
+pub struct Extraction {
+    /// Facts the extractor produced.
+    pub extracted: Vec<Extracted>,
+    /// Ground-truth facts it silently dropped.
+    pub missed: Vec<Fact>,
+}
+
+impl Extraction {
+    /// Recall over all facts.
+    pub fn recall(&self) -> f64 {
+        let total = self.extracted.len() + self.missed.len();
+        if total == 0 {
+            return 1.0;
+        }
+        self.extracted.len() as f64 / total as f64
+    }
+
+    /// Fraction of extracted facts that are faithful.
+    pub fn precision(&self) -> f64 {
+        if self.extracted.is_empty() {
+            return 1.0;
+        }
+        self.extracted.iter().filter(|e| e.faithful).count() as f64
+            / self.extracted.len() as f64
+    }
+
+    /// Recall restricted to one fact class.
+    pub fn recall_of(&self, class: impl Fn(&Fact) -> bool) -> Option<f64> {
+        let hit = self.extracted.iter().filter(|e| class(&e.fact)).count();
+        let miss = self.missed.iter().filter(|f| class(f)).count();
+        let total = hit + miss;
+        (total > 0).then(|| hit as f64 / total as f64)
+    }
+}
+
+/// The simulated LLM extractor.
+pub struct Extractor {
+    model: ErrorModel,
+    rng: StdRng,
+}
+
+impl Extractor {
+    /// Creates an extractor with the default calibration and a seed.
+    pub fn new(seed: u64) -> Extractor {
+        Extractor::with_model(ErrorModel::default(), seed)
+    }
+
+    /// Creates an extractor with an explicit error model.
+    pub fn with_model(model: ErrorModel, seed: u64) -> Extractor {
+        Extractor { model, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Extracts facts from one document under a prompting strategy.
+    pub fn extract(&mut self, doc: &Document, prompt: Prompt) -> Extraction {
+        let mut out = Extraction::default();
+        for sentence in &doc.sentences {
+            let (recall_p, corruptible) = match (&doc.kind, &sentence.fact) {
+                // Structured sheets: deterministic parse, 100% (§4.1).
+                (DocKind::SpecSheet, _) => (1.0, false),
+                (DocKind::PaperProse, Fact::Solves(_)) => (self.model.solves_recall, false),
+                (DocKind::PaperProse, Fact::PlainRequirement { .. }) => {
+                    (self.model.plain_requirement_recall, false)
+                }
+                (DocKind::PaperProse, Fact::ConditionalRequirement { .. }) => {
+                    let p = match prompt {
+                        Prompt::Naive => self.model.conditional_recall,
+                        Prompt::Adversarial => self.model.conditional_recall_adversarial,
+                    };
+                    (p, false)
+                }
+                (DocKind::PaperProse, Fact::ResourceQuantity { .. }) => {
+                    (self.model.quantity_recall, true)
+                }
+                // Numeric hardware facts inside prose (rare): corruptible.
+                (DocKind::PaperProse, Fact::HardwareNumeric { .. }) => {
+                    (self.model.plain_requirement_recall, true)
+                }
+                (DocKind::PaperProse, Fact::HardwareFeature { .. }) => {
+                    (self.model.plain_requirement_recall, false)
+                }
+            };
+            if self.rng.gen_bool(recall_p) {
+                let faithful = !(corruptible && self.rng.gen_bool(self.model.number_corruption));
+                out.extracted.push(Extracted { fact: sentence.fact.clone(), faithful });
+            } else {
+                out.missed.push(sentence.fact.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docs::{render_paper_prose, render_spec_sheet};
+    use netarch_core::prelude::*;
+
+    fn hardware() -> HardwareSpec {
+        HardwareSpec::builder("SW", HardwareKind::Switch)
+            .numeric("ports", 48.0)
+            .numeric("port_bandwidth_gbps", 100.0)
+            .feature("ECN")
+            .feature("PFC")
+            .build()
+    }
+
+    fn system() -> SystemSpec {
+        SystemSpec::builder("ANNULUS", Category::CongestionControl)
+            .name("Annulus")
+            .solves("bandwidth_allocation")
+            .requires("needs-qcn", Condition::switches_have("QCN"))
+            .requires("wan-only", Condition::workload("wan_traffic"))
+            .consumes(Resource::Cores, AmountExpr::constant(4))
+            .build()
+    }
+
+    #[test]
+    fn spec_sheets_extract_perfectly() {
+        let doc = render_spec_sheet(&hardware());
+        let mut ex = Extractor::new(1);
+        for _ in 0..20 {
+            let result = ex.extract(&doc, Prompt::Naive);
+            assert_eq!(result.recall(), 1.0);
+            assert_eq!(result.precision(), 1.0);
+        }
+    }
+
+    #[test]
+    fn prose_misses_conditionals_more_than_plain() {
+        let doc = render_paper_prose(&system());
+        let mut ex = Extractor::new(42);
+        let mut cond_hits = 0;
+        let mut plain_hits = 0;
+        const RUNS: usize = 400;
+        for _ in 0..RUNS {
+            let result = ex.extract(&doc, Prompt::Naive);
+            if let Some(r) = result.recall_of(|f| matches!(f, Fact::ConditionalRequirement { .. })) {
+                if r == 1.0 {
+                    cond_hits += 1;
+                }
+            }
+            if let Some(r) = result.recall_of(|f| matches!(f, Fact::PlainRequirement { .. })) {
+                if r == 1.0 {
+                    plain_hits += 1;
+                }
+            }
+        }
+        assert!(
+            plain_hits > cond_hits + RUNS / 10,
+            "plain {plain_hits} vs conditional {cond_hits}"
+        );
+    }
+
+    #[test]
+    fn adversarial_prompt_recovers_more_conditionals() {
+        let doc = render_paper_prose(&system());
+        let mut naive_hits = 0;
+        let mut adv_hits = 0;
+        const RUNS: usize = 400;
+        let mut ex = Extractor::new(7);
+        for _ in 0..RUNS {
+            let r = ex.extract(&doc, Prompt::Naive);
+            if r.recall_of(|f| matches!(f, Fact::ConditionalRequirement { .. })) == Some(1.0) {
+                naive_hits += 1;
+            }
+        }
+        let mut ex = Extractor::new(7);
+        for _ in 0..RUNS {
+            let r = ex.extract(&doc, Prompt::Adversarial);
+            if r.recall_of(|f| matches!(f, Fact::ConditionalRequirement { .. })) == Some(1.0) {
+                adv_hits += 1;
+            }
+        }
+        assert!(adv_hits > naive_hits + RUNS / 10, "adv {adv_hits} vs naive {naive_hits}");
+    }
+
+    #[test]
+    fn quantities_are_sometimes_corrupted() {
+        let doc = render_paper_prose(&system());
+        let mut ex = Extractor::new(11);
+        let mut corrupted = 0;
+        for _ in 0..400 {
+            let r = ex.extract(&doc, Prompt::Naive);
+            corrupted += r.extracted.iter().filter(|e| !e.faithful).count();
+        }
+        assert!(corrupted > 0, "number corruption never fired");
+    }
+
+    #[test]
+    fn extraction_is_seed_deterministic() {
+        let doc = render_paper_prose(&system());
+        let a = Extractor::new(99).extract(&doc, Prompt::Naive);
+        let b = Extractor::new(99).extract(&doc, Prompt::Naive);
+        assert_eq!(a.extracted, b.extracted);
+        assert_eq!(a.missed.len(), b.missed.len());
+    }
+}

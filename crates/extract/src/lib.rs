@@ -1,0 +1,29 @@
+//! # netarch-extract
+//!
+//! Reproduction of the paper's §4 ("Can We Auto-Generate Encodings?"):
+//! a document corpus (vendor spec sheets + paper-style prose), a simulated
+//! LLM extractor with a seeded error model calibrated to §4.1's findings,
+//! and a simulated checking pass calibrated to §4.2's.
+//!
+//! **Substitution notice** (DESIGN.md #1): no network access means no
+//! GPT-4o. The pipeline shape — documents in, candidate encodings out,
+//! checker over human encodings — is faithful; the language model is
+//! replaced by deterministic extraction plus calibrated noise. The
+//! experiments therefore reproduce the paper's *comparative* findings
+//! (structured ≫ prose; missing-condition detection ≫ wrong-number
+//! detection; adversarial prompting helps), not GPT-4o's absolute scores.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod docs;
+pub mod downstream;
+pub mod eval;
+pub mod extractor;
+
+pub use downstream::{degrade_system, degrade_systems, DownstreamReport};
+pub use checker::{Checker, CheckerModel, DefectClass, DetectionReport, Verdict};
+pub use docs::{render_paper_prose, render_spec_sheet, DocKind, Document, Fact, Sentence};
+pub use eval::{run_checking_study, run_extraction_study, ExtractionReport};
+pub use extractor::{ErrorModel, Extracted, Extraction, Extractor, Prompt};

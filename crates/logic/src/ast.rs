@@ -1,0 +1,358 @@
+//! Propositional formula AST.
+//!
+//! Formulas are built over abstract [`Atom`]s (dense integer identifiers;
+//! the architecture layer maps them to named facts like "system Snap is
+//! selected" or "NICs have timestamps"). Besides the usual connectives the
+//! AST has first-class cardinality operators, because "choose exactly one
+//! system per role" and "at most k systems may share this resource" are the
+//! bread-and-butter constraints of architecture reasoning.
+
+use std::fmt;
+
+/// An abstract propositional atom, identified by a dense index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Atom(pub u32);
+
+impl Atom {
+    /// The dense index of this atom.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A propositional formula over [`Atom`]s.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// A positive atom occurrence.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction. Empty conjunction is true.
+    And(Vec<Formula>),
+    /// N-ary disjunction. Empty disjunction is false.
+    Or(Vec<Formula>),
+    /// Material implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Biconditional.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Exclusive or.
+    Xor(Box<Formula>, Box<Formula>),
+    /// At most `k` of the operands are true.
+    AtMost(u32, Vec<Formula>),
+    /// At least `k` of the operands are true.
+    AtLeast(u32, Vec<Formula>),
+    /// Exactly `k` of the operands are true.
+    Exactly(u32, Vec<Formula>),
+}
+
+impl Formula {
+    /// A positive literal over `atom`.
+    pub fn atom(atom: Atom) -> Formula {
+        Formula::Atom(atom)
+    }
+
+    /// Negation, folding double negation and constants.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction, flattening nested `And`s and folding constants.
+    pub fn and(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction, flattening nested `Or`s and folding constants.
+    pub fn or(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().expect("len checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Material implication `antecedent → consequent`.
+    pub fn implies(antecedent: Formula, consequent: Formula) -> Formula {
+        match (&antecedent, &consequent) {
+            (Formula::True, _) => consequent,
+            (Formula::False, _) => Formula::True,
+            (_, Formula::True) => Formula::True,
+            (_, Formula::False) => Formula::not(antecedent),
+            _ => Formula::Implies(Box::new(antecedent), Box::new(consequent)),
+        }
+    }
+
+    /// Biconditional `a ↔ b`.
+    pub fn iff(a: Formula, b: Formula) -> Formula {
+        match (&a, &b) {
+            (Formula::True, _) => b,
+            (_, Formula::True) => a,
+            (Formula::False, _) => Formula::not(b),
+            (_, Formula::False) => Formula::not(a),
+            _ => Formula::Iff(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Exclusive or `a ⊕ b`.
+    pub fn xor(a: Formula, b: Formula) -> Formula {
+        match (&a, &b) {
+            (Formula::False, _) => b,
+            (_, Formula::False) => a,
+            (Formula::True, _) => Formula::not(b),
+            (_, Formula::True) => Formula::not(a),
+            _ => Formula::Xor(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// At most `k` of `parts` hold.
+    pub fn at_most(k: u32, parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let parts: Vec<Formula> = parts.into_iter().collect();
+        if k as usize >= parts.len() {
+            return Formula::True;
+        }
+        Formula::AtMost(k, parts)
+    }
+
+    /// At least `k` of `parts` hold.
+    pub fn at_least(k: u32, parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let parts: Vec<Formula> = parts.into_iter().collect();
+        if k == 0 {
+            return Formula::True;
+        }
+        if k as usize > parts.len() {
+            return Formula::False;
+        }
+        Formula::AtLeast(k, parts)
+    }
+
+    /// Exactly `k` of `parts` hold.
+    pub fn exactly(k: u32, parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let parts: Vec<Formula> = parts.into_iter().collect();
+        if k as usize > parts.len() {
+            return Formula::False;
+        }
+        Formula::Exactly(k, parts)
+    }
+
+    /// Evaluates the formula under a total assignment.
+    pub fn eval(&self, assignment: &dyn Fn(Atom) -> bool) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom(a) => assignment(*a),
+            Formula::Not(f) => !f.eval(assignment),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(assignment)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(assignment)),
+            Formula::Implies(a, b) => !a.eval(assignment) || b.eval(assignment),
+            Formula::Iff(a, b) => a.eval(assignment) == b.eval(assignment),
+            Formula::Xor(a, b) => a.eval(assignment) != b.eval(assignment),
+            Formula::AtMost(k, fs) => count_true(fs, assignment) <= *k as usize,
+            Formula::AtLeast(k, fs) => count_true(fs, assignment) >= *k as usize,
+            Formula::Exactly(k, fs) => count_true(fs, assignment) == *k as usize,
+        }
+    }
+
+    /// Collects every atom appearing in the formula (deduplicated, sorted).
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<Atom>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => out.push(*a),
+            Formula::Not(f) => f.collect_atoms(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_atoms(out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) | Formula::Xor(a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+            Formula::AtMost(_, fs) | Formula::AtLeast(_, fs) | Formula::Exactly(_, fs) => {
+                for f in fs {
+                    f.collect_atoms(out);
+                }
+            }
+        }
+    }
+
+    /// Number of AST nodes; used by scaling experiments to measure
+    /// specification growth (paper §3.1's linearity claim).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+            Formula::Implies(a, b) | Formula::Iff(a, b) | Formula::Xor(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Formula::AtMost(_, fs) | Formula::AtLeast(_, fs) | Formula::Exactly(_, fs) => {
+                1 + fs.iter().map(Formula::size).sum::<usize>()
+            }
+        }
+    }
+}
+
+fn count_true(fs: &[Formula], assignment: &dyn Fn(Atom) -> bool) -> usize {
+    fs.iter().filter(|f| f.eval(assignment)).count()
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "⊤"),
+            Formula::False => write!(f, "⊥"),
+            Formula::Atom(a) => write!(f, "a{}", a.0),
+            Formula::Not(inner) => write!(f, "¬{inner}"),
+            Formula::And(fs) => write_nary(f, "∧", fs),
+            Formula::Or(fs) => write_nary(f, "∨", fs),
+            Formula::Implies(a, b) => write!(f, "({a} → {b})"),
+            Formula::Iff(a, b) => write!(f, "({a} ↔ {b})"),
+            Formula::Xor(a, b) => write!(f, "({a} ⊕ {b})"),
+            Formula::AtMost(k, fs) => write_card(f, "≤", *k, fs),
+            Formula::AtLeast(k, fs) => write_card(f, "≥", *k, fs),
+            Formula::Exactly(k, fs) => write_card(f, "=", *k, fs),
+        }
+    }
+}
+
+fn write_nary(f: &mut fmt::Formatter<'_>, op: &str, fs: &[Formula]) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, part) in fs.iter().enumerate() {
+        if i > 0 {
+            write!(f, " {op} ")?;
+        }
+        write!(f, "{part}")?;
+    }
+    write!(f, ")")
+}
+
+fn write_card(f: &mut fmt::Formatter<'_>, op: &str, k: u32, fs: &[Formula]) -> fmt::Result {
+    write!(f, "(Σ[")?;
+    for (i, part) in fs.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{part}")?;
+    }
+    write!(f, "] {op} {k})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> Formula {
+        Formula::Atom(Atom(i))
+    }
+
+    #[test]
+    fn constructors_fold_constants() {
+        assert_eq!(Formula::not(Formula::True), Formula::False);
+        assert_eq!(Formula::not(Formula::not(a(0))), a(0));
+        assert_eq!(Formula::and([Formula::True, a(0)]), a(0));
+        assert_eq!(Formula::and([Formula::False, a(0)]), Formula::False);
+        assert_eq!(Formula::or([Formula::False, a(1)]), a(1));
+        assert_eq!(Formula::or([Formula::True, a(1)]), Formula::True);
+        assert_eq!(Formula::implies(Formula::False, a(0)), Formula::True);
+        assert_eq!(Formula::implies(a(0), Formula::False), Formula::not(a(0)));
+        assert_eq!(Formula::iff(Formula::True, a(2)), a(2));
+        assert_eq!(Formula::xor(Formula::False, a(2)), a(2));
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let f = Formula::and([Formula::and([a(0), a(1)]), a(2)]);
+        assert!(matches!(&f, Formula::And(v) if v.len() == 3));
+        let g = Formula::or([a(0), Formula::or([a(1), a(2)])]);
+        assert!(matches!(&g, Formula::Or(v) if v.len() == 3));
+    }
+
+    #[test]
+    fn cardinality_bounds_fold() {
+        assert_eq!(Formula::at_most(3, [a(0), a(1)]), Formula::True);
+        assert_eq!(Formula::at_least(0, [a(0)]), Formula::True);
+        assert_eq!(Formula::at_least(3, [a(0), a(1)]), Formula::False);
+        assert_eq!(Formula::exactly(5, [a(0)]), Formula::False);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let f = Formula::and([
+            Formula::or([a(0), a(1)]),
+            Formula::implies(a(0), a(2)),
+            Formula::exactly(1, [a(1), a(2)]),
+        ]);
+        // a0=T, a1=F, a2=T: or ✓, implies ✓, exactly-1 of {F,T} ✓
+        assert!(f.eval(&|x| x != Atom(1)));
+        // a0=T, a1=T, a2=T: exactly-1 of {T,T} fails
+        assert!(!f.eval(&|_| true));
+    }
+
+    #[test]
+    fn eval_cardinalities() {
+        let xs = [a(0), a(1), a(2)];
+        assert!(Formula::AtMost(1, xs.to_vec()).eval(&|x| x == Atom(0)));
+        assert!(!Formula::AtMost(1, xs.to_vec()).eval(&|_| true));
+        assert!(Formula::AtLeast(2, xs.to_vec()).eval(&|x| x != Atom(1)));
+        assert!(Formula::Exactly(3, xs.to_vec()).eval(&|_| true));
+        assert!(Formula::Exactly(0, xs.to_vec()).eval(&|_| false));
+    }
+
+    #[test]
+    fn atoms_are_collected_and_deduped() {
+        let f = Formula::and([a(3), Formula::or([a(1), a(3)]), Formula::not(a(2))]);
+        assert_eq!(f.atoms(), vec![Atom(1), Atom(2), Atom(3)]);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(a(0).size(), 1);
+        assert_eq!(Formula::and([a(0), a(1)]).size(), 3);
+        assert_eq!(Formula::implies(a(0), Formula::not(a(1))).size(), 4);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = Formula::implies(a(0), Formula::and([a(1), Formula::not(a(2))]));
+        assert_eq!(f.to_string(), "(a0 → (a1 ∧ ¬a2))");
+    }
+}

@@ -1,0 +1,443 @@
+//! Weighted and lexicographic MaxSAT.
+//!
+//! Two algorithms over the same [`Encoder`]:
+//!
+//! * **Linear GTE descent** — build a generalized totalizer over the
+//!   violation literals, then walk the achievable costs downward using
+//!   assumptions until UNSAT; the last SAT model is optimal. Works for
+//!   arbitrary weights.
+//! * **Fu-Malik** — core-guided: repeatedly extract unsat cores over the
+//!   soft constraints' assumption literals, relax each core with fresh
+//!   blocking variables plus an exactly-one constraint. Implemented for
+//!   uniform weights (the classic algorithm); the dispatcher falls back to
+//!   linear descent otherwise.
+//!
+//! Lexicographic optimization (`Optimize(latency > Hardware cost >
+//! monitoring)` in the paper's Listing 3) minimizes objective levels in
+//! order, hardening each optimum before descending to the next level.
+
+use crate::ast::Formula;
+use crate::cardinality::{self, CardEncoding};
+use crate::encoder::Encoder;
+use crate::pb::{gte_outputs, PbTerm};
+use crate::sink::ClauseSink;
+use netarch_sat::{Lit, SolveResult};
+
+/// A soft constraint: violating `formula` costs `weight`.
+#[derive(Clone, Debug)]
+pub struct Soft {
+    /// Cost of violating this constraint.
+    pub weight: u64,
+    /// The constraint itself.
+    pub formula: Formula,
+}
+
+impl Soft {
+    /// Creates a soft constraint.
+    pub fn new(weight: u64, formula: Formula) -> Soft {
+        Soft { weight, formula }
+    }
+}
+
+/// Optimization algorithm selector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MaxSatAlgorithm {
+    /// Linear SAT→UNSAT descent over a generalized totalizer.
+    #[default]
+    LinearGte,
+    /// Core-guided Fu-Malik (uniform weights; falls back to linear
+    /// descent for non-uniform weights).
+    FuMalik,
+}
+
+/// Result of a MaxSAT call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MaxSatOutcome {
+    /// Optimum found; the encoder's solver holds an optimal model.
+    Optimal {
+        /// Total weight of violated soft constraints.
+        cost: u64,
+        /// Indices (into the soft slice) of the violated constraints.
+        violated: Vec<usize>,
+    },
+    /// The hard constraints alone are unsatisfiable.
+    HardUnsat,
+}
+
+/// Minimizes the total weight of violated soft constraints, leaving the
+/// optimal model loaded in the encoder's solver and the optimum enforced
+/// as a hard bound (so later optimization levels preserve it).
+pub fn minimize(
+    encoder: &mut Encoder,
+    soft: &[Soft],
+    algorithm: MaxSatAlgorithm,
+) -> MaxSatOutcome {
+    let uniform = soft
+        .windows(2)
+        .all(|w| w[0].weight == w[1].weight);
+    match algorithm {
+        MaxSatAlgorithm::FuMalik if uniform && !soft.is_empty() => fu_malik(encoder, soft),
+        _ => linear_gte(encoder, soft),
+    }
+}
+
+/// Reports which soft constraints the current model violates.
+fn violated_indices(encoder: &Encoder, soft: &[Soft]) -> Vec<usize> {
+    soft.iter()
+        .enumerate()
+        .filter(|(_, s)| !encoder.eval_under_model(&s.formula))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn model_cost(encoder: &Encoder, soft: &[Soft]) -> u64 {
+    violated_indices(encoder, soft)
+        .into_iter()
+        .map(|i| soft[i].weight)
+        .sum()
+}
+
+fn linear_gte(encoder: &mut Encoder, soft: &[Soft]) -> MaxSatOutcome {
+    if encoder.solve() != SolveResult::Sat {
+        return MaxSatOutcome::HardUnsat;
+    }
+    if soft.is_empty() {
+        return MaxSatOutcome::Optimal { cost: 0, violated: Vec::new() };
+    }
+    // Violation literal per soft constraint: v_i ⇔ ¬formula_i.
+    let terms: Vec<PbTerm> = soft
+        .iter()
+        .map(|s| {
+            let l = encoder.lit_for(&s.formula);
+            PbTerm::new(s.weight, !l)
+        })
+        .collect();
+    let total: u64 = terms.iter().map(|t| t.weight).sum();
+    let node = gte_outputs(encoder, &terms, total);
+
+    let mut best_cost = {
+        // Re-solve: the totalizer introduced fresh clauses.
+        if encoder.solve() != SolveResult::Sat {
+            return MaxSatOutcome::HardUnsat;
+        }
+        model_cost(encoder, soft)
+    };
+    let mut best_violated = violated_indices(encoder, soft);
+
+    // Binary-search descent over the achievable cost values (the GTE's
+    // output sums plus zero). Invariant: `best_cost` is achievable, and
+    // every candidate below index `lo` is proven unachievable.
+    let mut candidates: Vec<u64> = Vec::with_capacity(node.outputs.len() + 1);
+    candidates.push(0);
+    candidates.extend(node.outputs.iter().map(|&(s, _)| s));
+    let mut lo = 0usize;
+    while best_cost > 0 {
+        let hi = candidates.partition_point(|&c| c < best_cost);
+        if lo >= hi {
+            break; // nothing achievable below best_cost
+        }
+        let mid = (lo + hi) / 2;
+        let target = candidates[mid];
+        let assumptions: Vec<Lit> = node
+            .outputs
+            .iter()
+            .filter(|&&(s, _)| s > target)
+            .map(|&(_, l)| !l)
+            .collect();
+        match encoder.solve_with(&assumptions) {
+            SolveResult::Sat => {
+                let cost = model_cost(encoder, soft);
+                debug_assert!(cost <= target, "model violates assumed bound");
+                best_cost = cost.min(target);
+                best_violated = violated_indices(encoder, soft);
+            }
+            SolveResult::Unsat | SolveResult::Unknown => {
+                lo = mid + 1;
+            }
+        }
+    }
+
+    // Harden the optimum and restore an optimal model.
+    for &(s, l) in &node.outputs {
+        if s > best_cost {
+            ClauseSink::add_clause(encoder, &[!l]);
+        }
+    }
+    let restored = encoder.solve();
+    debug_assert_eq!(restored, SolveResult::Sat);
+    MaxSatOutcome::Optimal { cost: best_cost, violated: best_violated }
+}
+
+/// Classic Fu-Malik for uniform weights.
+fn fu_malik(encoder: &mut Encoder, soft: &[Soft]) -> MaxSatOutcome {
+    let weight = soft[0].weight;
+    // Each soft constraint's current "satisfaction disjunct" literals:
+    // its Tseitin literal plus one blocking variable per relaxation round.
+    let mut disjuncts: Vec<Vec<Lit>> = soft
+        .iter()
+        .map(|s| vec![encoder.lit_for(&s.formula)])
+        .collect();
+    // Assumption literal per soft constraint guarding the clause
+    // `a_i → (formula_i ∨ blockers…)`; replaced whenever the disjunction
+    // grows.
+    let mut assumption_of: Vec<Lit> = Vec::with_capacity(soft.len());
+    for d in &disjuncts {
+        let a = encoder.new_selector();
+        let mut clause = vec![!a];
+        clause.extend(d);
+        ClauseSink::add_clause(encoder, &clause);
+        assumption_of.push(a);
+    }
+
+    let mut rounds = 0u64;
+    loop {
+        let result = {
+            let assumptions: Vec<Lit> = assumption_of.clone();
+            encoder.solve_with(&assumptions)
+        };
+        match result {
+            SolveResult::Sat => {
+                let cost = rounds * weight;
+                // Model currently satisfies all (relaxed) softs; compute
+                // which original formulas are violated.
+                let violated = violated_indices(encoder, soft);
+                debug_assert_eq!(violated.len() as u64, rounds);
+                return MaxSatOutcome::Optimal { cost, violated };
+            }
+            SolveResult::Unknown => {
+                // Treat as UNSAT-undetermined: fall back to linear descent.
+                return linear_gte(encoder, soft);
+            }
+            SolveResult::Unsat => {
+                let core: Vec<Lit> = encoder.solver().unsat_core().to_vec();
+                let members: Vec<usize> = assumption_of
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| core.contains(a))
+                    .map(|(i, _)| i)
+                    .collect();
+                if members.is_empty() {
+                    // Hard constraints alone are inconsistent.
+                    return MaxSatOutcome::HardUnsat;
+                }
+                // Relax every core member with a fresh blocking var and
+                // constrain exactly-one blocking var true.
+                let mut blockers = Vec::with_capacity(members.len());
+                for &i in &members {
+                    let b = encoder.new_selector();
+                    blockers.push(b);
+                    disjuncts[i].push(b);
+                    // Replace the guard: retire the old assumption literal
+                    // and emit a new guarded clause with the extended
+                    // disjunction.
+                    let old = assumption_of[i];
+                    ClauseSink::add_clause(encoder, &[!old]); // retire
+                    let a = encoder.new_selector();
+                    assumption_of[i] = a;
+                    let mut clause = vec![!a];
+                    clause.extend(&disjuncts[i]);
+                    ClauseSink::add_clause(encoder, &clause);
+                }
+                cardinality::assert_exactly(encoder, &blockers, 1, CardEncoding::Auto);
+                rounds += 1;
+            }
+        }
+    }
+}
+
+/// Lexicographic multi-level minimization: minimizes each level in order,
+/// hardening its optimum before moving on. Returns per-level outcomes.
+pub fn minimize_lex(
+    encoder: &mut Encoder,
+    levels: &[Vec<Soft>],
+    algorithm: MaxSatAlgorithm,
+) -> Option<Vec<MaxSatOutcome>> {
+    let mut outcomes = Vec::with_capacity(levels.len());
+    for level in levels {
+        let outcome = minimize(encoder, level, algorithm);
+        if outcome == MaxSatOutcome::HardUnsat {
+            return None;
+        }
+        outcomes.push(outcome);
+    }
+    Some(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Atom;
+
+    fn a(i: u32) -> Formula {
+        Formula::Atom(Atom(i))
+    }
+
+    fn softs(items: &[(u64, Formula)]) -> Vec<Soft> {
+        items.iter().map(|(w, f)| Soft::new(*w, f.clone())).collect()
+    }
+
+    #[test]
+    fn all_softs_satisfiable_costs_zero() {
+        for alg in [MaxSatAlgorithm::LinearGte, MaxSatAlgorithm::FuMalik] {
+            let mut e = Encoder::new();
+            e.assert(&Formula::or([a(0), a(1)]));
+            let soft = softs(&[(1, a(0)), (1, a(1))]);
+            let outcome = minimize(&mut e, &soft, alg);
+            assert_eq!(outcome, MaxSatOutcome::Optimal { cost: 0, violated: vec![] }, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn forced_violation_of_cheapest() {
+        for alg in [MaxSatAlgorithm::LinearGte, MaxSatAlgorithm::FuMalik] {
+            // a0 xor a1 forced; soft wants both; both weight 1 → cost 1.
+            let mut e = Encoder::new();
+            e.assert(&Formula::xor(a(0), a(1)));
+            let soft = softs(&[(1, a(0)), (1, a(1))]);
+            match minimize(&mut e, &soft, alg) {
+                MaxSatOutcome::Optimal { cost, violated } => {
+                    assert_eq!(cost, 1, "{alg:?}");
+                    assert_eq!(violated.len(), 1);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn weights_steer_which_soft_breaks() {
+        // ¬(a0 ∧ a1): cannot have both. Soft(5, a0), Soft(1, a1) →
+        // break a1, keep a0, cost 1.
+        let mut e = Encoder::new();
+        e.assert(&Formula::not(Formula::and([a(0), a(1)])));
+        let soft = softs(&[(5, a(0)), (1, a(1))]);
+        match minimize(&mut e, &soft, MaxSatAlgorithm::LinearGte) {
+            MaxSatOutcome::Optimal { cost, violated } => {
+                assert_eq!(cost, 1);
+                assert_eq!(violated, vec![1]);
+                assert_eq!(e.atom_value(Atom(0)), Some(true));
+                assert_eq!(e.atom_value(Atom(1)), Some(false));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hard_unsat_detected() {
+        for alg in [MaxSatAlgorithm::LinearGte, MaxSatAlgorithm::FuMalik] {
+            let mut e = Encoder::new();
+            e.assert(&a(0));
+            e.assert(&Formula::not(a(0)));
+            let soft = softs(&[(1, a(1))]);
+            assert_eq!(minimize(&mut e, &soft, alg), MaxSatOutcome::HardUnsat, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn fu_malik_multi_core() {
+        // Three pairwise-conflicting atoms, softs want all three;
+        // at most one can hold → cost 2.
+        let mut e = Encoder::new();
+        e.assert(&Formula::at_most(1, [a(0), a(1), a(2)]));
+        let soft = softs(&[(1, a(0)), (1, a(1)), (1, a(2))]);
+        match minimize(&mut e, &soft, MaxSatAlgorithm::FuMalik) {
+            MaxSatOutcome::Optimal { cost, violated } => {
+                assert_eq!(cost, 2);
+                assert_eq!(violated.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linear_matches_brute_force_on_random_cases() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..30 {
+            let num_atoms = rng.gen_range(2..=5u32);
+            // Random hard 2-clauses + random weighted soft literals.
+            let mut hard = Vec::new();
+            for _ in 0..rng.gen_range(0..4) {
+                let x = Formula::Atom(Atom(rng.gen_range(0..num_atoms)));
+                let y = Formula::Atom(Atom(rng.gen_range(0..num_atoms)));
+                let x = if rng.gen_bool(0.5) { Formula::not(x) } else { x };
+                let y = if rng.gen_bool(0.5) { Formula::not(y) } else { y };
+                hard.push(Formula::or([x, y]));
+            }
+            let mut soft = Vec::new();
+            for _ in 0..rng.gen_range(1..5) {
+                let x = Formula::Atom(Atom(rng.gen_range(0..num_atoms)));
+                let x = if rng.gen_bool(0.5) { Formula::not(x) } else { x };
+                soft.push(Soft::new(rng.gen_range(1..6), x));
+            }
+            // Brute force optimum.
+            let mut best: Option<u64> = None;
+            'outer: for bits in 0u32..(1 << num_atoms) {
+                let assign = |at: Atom| (bits >> at.0) & 1 == 1;
+                for h in &hard {
+                    if !h.eval(&assign) {
+                        continue 'outer;
+                    }
+                }
+                let cost: u64 = soft
+                    .iter()
+                    .filter(|s| !s.formula.eval(&assign))
+                    .map(|s| s.weight)
+                    .sum();
+                best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+            }
+            let mut e = Encoder::new();
+            for h in &hard {
+                e.assert(h);
+            }
+            let outcome = minimize(&mut e, &soft, MaxSatAlgorithm::LinearGte);
+            match (best, outcome) {
+                (None, MaxSatOutcome::HardUnsat) => {}
+                (Some(b), MaxSatOutcome::Optimal { cost, .. }) => {
+                    assert_eq!(cost, b, "hard={hard:?} soft={soft:?}");
+                }
+                (expected, got) => panic!("expected {expected:?}, got {got:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lexicographic_respects_priority() {
+        // a0 and a1 conflict. Level 1 prefers a0; level 2 prefers a1.
+        // Lexicographic: satisfy level 1 (a0), then level 2 must break.
+        let mut e = Encoder::new();
+        e.assert(&Formula::not(Formula::and([a(0), a(1)])));
+        let levels = vec![
+            softs(&[(1, a(0))]),
+            softs(&[(1, a(1))]),
+        ];
+        let outcomes = minimize_lex(&mut e, &levels, MaxSatAlgorithm::LinearGte).expect("feasible");
+        assert_eq!(outcomes[0], MaxSatOutcome::Optimal { cost: 0, violated: vec![] });
+        assert_eq!(outcomes[1], MaxSatOutcome::Optimal { cost: 1, violated: vec![0] });
+        assert_eq!(e.atom_value(Atom(0)), Some(true));
+        assert_eq!(e.atom_value(Atom(1)), Some(false));
+    }
+
+    #[test]
+    fn lexicographic_reversed_priority_flips_outcome() {
+        let mut e = Encoder::new();
+        e.assert(&Formula::not(Formula::and([a(0), a(1)])));
+        let levels = vec![
+            softs(&[(1, a(1))]),
+            softs(&[(1, a(0))]),
+        ];
+        let outcomes = minimize_lex(&mut e, &levels, MaxSatAlgorithm::LinearGte).expect("feasible");
+        assert_eq!(outcomes[0], MaxSatOutcome::Optimal { cost: 0, violated: vec![] });
+        assert_eq!(e.atom_value(Atom(1)), Some(true));
+        assert_eq!(e.atom_value(Atom(0)), Some(false));
+    }
+
+    #[test]
+    fn lexicographic_hard_unsat_propagates() {
+        let mut e = Encoder::new();
+        e.assert(&a(0));
+        e.assert(&Formula::not(a(0)));
+        let levels = vec![softs(&[(1, a(1))])];
+        assert!(minimize_lex(&mut e, &levels, MaxSatAlgorithm::LinearGte).is_none());
+    }
+}

@@ -1,0 +1,429 @@
+//! Pseudo-Boolean (weighted sum) constraints.
+//!
+//! Encodes `Σ wᵢ·xᵢ ⋈ bound` using a **generalized totalizer** (GTE,
+//! Joshi-Martins-Manquinho 2015): a balanced merge tree whose nodes track
+//! the set of achievable weighted sums, with one output literal per sum.
+//! The encoding is one-directional (inputs force outputs), which suffices
+//! for assertions; reification composes two one-directional encodings.
+//!
+//! Sums are *saturated* at `cap`: any achievable sum above the cap is
+//! collapsed into a single overflow output, keeping node sizes bounded when
+//! only a comparison against `bound ≤ cap` is needed.
+//!
+//! The architecture engine uses this for resource contention (§2.2):
+//! "cores_needed(CPU_FACTOR * num_flows)" summed over selected systems must
+//! fit the server inventory.
+
+use crate::sink::ClauseSink;
+use netarch_sat::Lit;
+
+/// One weighted term of a pseudo-Boolean sum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PbTerm {
+    /// Non-negative weight.
+    pub weight: u64,
+    /// The literal contributing `weight` when true.
+    pub lit: Lit,
+}
+
+impl PbTerm {
+    /// Creates a term.
+    pub fn new(weight: u64, lit: Lit) -> PbTerm {
+        PbTerm { weight, lit }
+    }
+}
+
+/// A node of the generalized totalizer: achievable sums in increasing
+/// order, each with the literal that is forced true when the inputs reach
+/// at least that sum.
+#[derive(Clone, Debug)]
+pub struct GteOutputs {
+    /// `(sum, lit)` pairs sorted by increasing sum; `lit` is forced true
+    /// whenever the weighted input sum is ≥ `sum`.
+    pub outputs: Vec<(u64, Lit)>,
+}
+
+impl GteOutputs {
+    /// Literal that is true when the sum is at least `threshold`, if such
+    /// an output exists (the smallest output ≥ threshold).
+    pub fn reached(&self, threshold: u64) -> Option<Lit> {
+        self.outputs
+            .iter()
+            .find(|&&(s, _)| s >= threshold)
+            .map(|&(_, l)| l)
+    }
+
+    /// The distinct achievable sums (including saturated overflow value).
+    pub fn sums(&self) -> Vec<u64> {
+        self.outputs.iter().map(|&(s, _)| s).collect()
+    }
+}
+
+/// Builds the generalized totalizer over `terms`, saturating sums at `cap`.
+///
+/// Terms with zero weight are ignored. Returns outputs covering every
+/// achievable sum in `1..=cap`, plus one overflow output representing
+/// "sum > cap" when the total weight exceeds the cap.
+pub fn gte_outputs(sink: &mut impl ClauseSink, terms: &[PbTerm], cap: u64) -> GteOutputs {
+    let inputs: Vec<PbTerm> = terms.iter().copied().filter(|t| t.weight > 0).collect();
+    if inputs.is_empty() {
+        return GteOutputs { outputs: Vec::new() };
+    }
+    let saturate = cap.saturating_add(1);
+    build_node(sink, &inputs, saturate)
+}
+
+/// Recursive tree builder. `saturate` is the collapsed overflow sum.
+fn build_node(sink: &mut impl ClauseSink, terms: &[PbTerm], saturate: u64) -> GteOutputs {
+    if terms.len() == 1 {
+        let w = terms[0].weight.min(saturate);
+        return GteOutputs { outputs: vec![(w, terms[0].lit)] };
+    }
+    let mid = terms.len() / 2;
+    let left = build_node(sink, &terms[..mid], saturate);
+    let right = build_node(sink, &terms[mid..], saturate);
+    merge_nodes(sink, &left, &right, saturate)
+}
+
+fn merge_nodes(
+    sink: &mut impl ClauseSink,
+    a: &GteOutputs,
+    b: &GteOutputs,
+    saturate: u64,
+) -> GteOutputs {
+    // Collect achievable sums: each side alone, plus each pairwise total.
+    let mut sums: Vec<u64> = Vec::new();
+    for &(s, _) in &a.outputs {
+        sums.push(s.min(saturate));
+    }
+    for &(s, _) in &b.outputs {
+        sums.push(s.min(saturate));
+    }
+    for &(sa, _) in &a.outputs {
+        for &(sb, _) in &b.outputs {
+            sums.push(sa.saturating_add(sb).min(saturate));
+        }
+    }
+    sums.sort_unstable();
+    sums.dedup();
+
+    let outputs: Vec<(u64, Lit)> = sums.iter().map(|&s| (s, sink.fresh_lit())).collect();
+    let find = |s: u64| -> Lit {
+        // Largest output sum ≤ s (always exists for the sums we emit).
+        let idx = outputs.partition_point(|&(os, _)| os <= s) - 1;
+        outputs[idx].1
+    };
+
+    // a_sa → out_sa ; b_sb → out_sb ; a_sa ∧ b_sb → out_{sa+sb}
+    for &(sa, la) in &a.outputs {
+        sink.add_clause(&[!la, find(sa.min(saturate))]);
+    }
+    for &(sb, lb) in &b.outputs {
+        sink.add_clause(&[!lb, find(sb.min(saturate))]);
+    }
+    for &(sa, la) in &a.outputs {
+        for &(sb, lb) in &b.outputs {
+            let total = sa.saturating_add(sb).min(saturate);
+            sink.add_clause(&[!la, !lb, find(total)]);
+        }
+    }
+    // Monotonicity between adjacent outputs: reaching a larger sum implies
+    // reaching every smaller one. Not required for assert-≤ soundness, but
+    // it lets callers assume only the smallest violated output.
+    for w in outputs.windows(2) {
+        let (_, lo) = w[0];
+        let (_, hi) = w[1];
+        sink.add_clause(&[!hi, lo]);
+    }
+    GteOutputs { outputs }
+}
+
+/// Asserts `Σ wᵢ·xᵢ ≤ bound`.
+pub fn assert_pb_le(sink: &mut impl ClauseSink, terms: &[PbTerm], bound: u64) {
+    let total: u64 = terms.iter().map(|t| t.weight).sum();
+    if total <= bound {
+        return; // trivially satisfied
+    }
+    // Any single weight above the bound forces its literal false.
+    let mut remaining: Vec<PbTerm> = Vec::with_capacity(terms.len());
+    for &t in terms {
+        if t.weight > bound {
+            sink.add_clause(&[!t.lit]);
+        } else if t.weight > 0 {
+            remaining.push(t);
+        }
+    }
+    let rem_total: u64 = remaining.iter().map(|t| t.weight).sum();
+    if rem_total <= bound {
+        return;
+    }
+    let node = gte_outputs(sink, &remaining, bound);
+    for &(s, l) in &node.outputs {
+        if s > bound {
+            sink.add_clause(&[!l]);
+        }
+    }
+}
+
+/// Asserts `Σ wᵢ·xᵢ ≥ bound` (via the complement sum).
+pub fn assert_pb_ge(sink: &mut impl ClauseSink, terms: &[PbTerm], bound: u64) {
+    if bound == 0 {
+        return;
+    }
+    let total: u64 = terms.iter().map(|t| t.weight).sum();
+    if total < bound {
+        // Unsatisfiable: emit the empty clause.
+        sink.add_clause(&[]);
+        return;
+    }
+    // Σ w x ≥ b  ⇔  Σ w (¬x) ≤ total - b
+    let complemented: Vec<PbTerm> = terms
+        .iter()
+        .map(|&t| PbTerm::new(t.weight, !t.lit))
+        .collect();
+    assert_pb_le(sink, &complemented, total - bound);
+}
+
+/// Asserts `Σ wᵢ·xᵢ = bound`.
+pub fn assert_pb_eq(sink: &mut impl ClauseSink, terms: &[PbTerm], bound: u64) {
+    assert_pb_le(sink, terms, bound);
+    assert_pb_ge(sink, terms, bound);
+}
+
+/// Creates a literal `p` such that `p ⇔ (Σ wᵢ·xᵢ ≤ bound)`.
+///
+/// Composed from two one-directional encodings guarded by `p`:
+/// `p → (sum ≤ bound)` and `¬p → (sum ≥ bound + 1)`.
+pub fn reify_pb_le(sink: &mut impl ClauseSink, terms: &[PbTerm], bound: u64) -> Lit {
+    let p = sink.fresh_lit();
+    let total: u64 = terms.iter().map(|t| t.weight).sum();
+    if total <= bound {
+        sink.add_clause(&[p]);
+        return p;
+    }
+    // p → sum ≤ bound: forbid every over-bound output unless ¬p.
+    let node = gte_outputs(sink, terms, bound);
+    for &(s, l) in &node.outputs {
+        if s > bound {
+            sink.add_clause(&[!p, !l]);
+        }
+    }
+    // ¬p → sum ≥ bound+1, i.e. complement sum ≤ total - bound - 1,
+    // guarded by p in every bound clause.
+    let complemented: Vec<PbTerm> = terms
+        .iter()
+        .map(|&t| PbTerm::new(t.weight, !t.lit))
+        .collect();
+    let comp_bound = total - bound - 1;
+    let comp = gte_outputs(sink, &complemented, comp_bound);
+    for &(s, l) in &comp.outputs {
+        if s > comp_bound {
+            sink.add_clause(&[p, !l]);
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netarch_sat::{SolveResult, Solver};
+
+    fn inputs(s: &mut Solver, weights: &[u64]) -> Vec<PbTerm> {
+        weights
+            .iter()
+            .map(|&w| PbTerm::new(w, s.new_var().positive()))
+            .collect()
+    }
+
+    /// Brute-force check: for every input assignment, constraint result
+    /// must equal the arithmetic comparison.
+    fn check_all_assignments(
+        weights: &[u64],
+        bound: u64,
+        build: impl Fn(&mut Solver, &[PbTerm]),
+        cmp: impl Fn(u64, u64) -> bool,
+    ) {
+        let n = weights.len();
+        for bits in 0u32..(1 << n) {
+            let mut s = Solver::new();
+            let terms = inputs(&mut s, weights);
+            build(&mut s, &terms);
+            for (i, t) in terms.iter().enumerate() {
+                if (bits >> i) & 1 == 1 {
+                    s.add_clause([t.lit]);
+                } else {
+                    s.add_clause([!t.lit]);
+                }
+            }
+            let sum: u64 = terms
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (bits >> i) & 1 == 1)
+                .map(|(_, t)| t.weight)
+                .sum();
+            let expected = if cmp(sum, bound) {
+                SolveResult::Sat
+            } else {
+                SolveResult::Unsat
+            };
+            assert_eq!(
+                s.solve(),
+                expected,
+                "weights={weights:?} bound={bound} bits={bits:b} sum={sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn pb_le_exhaustive() {
+        for (weights, bound) in [
+            (vec![1u64, 1, 1], 2u64),
+            (vec![2, 3, 4], 5),
+            (vec![5, 1, 1, 1], 5),
+            (vec![7, 7, 7], 13),
+            (vec![1, 2, 4, 8], 9),
+            (vec![3, 3, 3, 3], 6),
+            (vec![10, 1], 0),
+        ] {
+            check_all_assignments(
+                &weights,
+                bound,
+                |s, t| assert_pb_le(s, t, bound),
+                |sum, b| sum <= b,
+            );
+        }
+    }
+
+    #[test]
+    fn pb_ge_exhaustive() {
+        for (weights, bound) in [
+            (vec![1u64, 1, 1], 2u64),
+            (vec![2, 3, 4], 5),
+            (vec![1, 2, 4, 8], 9),
+            (vec![3, 3, 3], 9),
+            (vec![4, 4], 1),
+        ] {
+            check_all_assignments(
+                &weights,
+                bound,
+                |s, t| assert_pb_ge(s, t, bound),
+                |sum, b| sum >= b,
+            );
+        }
+    }
+
+    #[test]
+    fn pb_eq_exhaustive() {
+        for (weights, bound) in [
+            (vec![1u64, 1, 1], 2u64),
+            (vec![2, 3, 4], 5),
+            (vec![1, 2, 4], 7),
+            (vec![2, 2, 2], 3), // odd target with even weights: only UNSAT rows
+        ] {
+            check_all_assignments(
+                &weights,
+                bound,
+                |s, t| assert_pb_eq(s, t, bound),
+                |sum, b| sum == b,
+            );
+        }
+    }
+
+    #[test]
+    fn pb_ge_unreachable_bound_is_unsat() {
+        let mut s = Solver::new();
+        let terms = inputs(&mut s, &[1, 2]);
+        assert_pb_ge(&mut s, &terms, 10);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn reified_pb_le_both_directions() {
+        for (weights, bound) in [(vec![2u64, 3, 4], 5u64), (vec![1, 1, 1], 1), (vec![5, 2], 4)] {
+            let n = weights.len();
+            for bits in 0u32..(1 << n) {
+                let mut s = Solver::new();
+                let terms = inputs(&mut s, &weights);
+                let p = reify_pb_le(&mut s, &terms, bound);
+                for (i, t) in terms.iter().enumerate() {
+                    if (bits >> i) & 1 == 1 {
+                        s.add_clause([t.lit]);
+                    } else {
+                        s.add_clause([!t.lit]);
+                    }
+                }
+                assert_eq!(s.solve(), SolveResult::Sat);
+                let sum: u64 = terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| (bits >> i) & 1 == 1)
+                    .map(|(_, t)| t.weight)
+                    .sum();
+                assert_eq!(
+                    s.model_lit_value(p),
+                    Some(sum <= bound),
+                    "weights={weights:?} bound={bound} bits={bits:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gte_outputs_reflect_reached_sums() {
+        let mut s = Solver::new();
+        let terms = inputs(&mut s, &[2, 3, 5]);
+        let node = gte_outputs(&mut s, &terms, 10);
+        // Force x0 (w=2) and x2 (w=5): sum = 7.
+        s.add_clause([terms[0].lit]);
+        s.add_clause([!terms[1].lit]);
+        s.add_clause([terms[2].lit]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for &(sum, l) in &node.outputs {
+            let v = s.model_lit_value(l).unwrap();
+            if sum <= 7 {
+                assert!(v, "output for sum {sum} should be reached");
+            }
+            // One-directional encoding: outputs above the true sum are not
+            // forced either way, so no assertion for sum > 7.
+        }
+        assert!(node.reached(7).is_some());
+        assert!(node.reached(8).is_none_or(|l| {
+            // If an output ≥ 8 exists, it must not be *forced* true; solver
+            // may have chosen either value. Just ensure lookup works.
+            let _ = l;
+            true
+        }));
+    }
+
+    #[test]
+    fn zero_weight_terms_are_ignored() {
+        let mut s = Solver::new();
+        let terms = inputs(&mut s, &[0, 0, 3]);
+        assert_pb_le(&mut s, &terms, 2);
+        // x2 has weight 3 > bound 2, so x2 is forced false; x0/x1 free.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_lit_value(terms[2].lit), Some(false));
+    }
+
+    #[test]
+    fn trivially_satisfied_le_emits_nothing() {
+        let mut sink = crate::sink::CollectSink::default();
+        let terms: Vec<PbTerm> = (0..3)
+            .map(|_| PbTerm::new(1, sink.fresh_lit()))
+            .collect();
+        assert_pb_le(&mut sink, &terms, 3);
+        assert!(sink.clauses.is_empty());
+    }
+
+    #[test]
+    fn saturation_keeps_outputs_bounded() {
+        let mut sink = crate::sink::CollectSink::default();
+        let terms: Vec<PbTerm> = (0..12)
+            .map(|i| PbTerm::new(1 << (i % 6), sink.fresh_lit()))
+            .collect();
+        let node = gte_outputs(&mut sink, &terms, 10);
+        // Saturated at cap+1 = 11: no output sum may exceed 11.
+        assert!(node.outputs.iter().all(|&(s, _)| s <= 11));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests: the Tseitin encoding must be *equisatisfiable with
+//! identical atom projections* — for every formula, the encoder's verdict
+//! and model count (projected on atoms) must match brute-force evaluation
+//! of the AST semantics.
+
+use netarch_logic::{Atom, Encoder, Formula, MaxSatAlgorithm, Soft};
+use netarch_sat::SolveResult;
+use proptest::prelude::*;
+
+const MAX_ATOMS: u32 = 5;
+
+/// Random formula generator over up to MAX_ATOMS atoms.
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        (0..MAX_ATOMS).prop_map(|i| Formula::Atom(Atom(i))),
+        Just(Formula::True),
+        Just(Formula::False),
+    ];
+    leaf.prop_recursive(4, 48, 5, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::and),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::or),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::xor(a, b)),
+            (0u32..4, prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(k, fs)| Formula::at_most(k, fs)),
+            (0u32..4, prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(k, fs)| Formula::at_least(k, fs)),
+            (0u32..4, prop::collection::vec(inner, 1..4))
+                .prop_map(|(k, fs)| Formula::exactly(k, fs)),
+        ]
+    })
+}
+
+/// Counts satisfying assignments over all MAX_ATOMS atoms by evaluation.
+fn brute_count(f: &Formula) -> usize {
+    (0u32..(1 << MAX_ATOMS))
+        .filter(|bits| f.eval(&|a: Atom| (bits >> a.0) & 1 == 1))
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn encoder_verdict_matches_semantics(f in formula_strategy()) {
+        let expected_sat = brute_count(&f) > 0;
+        let mut e = Encoder::new();
+        e.assert(&f);
+        let got = e.solve();
+        prop_assert_eq!(got == SolveResult::Sat, expected_sat, "formula: {}", f);
+        if got == SolveResult::Sat {
+            // The returned model must actually satisfy the formula.
+            prop_assert!(e.eval_under_model(&f), "model violates formula {}", f);
+        }
+    }
+
+    #[test]
+    fn projected_model_count_matches_semantics(f in formula_strategy()) {
+        let expected = brute_count(&f);
+        let mut e = Encoder::new();
+        e.assert(&f);
+        // Ensure all atoms are materialized so projection covers them.
+        let atoms: Vec<Atom> = (0..MAX_ATOMS).map(Atom).collect();
+        for &a in &atoms {
+            let _ = e.atom_var(a);
+        }
+        let result = netarch_logic::enumerate::enumerate_models(e, &atoms, &[], 1 << MAX_ATOMS);
+        prop_assert!(!result.truncated);
+        prop_assert_eq!(result.models.len(), expected, "formula: {}", f);
+    }
+
+    #[test]
+    fn lit_for_is_full_equivalence(f in formula_strategy()) {
+        // Reify f as a literal, force the literal false: remaining models
+        // must be exactly the countermodels of f.
+        let expected_counter = (1usize << MAX_ATOMS) - brute_count(&f);
+        let mut e = Encoder::new();
+        let l = e.lit_for(&f);
+        e.solver_mut().add_clause([!l]);
+        let atoms: Vec<Atom> = (0..MAX_ATOMS).map(Atom).collect();
+        for &a in &atoms {
+            let _ = e.atom_var(a);
+        }
+        let result = netarch_logic::enumerate::enumerate_models(e, &atoms, &[], 1 << MAX_ATOMS);
+        prop_assert!(!result.truncated);
+        prop_assert_eq!(result.models.len(), expected_counter, "formula: {}", f);
+    }
+
+    #[test]
+    fn maxsat_linear_is_optimal(
+        hard in formula_strategy(),
+        soft_formulas in prop::collection::vec(formula_strategy(), 1..4),
+        weights in prop::collection::vec(1u64..8, 1..4),
+    ) {
+        let soft: Vec<Soft> = soft_formulas
+            .iter()
+            .zip(weights.iter().cycle())
+            .map(|(f, &w)| Soft::new(w, f.clone()))
+            .collect();
+        // Brute-force optimum.
+        let mut best: Option<u64> = None;
+        for bits in 0u32..(1 << MAX_ATOMS) {
+            let assign = |a: Atom| (bits >> a.0) & 1 == 1;
+            if !hard.eval(&assign) {
+                continue;
+            }
+            let cost: u64 = soft
+                .iter()
+                .filter(|s| !s.formula.eval(&assign))
+                .map(|s| s.weight)
+                .sum();
+            best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+        }
+        let mut e = Encoder::new();
+        e.assert(&hard);
+        let outcome = netarch_logic::maxsat::minimize(&mut e, &soft, MaxSatAlgorithm::LinearGte);
+        match (best, outcome) {
+            (None, netarch_logic::MaxSatOutcome::HardUnsat) => {}
+            (Some(b), netarch_logic::MaxSatOutcome::Optimal { cost, .. }) => {
+                prop_assert_eq!(cost, b, "hard={} soft={:?}", hard, soft);
+            }
+            (expected, got) => prop_assert!(false, "expected {:?}, got {:?}", expected, got),
+        }
+    }
+
+    #[test]
+    fn fu_malik_matches_linear_on_uniform_weights(
+        hard in formula_strategy(),
+        soft_formulas in prop::collection::vec(formula_strategy(), 1..4),
+    ) {
+        let soft: Vec<Soft> = soft_formulas
+            .iter()
+            .map(|f| Soft::new(1, f.clone()))
+            .collect();
+        let mut e1 = Encoder::new();
+        e1.assert(&hard);
+        let r1 = netarch_logic::maxsat::minimize(&mut e1, &soft, MaxSatAlgorithm::LinearGte);
+        let mut e2 = Encoder::new();
+        e2.assert(&hard);
+        let r2 = netarch_logic::maxsat::minimize(&mut e2, &soft, MaxSatAlgorithm::FuMalik);
+        match (r1, r2) {
+            (
+                netarch_logic::MaxSatOutcome::Optimal { cost: c1, .. },
+                netarch_logic::MaxSatOutcome::Optimal { cost: c2, .. },
+            ) => prop_assert_eq!(c1, c2, "hard={}", hard),
+            (netarch_logic::MaxSatOutcome::HardUnsat, netarch_logic::MaxSatOutcome::HardUnsat) => {}
+            (x, y) => prop_assert!(false, "mismatch {:?} vs {:?}", x, y),
+        }
+    }
+
+    #[test]
+    fn mus_members_are_all_necessary(
+        formulas in prop::collection::vec(formula_strategy(), 2..6),
+    ) {
+        let mut e = Encoder::new();
+        let mut g = netarch_logic::GroupedAssertions::new();
+        let ids: Vec<_> = formulas
+            .iter()
+            .enumerate()
+            .map(|(i, f)| g.add_group(&mut e, format!("g{i}"), f))
+            .collect();
+        if let Some(mus) = g.find_mus(&mut e, &ids) {
+            // MUS itself must be UNSAT.
+            prop_assert_eq!(g.solve_with_groups(&mut e, &mus), SolveResult::Unsat);
+            // Every proper subset missing one member must be SAT.
+            for drop in &mus {
+                let rest: Vec<_> = mus.iter().copied().filter(|x| x != drop).collect();
+                prop_assert_eq!(
+                    g.solve_with_groups(&mut e, &rest),
+                    SolveResult::Sat,
+                    "MUS not minimal: {:?} removable", drop
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! DIMACS CNF parsing and writing.
+//!
+//! Supports the standard `p cnf <vars> <clauses>` header, `c` comment lines,
+//! and clauses terminated by `0`. Parsing is tolerant of clauses split
+//! across lines and of a missing header (variables are then sized from the
+//! largest literal seen).
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+use std::fmt::Write as _;
+
+/// A parsed CNF instance.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Declared (or inferred) number of variables.
+    pub num_vars: usize,
+    /// The clauses, each a disjunction of literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// Errors produced while parsing DIMACS text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The `p` header line was malformed.
+    BadHeader {
+        /// 1-based line number of the offending header.
+        line: usize,
+    },
+    /// A token was neither an integer literal nor `0`.
+    BadToken {
+        /// 1-based line number of the offending token.
+        line: usize,
+        /// The token as read.
+        token: String,
+    },
+    /// A literal's magnitude exceeded the representable range.
+    LiteralOutOfRange {
+        /// 1-based line number of the offending literal.
+        line: usize,
+        /// The out-of-range value.
+        value: i64,
+    },
+    /// Input ended in the middle of a clause (no terminating `0`).
+    UnterminatedClause,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader { line } => write!(f, "malformed `p cnf` header on line {line}"),
+            ParseError::BadToken { line, token } => {
+                write!(f, "unexpected token {token:?} on line {line}")
+            }
+            ParseError::LiteralOutOfRange { line, value } => {
+                write!(f, "literal {value} out of range on line {line}")
+            }
+            ParseError::UnterminatedClause => write!(f, "input ended inside a clause"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses DIMACS CNF text.
+pub fn parse(input: &str) -> Result<Cnf, ParseError> {
+    let mut cnf = Cnf::default();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut declared_vars: Option<usize> = None;
+
+    for (line_index, line) in input.lines().enumerate() {
+        let line_no = line_index + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') || trimmed.starts_with('%') {
+            continue;
+        }
+        if trimmed.starts_with('p') {
+            let mut parts = trimmed.split_whitespace();
+            let (p, fmt) = (parts.next(), parts.next());
+            let vars = parts.next().and_then(|t| t.parse::<usize>().ok());
+            let clauses = parts.next().and_then(|t| t.parse::<usize>().ok());
+            if p != Some("p") || fmt != Some("cnf") || vars.is_none() || clauses.is_none() {
+                return Err(ParseError::BadHeader { line: line_no });
+            }
+            declared_vars = vars;
+            continue;
+        }
+        for token in trimmed.split_whitespace() {
+            let value: i64 = token.parse().map_err(|_| ParseError::BadToken {
+                line: line_no,
+                token: token.to_string(),
+            })?;
+            if value == 0 {
+                cnf.clauses.push(std::mem::take(&mut current));
+            } else {
+                let lit = Lit::from_dimacs(value)
+                    .ok_or(ParseError::LiteralOutOfRange { line: line_no, value })?;
+                cnf.num_vars = cnf.num_vars.max(lit.var().index() + 1);
+                current.push(lit);
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseError::UnterminatedClause);
+    }
+    if let Some(v) = declared_vars {
+        cnf.num_vars = cnf.num_vars.max(v);
+    }
+    Ok(cnf)
+}
+
+/// Renders a CNF instance as DIMACS text.
+pub fn write(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars, cnf.clauses.len());
+    for clause in &cnf.clauses {
+        for lit in clause {
+            let _ = write!(out, "{} ", lit.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+/// Loads a CNF instance into a solver, returning `false` when the instance
+/// is trivially unsatisfiable during loading.
+pub fn load_into(solver: &mut Solver, cnf: &Cnf) -> bool {
+    solver.ensure_vars(cnf.num_vars);
+    let mut ok = true;
+    for clause in &cnf.clauses {
+        ok &= solver.add_clause(clause.iter().copied());
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parse_simple_instance() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0][0].to_dimacs(), 1);
+        assert_eq!(cnf.clauses[0][1].to_dimacs(), -2);
+    }
+
+    #[test]
+    fn parse_without_header_infers_vars() {
+        let cnf = parse("1 2 0\n-3 0\n").unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+    }
+
+    #[test]
+    fn parse_clause_across_lines() {
+        let cnf = parse("p cnf 2 1\n1\n2 0\n").unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(parse("p dnf 1 1\n"), Err(ParseError::BadHeader { .. })));
+        assert!(matches!(parse("1 x 0\n"), Err(ParseError::BadToken { .. })));
+        assert!(matches!(parse("1 2\n"), Err(ParseError::UnterminatedClause)));
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let cnf = parse("p cnf 3 2\n1 -2 0\n-1 3 0\n").unwrap();
+        let text = write(&cnf);
+        assert_eq!(parse(&text).unwrap(), cnf);
+    }
+
+    #[test]
+    fn load_and_solve() {
+        let cnf = parse("p cnf 2 3\n1 2 0\n-1 0\n-2 1 0\n").unwrap();
+        let mut s = Solver::new();
+        assert!(!load_into(&mut s, &cnf) || s.solve() == SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_in_file_is_unsat() {
+        let cnf = parse("p cnf 1 1\n0\n").unwrap();
+        let mut s = Solver::new();
+        assert!(!load_into(&mut s, &cnf));
+    }
+}

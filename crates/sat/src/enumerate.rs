@@ -1,0 +1,135 @@
+//! Model enumeration.
+//!
+//! Enumerates satisfying assignments, optionally projected onto a subset of
+//! variables. After each model, a blocking clause over the projection
+//! variables excludes it, so projected enumeration yields each *projected*
+//! assignment exactly once — this is what the architecture layer uses to
+//! compute equivalence classes of designs (paper §6, "identify equivalence
+//! classes of system deployments").
+
+use crate::lit::{Lit, Var};
+use crate::solver::{SolveResult, Solver};
+
+/// Result of an enumeration run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Enumeration {
+    /// The models found, restricted to the projection variables, in
+    /// discovery order. Each entry pairs a variable with its value.
+    pub models: Vec<Vec<(Var, bool)>>,
+    /// True when enumeration stopped because `limit` was reached rather
+    /// than because the model space was exhausted.
+    pub truncated: bool,
+}
+
+/// Enumerates up to `limit` models projected onto `projection`.
+///
+/// The solver is mutated: blocking clauses are added permanently. Callers
+/// that need the solver afterwards should enumerate on a clone or rebuild.
+/// An empty projection enumerates over all variables.
+pub fn enumerate_projected(
+    solver: &mut Solver,
+    projection: &[Var],
+    assumptions: &[Lit],
+    limit: usize,
+) -> Enumeration {
+    let project_all: Vec<Var> = if projection.is_empty() {
+        (0..solver.num_vars()).map(Var::from_index).collect()
+    } else {
+        projection.to_vec()
+    };
+    let mut models = Vec::new();
+    let mut truncated = false;
+    while models.len() < limit {
+        match solver.solve_with(assumptions) {
+            SolveResult::Sat => {
+                let model: Vec<(Var, bool)> = project_all
+                    .iter()
+                    .map(|&v| (v, solver.model_value(v).unwrap_or(false)))
+                    .collect();
+                let blocking: Vec<Lit> = model
+                    .iter()
+                    .map(|&(v, value)| Lit::new(v, !value))
+                    .collect();
+                models.push(model);
+                if !solver.add_clause(blocking) {
+                    // Blocking clause made the instance unsatisfiable:
+                    // the space is exhausted.
+                    return Enumeration { models, truncated: false };
+                }
+            }
+            SolveResult::Unsat => break,
+            SolveResult::Unknown => {
+                truncated = true;
+                break;
+            }
+        }
+    }
+    if models.len() == limit && solver.solve_with(assumptions) == SolveResult::Sat {
+        truncated = true;
+    }
+    Enumeration { models, truncated }
+}
+
+/// Counts models projected onto `projection`, up to `limit`.
+pub fn count_models(solver: &mut Solver, projection: &[Var], limit: usize) -> (usize, bool) {
+    let e = enumerate_projected(solver, projection, &[], limit);
+    (e.models.len(), e.truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_all_models_of_or() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.positive(), b.positive()]);
+        let e = enumerate_projected(&mut s, &[], &[], 10);
+        assert_eq!(e.models.len(), 3); // TT, TF, FT
+        assert!(!e.truncated);
+    }
+
+    #[test]
+    fn projection_collapses_irrelevant_vars() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let _free = s.new_var(); // unconstrained variable
+        s.add_clause([a.positive()]);
+        let e = enumerate_projected(&mut s, &[a], &[], 10);
+        // Projected onto {a}: exactly one model, regardless of `free`.
+        assert_eq!(e.models.len(), 1);
+        assert_eq!(e.models[0], vec![(a, true)]);
+    }
+
+    #[test]
+    fn limit_reports_truncation() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        s.add_clause(vars.iter().map(|v| v.positive())); // 7 models
+        let e = enumerate_projected(&mut s, &[], &[], 2);
+        assert_eq!(e.models.len(), 2);
+        assert!(e.truncated);
+    }
+
+    #[test]
+    fn enumeration_under_assumptions() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.positive(), b.positive()]);
+        let e = enumerate_projected(&mut s, &[], &[a.negative()], 10);
+        assert_eq!(e.models.len(), 1); // only FT survives a=false
+        assert_eq!(e.models[0], vec![(a, false), (b, true)]);
+    }
+
+    #[test]
+    fn count_models_of_unsat_is_zero() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([a.positive()]);
+        s.add_clause([a.negative()]);
+        assert_eq!(count_models(&mut s, &[], 10), (0, false));
+    }
+}

@@ -1,0 +1,189 @@
+//! Indexed max-heap over variables ordered by VSIDS activity.
+//!
+//! The solver needs three operations not offered by `std::collections`:
+//! membership testing, key increase for an element already in the heap, and
+//! removal of the maximum — all O(log n) with O(1) lookup. This is the
+//! standard indexed binary heap used by MiniSat-family solvers.
+
+use crate::lit::Var;
+
+/// Binary max-heap of variables keyed by an external activity table.
+#[derive(Default)]
+pub struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `position[v]` = index of `v` in `heap`, or `NOT_IN_HEAP`.
+    position: Vec<u32>,
+}
+
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+impl VarHeap {
+    /// Creates an empty heap.
+    pub fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    /// Extends internal tables to cover `num_vars` variables.
+    pub fn grow_to(&mut self, num_vars: usize) {
+        if self.position.len() < num_vars {
+            self.position.resize(num_vars, NOT_IN_HEAP);
+        }
+    }
+
+    /// Returns `true` when no variable is queued.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of queued variables.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if `var` is currently queued.
+    pub fn contains(&self, var: Var) -> bool {
+        self.position
+            .get(var.index())
+            .is_some_and(|&p| p != NOT_IN_HEAP)
+    }
+
+    /// Inserts `var` if absent. `activity[v]` supplies the ordering key.
+    pub fn insert(&mut self, var: Var, activity: &[f64]) {
+        self.grow_to(var.index() + 1);
+        if self.contains(var) {
+            return;
+        }
+        self.position[var.index()] = self.heap.len() as u32;
+        self.heap.push(var.0);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Restores heap order after `var`'s activity increased.
+    pub fn increased(&mut self, var: Var, activity: &[f64]) {
+        if let Some(&p) = self.position.get(var.index()) {
+            if p != NOT_IN_HEAP {
+                self.sift_up(p as usize, activity);
+            }
+        }
+    }
+
+    /// Removes and returns the most active queued variable.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.position[top as usize] = NOT_IN_HEAP;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var(top))
+    }
+
+    fn better(&self, a: u32, b: u32, activity: &[f64]) -> bool {
+        let (ka, kb) = (activity[a as usize], activity[b as usize]);
+        ka > kb || (ka == kb && a < b)
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.better(self.heap[i], self.heap[parent], activity) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * i + 1;
+            let right = 2 * i + 2;
+            let mut best = i;
+            if left < self.heap.len() && self.better(self.heap[left], self.heap[best], activity) {
+                best = left;
+            }
+            if right < self.heap.len() && self.better(self.heap[right], self.heap[best], activity) {
+                best = right;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i] as usize] = i as u32;
+        self.position[self.heap[j] as usize] = j as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::new();
+        for i in 0..4 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.insert(Var::from_index(0), &activity);
+        h.insert(Var::from_index(0), &activity);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn increased_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for i in 0..3 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.increased(Var::from_index(0), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn ties_broken_by_index() {
+        let activity = vec![1.0; 5];
+        let mut h = VarHeap::new();
+        for i in (0..5).rev() {
+            h.insert(Var::from_index(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_on_empty_returns_none() {
+        let mut h = VarHeap::new();
+        assert_eq!(h.pop_max(&[]), None);
+    }
+}

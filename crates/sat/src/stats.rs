@@ -1,0 +1,62 @@
+//! Solver statistics counters.
+
+use std::fmt;
+
+/// Counters accumulated across the lifetime of a [`crate::Solver`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of `solve`/`solve_with` invocations.
+    pub solves: u64,
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals enqueued by unit propagation (including decisions).
+    pub propagations: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clauses learnt from conflicts (excluding learnt units).
+    pub learnt_clauses: u64,
+    /// Total literals across learnt clauses.
+    pub learnt_literals: u64,
+    /// Literals removed by learned-clause minimization.
+    pub minimized_literals: u64,
+    /// Learnt-clause database reductions.
+    pub reductions: u64,
+    /// Learnt clauses deleted by reductions.
+    pub deleted_clauses: u64,
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "solves={} decisions={} propagations={} conflicts={} restarts={} \
+             learnt={} deleted={} minimized_lits={}",
+            self.solves,
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.restarts,
+            self.learnt_clauses,
+            self.deleted_clauses,
+            self.minimized_literals,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let s = Stats {
+            conflicts: 7,
+            ..Stats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("conflicts=7"));
+        assert!(text.contains("decisions=0"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Capacity planning and disambiguation — the repo's §6-inspired
+//! extensions, driven through the public API.
+//!
+//! Run with: `cargo run --example capacity_planning`
+
+use netarch::core::prelude::*;
+use netarch::corpus::case_study;
+
+fn main() {
+    println!("=== How many servers does the §2.3 case study need? ===\n");
+    let scenario = case_study::scenario();
+    let engine = Engine::new(scenario.clone()).expect("compiles");
+    let plan = engine.plan_capacity(512).expect("runs").expect("feasible");
+    println!(
+        "provisioned: {} servers;   actually needed: {}\n",
+        scenario.inventory.num_servers, plan.servers_needed
+    );
+    println!("{}", plan.design);
+
+    println!("=== What if the inference service doubles? ===\n");
+    let doubled = case_study::scenario().with_workload(
+        Workload::builder("inference_app_2")
+            .property("dc_flows")
+            .property("short_flows")
+            .peak_cores(2_800)
+            .num_flows(50_000)
+            .needs("load_balancing")
+            .build(),
+    );
+    let engine = Engine::new(doubled).expect("compiles");
+    let plan2 = engine.plan_capacity(512).expect("runs").expect("feasible");
+    println!(
+        "servers: {} → {} (+{})\n",
+        plan.servers_needed,
+        plan2.servers_needed,
+        plan2.servers_needed - plan.servers_needed
+    );
+
+    println!("=== Which questions would pin the design down? (§6) ===\n");
+    let mut ambiguous = case_study::scenario();
+    ambiguous.objectives.clear();
+    let ambiguous = ambiguous
+        .with_role(Category::Transport, RoleRule::Forbidden)
+        .with_role(Category::Firewall, RoleRule::Forbidden)
+        .with_role(Category::Custom("l2-address-resolution".into()), RoleRule::Forbidden)
+        .with_role(Category::Custom("memory-pooling".into()), RoleRule::Forbidden)
+        .with_pin(Pin::Require(SystemId::new("SWIFT")))
+        .with_pin(Pin::Require(SystemId::new("OVS")));
+    let engine = Engine::new(ambiguous).expect("compiles");
+    let plan = engine.disambiguate(256).expect("runs");
+    print!("{}", render_plan(&plan));
+}

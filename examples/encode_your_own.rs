@@ -1,0 +1,107 @@
+//! Encoding your own knowledge — the paper's §3.3 expert workflow,
+//! end-to-end: add a new congestion control system and a new switch to
+//! the shipped corpus via modular deltas, then let the engine reason
+//! about them.
+//!
+//! Follows `docs/ENCODING_GUIDE.md`. Run with:
+//! `cargo run --example encode_your_own`
+
+use netarch::core::prelude::*;
+use netarch::corpus::{full_catalog, vocab::params, vocab::props};
+
+fn main() {
+    let mut catalog = full_catalog();
+    println!(
+        "shipped corpus: {} systems, {} hardware models",
+        catalog.num_systems(),
+        catalog.num_hardware()
+    );
+
+    // 1. The expert encodes a (fictional) in-network-assisted CCA.
+    let poseidon = SystemSpec::builder("POSEIDON", Category::CongestionControl)
+        .name("Poseidon (example encoding)")
+        .solves("bandwidth_allocation")
+        .requires_cited(
+            "poseidon-needs-int-switches",
+            Condition::switches_have("INT"),
+            "the expert's own deployment notes",
+        )
+        .requires(
+            "poseidon-dc-only",
+            Condition::workload(props::DC_FLOWS),
+        )
+        .consumes(Resource::QosClasses, AmountExpr::constant(2))
+        .cost(1_200)
+        .notes("Example system for the encoding guide.")
+        .build();
+
+    // 2. …and a new switch generation that carries INT cheaply.
+    let switch = HardwareSpec::builder("EXAMPLE_SW_800G", HardwareKind::Switch)
+        .model_name("Example 64x800G INT switch")
+        .numeric("ports", 64.0)
+        .numeric("port_bandwidth_gbps", 800.0)
+        .numeric("memory_mb", 128.0)
+        .numeric("qos_classes", 16.0)
+        .feature("ECN")
+        .feature("PFC")
+        .feature("INT")
+        .feature("MIRRORING")
+        .cost(38_000)
+        .build();
+
+    // 3. Ship both atomically, with preference edges, in one delta (§6).
+    catalog
+        .apply(CatalogDelta {
+            upsert_systems: vec![poseidon],
+            upsert_hardware: vec![switch],
+            add_orderings: vec![
+                OrderingEdge::strict("POSEIDON", "HPCC", Dimension::TailLatency)
+                    .cited("the expert's A/B test"),
+            ],
+            ..CatalogDelta::default()
+        })
+        .expect("delta applies cleanly");
+    assert!(catalog.validate().is_empty());
+    println!("after the delta: {} systems\n", catalog.num_systems());
+
+    // 4. Ask the engine to use the new knowledge.
+    let scenario = Scenario::new(catalog)
+        .with_workload(
+            Workload::builder("training")
+                .property(props::DC_FLOWS)
+                .needs("bandwidth_allocation")
+                .peak_cores(600)
+                .num_flows(30_000)
+                .build(),
+        )
+        .with_param(params::LINK_SPEED_GBPS, 800.0)
+        .with_inventory(Inventory {
+            switch_candidates: vec![
+                HardwareId::new("TRIDENT4_T32"),
+                HardwareId::new("EXAMPLE_SW_800G"),
+            ],
+            nic_candidates: vec![HardwareId::new("MLX_CX7_400")],
+            server_candidates: vec![HardwareId::new("EPYC_GENOA_96C")],
+            num_servers: 16,
+            num_switches: 4,
+        })
+        .with_objective(Objective::MaximizeDimension(Dimension::TailLatency))
+        .with_objective(Objective::MinimizeCost);
+
+    let mut engine = Engine::new(scenario.clone()).expect("compiles");
+    let result = engine.optimize().expect("runs").expect("feasible");
+    let cc = result.design.selection(&Category::CongestionControl).unwrap();
+    let switch = result.design.hardware_for(HardwareKind::Switch).unwrap();
+    println!("optimizer chose: CC = {cc} on switch {switch}");
+    println!("{}", result.design);
+
+    // 5. And ask whether a follow-up measurement is worth running (§3.1).
+    let advice = engine
+        .advise_measurement(
+            &SystemId::new("POSEIDON"),
+            &SystemId::new("BFC"),
+            &Dimension::TailLatency,
+        )
+        .expect("runs");
+    println!("measure POSEIDON vs BFC on tail latency? {}", advice.reason);
+}

@@ -1,0 +1,118 @@
+//! Quickstart: encode two monitoring systems and two NICs, then ask the
+//! engine the paper's basic question — "does there exist a choice of
+//! systems such that the following properties and constraints are met?"
+//! (§3.4) — and watch the diagnosis when the answer is no.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use netarch::core::explain::render_diagnosis;
+use netarch::core::prelude::*;
+
+fn build_catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    // Listing 2, transliterated: SIMON solves queue-length detection but
+    // needs NIC timestamps and collector cores.
+    catalog
+        .add_system(
+            SystemSpec::builder("SIMON", Category::Monitoring)
+                .solves("detect_queue_length")
+                .requires_cited(
+                    "simon-needs-nic-timestamps",
+                    Condition::nics_have("NIC_TIMESTAMPS"),
+                    "Geng et al., NSDI 2019",
+                )
+                .consumes(Resource::Cores, AmountExpr::scaled("num_flows", 0.0005))
+                .cost(1_500)
+                .build(),
+        )
+        .expect("unique id");
+    catalog
+        .add_system(
+            SystemSpec::builder("PINGMESH", Category::Monitoring)
+                .solves("reachability_monitoring")
+                .cost(200)
+                .build(),
+        )
+        .expect("unique id");
+    catalog
+        .add_ordering(OrderingEdge::strict("SIMON", "PINGMESH", Dimension::MonitoringQuality))
+        .expect("both endpoints exist");
+
+    catalog
+        .add_hardware(
+            HardwareSpec::builder("CX6", HardwareKind::Nic)
+                .model_name("ConnectX-6 100GbE")
+                .feature("NIC_TIMESTAMPS")
+                .cost(1_200)
+                .build(),
+        )
+        .expect("unique id");
+    catalog
+        .add_hardware(
+            HardwareSpec::builder("PLAIN_NIC", HardwareKind::Nic)
+                .model_name("Basic 25GbE NIC")
+                .cost(300)
+                .build(),
+        )
+        .expect("unique id");
+    catalog
+        .add_hardware(
+            HardwareSpec::builder("SRV64", HardwareKind::Server)
+                .numeric("cores", 64.0)
+                .cost(9_000)
+                .build(),
+        )
+        .expect("unique id");
+    catalog
+}
+
+fn main() {
+    let catalog = build_catalog();
+
+    // An architect's question: my app needs queue-length monitoring.
+    let scenario = Scenario::new(catalog.clone())
+        .with_workload(
+            Workload::builder("inference")
+                .needs("detect_queue_length")
+                .num_flows(40_000)
+                .peak_cores(100)
+                .build(),
+        )
+        .with_inventory(Inventory {
+            nic_candidates: vec![HardwareId::new("CX6"), HardwareId::new("PLAIN_NIC")],
+            server_candidates: vec![HardwareId::new("SRV64")],
+            num_servers: 4,
+            ..Inventory::default()
+        });
+
+    let mut engine = Engine::new(scenario).expect("scenario compiles");
+    match engine.check().expect("query runs") {
+        Outcome::Feasible(design) => {
+            println!("Feasible design found:\n{design}");
+            println!(
+                "Note: SIMON forces the timestamping NIC — the engine tracked\n\
+                 the cross-component dependency automatically.\n"
+            );
+        }
+        Outcome::Infeasible(diagnosis) => println!("{}", render_diagnosis(&diagnosis)),
+    }
+
+    // Now make it impossible: forbid the only NIC with timestamps by
+    // shrinking the inventory, and watch the diagnosis name the exact
+    // rules in conflict.
+    let impossible = Scenario::new(catalog)
+        .with_workload(Workload::builder("inference").needs("detect_queue_length").build())
+        .with_inventory(Inventory {
+            nic_candidates: vec![HardwareId::new("PLAIN_NIC")],
+            num_servers: 4,
+            ..Inventory::default()
+        });
+    let mut engine = Engine::new(impossible).expect("scenario compiles");
+    match engine.check().expect("query runs") {
+        Outcome::Feasible(design) => println!("unexpectedly feasible:\n{design}"),
+        Outcome::Infeasible(diagnosis) => {
+            println!("As expected, no design exists without a timestamping NIC:");
+            println!("{}", render_diagnosis(&diagnosis));
+        }
+    }
+}

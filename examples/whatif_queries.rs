@@ -1,0 +1,140 @@
+//! The three §5.1 what-if queries, verbatim from the paper:
+//!
+//! 1. "I want to support more applications, but I can't change my servers
+//!    since that requires time and human effort."
+//! 2. "I have already deployed Sonata, and I don't want to change it
+//!    unless there are huge performance benefits or cost savings."
+//! 3. "Given my current workloads, is it worthwhile to deploy CXL memory
+//!    pooling?"
+//!
+//! Run with: `cargo run --example whatif_queries`
+
+use netarch::core::explain::render_diagnosis;
+use netarch::core::prelude::*;
+use netarch::corpus::case_study;
+
+fn main() {
+    query_1_more_apps_same_servers();
+    query_2_keep_sonata();
+    query_3_cxl_pooling();
+}
+
+/// Query 1: freeze the server SKU chosen for today's workload, then add
+/// the WAN batch workload and ask whether the deployment still works.
+fn query_1_more_apps_same_servers() {
+    println!("=== Query 1: more applications, servers frozen ===\n");
+    // Today's optimized design fixes the server choice.
+    let mut engine = Engine::new(case_study::scenario()).expect("compiles");
+    let today = engine.optimize().expect("runs").expect("feasible");
+    let server = today
+        .design
+        .hardware_for(HardwareKind::Server)
+        .expect("server chosen")
+        .clone();
+    println!("Today's servers: {server} (frozen from here on).\n");
+
+    // Tomorrow: same servers, one more workload.
+    let mut tomorrow = case_study::scenario().with_workload(case_study::batch_workload());
+    tomorrow.inventory.server_candidates = vec![server.clone()];
+    let mut engine = Engine::new(tomorrow).expect("compiles");
+    match engine.optimize().expect("runs") {
+        Ok(result) => {
+            println!(
+                "Feasible: the frozen {server} fleet absorbs the batch workload.\n{}",
+                result.design
+            );
+            println!(
+                "Note the congestion-control change: the WAN batch workload\n\
+                 activates Annulus' applicability rule (§4.1) and the scavenger\n\
+                 caveat for delay-based CCAs (§2.2).\n"
+            );
+        }
+        Err(diagnosis) => {
+            println!("Infeasible with frozen servers — the engine explains:\n");
+            println!("{}", render_diagnosis(&diagnosis));
+        }
+    }
+}
+
+/// Query 2: pin Sonata and compare the objective penalties and cost
+/// against the unconstrained optimum — "unless there are huge performance
+/// benefits or cost savings", the architect keeps it.
+fn query_2_keep_sonata() {
+    println!("=== Query 2: keep Sonata unless the win is huge ===\n");
+    let mut baseline_engine = Engine::new(case_study::scenario()).expect("compiles");
+    let unconstrained = baseline_engine.optimize().expect("runs").expect("feasible");
+
+    let pinned = case_study::scenario().with_pin(Pin::Require(SystemId::new("SONATA")));
+    let mut pinned_engine = Engine::new(pinned).expect("compiles");
+    match pinned_engine.optimize().expect("runs") {
+        Ok(with_sonata) => {
+            println!(
+                "cost with Sonata pinned:   ${}",
+                with_sonata.design.total_cost_usd
+            );
+            println!(
+                "cost if free to change:    ${}",
+                unconstrained.design.total_cost_usd
+            );
+            let delta = with_sonata
+                .design
+                .total_cost_usd
+                .saturating_sub(unconstrained.design.total_cost_usd);
+            let relative = delta as f64 / with_sonata.design.total_cost_usd.max(1) as f64;
+            println!("savings from switching:    ${delta} ({:.1}%)", relative * 100.0);
+            if relative < 0.10 {
+                println!("→ Verdict: keep Sonata; the savings are not 'huge'.\n");
+            } else {
+                println!("→ Verdict: consider switching; the savings are substantial.\n");
+            }
+            let monitoring = with_sonata
+                .design
+                .selection(&Category::Monitoring)
+                .map(|s| s.as_str().to_string());
+            println!(
+                "(monitoring under the pin: {}; switch choice: {:?})\n",
+                monitoring.as_deref().unwrap_or("none"),
+                with_sonata.design.hardware_for(HardwareKind::Switch)
+            );
+        }
+        Err(diagnosis) => {
+            println!("Sonata cannot be kept at all:\n{}", render_diagnosis(&diagnosis));
+        }
+    }
+}
+
+/// Query 3: CXL memory pooling is worthwhile only if a design exists that
+/// carries it without breaking the budget or the platform constraints.
+fn query_3_cxl_pooling() {
+    println!("=== Query 3: is CXL memory pooling worthwhile? ===\n");
+    // Ask for pooling on top of the case study.
+    let scenario = case_study::scenario()
+        .with_role(Category::Custom("memory-pooling".into()), RoleRule::Required)
+        .with_pin(Pin::Require(SystemId::new("CXL_POOL")));
+    let mut engine = Engine::new(scenario).expect("compiles");
+    match engine.optimize().expect("runs") {
+        Ok(result) => {
+            println!("Feasible. The engine routes the platform dependency:");
+            println!(
+                "  server: {:?} (CXL pooling requires a CXL-capable platform)",
+                result.design.hardware_for(HardwareKind::Server)
+            );
+            let mut baseline_engine = Engine::new(case_study::scenario()).expect("compiles");
+            let baseline = baseline_engine.optimize().expect("runs").expect("feasible");
+            let premium = result
+                .design
+                .total_cost_usd
+                .saturating_sub(baseline.design.total_cost_usd);
+            println!(
+                "  cost premium over the no-pooling optimum: ${premium}\n\
+                 → Worthwhile if the DRAM stranding it recovers exceeds that.\n"
+            );
+        }
+        Err(diagnosis) => {
+            println!(
+                "Not deployable with the current inventory:\n{}",
+                render_diagnosis(&diagnosis)
+            );
+        }
+    }
+}

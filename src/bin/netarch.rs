@@ -1,0 +1,165 @@
+//! `netarch` — command-line interface to the reasoning engine.
+//!
+//! Scenarios are self-contained JSON documents (catalog + workloads +
+//! inventory + objectives + pins), the machine-readable interchange
+//! format the paper's Listing 1 sketches.
+//!
+//! ```text
+//! netarch demo > scenario.json          # the paper's §2.3 case study
+//! netarch check scenario.json           # feasibility + design or diagnosis
+//! netarch optimize scenario.json        # lexicographic Optimize(...)
+//! netarch capacity scenario.json 512    # minimal fleet size
+//! netarch enumerate scenario.json 8     # design equivalence classes
+//! netarch questions scenario.json       # §6 disambiguation plan
+//! netarch compare scenario.json SIMON PINGMESH monitoring-quality
+//! netarch export-catalog                # full knowledge corpus as JSON
+//! ```
+
+use netarch::core::explain::render_diagnosis;
+use netarch::core::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args.iter().map(String::as_str).collect::<Vec<_>>()) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  netarch demo                                  print the §2.3 case-study scenario as JSON
+  netarch export-catalog                        print the full knowledge corpus as JSON
+  netarch check <scenario.json>                 find a compliant design or a minimal conflict
+  netarch optimize <scenario.json>              lexicographic optimization over the objectives
+  netarch capacity <scenario.json> <max>        minimal server fleet up to <max>
+  netarch enumerate <scenario.json> <limit>     design equivalence classes
+  netarch questions <scenario.json>             disambiguation question plan
+  netarch compare <scenario.json> <A> <B> <dim> rule-of-thumb comparison\n\nappend --json to check/optimize/capacity for machine-readable output";
+
+/// Dispatches a command line; pure function for testability.
+pub fn run(args: &[&str]) -> Result<String, String> {
+    // A trailing `--json` switches design-producing commands to JSON.
+    let (args, json) = match args.split_last() {
+        Some((&"--json", rest)) => (rest, true),
+        _ => (args, false),
+    };
+    match args {
+        ["demo"] => {
+            let scenario = netarch::corpus::case_study::scenario();
+            serde_json::to_string_pretty(&scenario).map_err(|e| e.to_string())
+        }
+        ["export-catalog"] => Ok(netarch::corpus::catalog_json()),
+        ["check", path] => {
+            let mut engine = load_engine(path)?;
+            match engine.check().map_err(|e| e.to_string())? {
+                Outcome::Feasible(design) if json => {
+                    serde_json::to_string_pretty(&design).map_err(|e| e.to_string())
+                }
+                Outcome::Feasible(design) => Ok(format!("FEASIBLE\n{design}")),
+                Outcome::Infeasible(diagnosis) => {
+                    Ok(format!("INFEASIBLE\n{}", render_diagnosis(&diagnosis)))
+                }
+            }
+        }
+        ["optimize", path] => {
+            let mut engine = load_engine(path)?;
+            match engine.optimize().map_err(|e| e.to_string())? {
+                Ok(result) if json => {
+                    serde_json::to_string_pretty(&result.design).map_err(|e| e.to_string())
+                }
+                Ok(result) => {
+                    let mut out = format!("OPTIMAL\n{}", result.design);
+                    for level in &result.levels {
+                        out.push_str(&format!(
+                            "level {:40} penalty {}\n",
+                            level.objective, level.penalty
+                        ));
+                    }
+                    Ok(out)
+                }
+                Err(diagnosis) => Ok(format!("INFEASIBLE\n{}", render_diagnosis(&diagnosis))),
+            }
+        }
+        ["capacity", path, max] => {
+            let max: u64 = max.parse().map_err(|_| format!("bad fleet bound {max:?}"))?;
+            let engine = load_engine(path)?;
+            match engine.plan_capacity(max).map_err(|e| e.to_string())? {
+                Ok(plan) if json => {
+                    serde_json::to_string_pretty(&serde_json::json!({
+                        "servers_needed": plan.servers_needed,
+                        "design": plan.design,
+                    }))
+                    .map_err(|e| e.to_string())
+                }
+                Ok(plan) => Ok(format!(
+                    "SERVERS NEEDED: {}\n{}",
+                    plan.servers_needed, plan.design
+                )),
+                Err(diagnosis) => Ok(format!("INFEASIBLE\n{}", render_diagnosis(&diagnosis))),
+            }
+        }
+        ["enumerate", path, limit] => {
+            let limit: usize = limit.parse().map_err(|_| format!("bad limit {limit:?}"))?;
+            let engine = load_engine(path)?;
+            let designs = engine
+                .enumerate_designs(limit, false)
+                .map_err(|e| e.to_string())?;
+            let mut out = format!("{} equivalence classes\n", designs.len());
+            for (i, d) in designs.iter().enumerate() {
+                let systems: Vec<String> =
+                    d.systems().iter().map(|s| s.to_string()).collect();
+                out.push_str(&format!("class {}: {}\n", i + 1, systems.join(", ")));
+            }
+            Ok(out)
+        }
+        ["questions", path] => {
+            let engine = load_engine(path)?;
+            let plan = engine.disambiguate(256).map_err(|e| e.to_string())?;
+            Ok(netarch::core::disambiguate::render_plan(&plan))
+        }
+        ["compare", path, a, b, dim] => {
+            let engine = load_engine(path)?;
+            let dimension = parse_dimension(dim)?;
+            let verdict = engine.compare(
+                &SystemId::new(*a),
+                &SystemId::new(*b),
+                &dimension,
+            );
+            Ok(format!("{a} vs {b} on {dimension}: {verdict:?}"))
+        }
+        [] => Err("no command given".to_string()),
+        other => Err(format!("unrecognized command {:?}", other.join(" "))),
+    }
+}
+
+fn load_engine(path: &str) -> Result<Engine, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let scenario: Scenario =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    Engine::new(scenario).map_err(|e| e.to_string())
+}
+
+fn parse_dimension(text: &str) -> Result<Dimension, String> {
+    Ok(match text {
+        "throughput" => Dimension::Throughput,
+        "isolation" => Dimension::Isolation,
+        "app-compatibility" => Dimension::AppCompatibility,
+        "latency" => Dimension::Latency,
+        "tail-latency" => Dimension::TailLatency,
+        "monitoring-quality" => Dimension::MonitoringQuality,
+        "deployment-ease" => Dimension::DeploymentEase,
+        "load-balancing-quality" => Dimension::LoadBalancingQuality,
+        "cpu-efficiency" => Dimension::CpuEfficiency,
+        other => Dimension::Custom(other.to_string()),
+    })
+}

@@ -1,0 +1,122 @@
+//! End-to-end tests of the `netarch` CLI binary: scenario JSON round-trip
+//! through a temp file, every subcommand, and error handling.
+
+use std::process::Command;
+
+fn netarch(args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_netarch"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).to_string(),
+        String::from_utf8_lossy(&output.stderr).to_string(),
+    )
+}
+
+fn demo_scenario_path() -> std::path::PathBuf {
+    let (ok, stdout, stderr) = netarch(&["demo"]);
+    assert!(ok, "{stderr}");
+    let path = std::env::temp_dir().join(format!("netarch-cli-test-{}.json", std::process::id()));
+    std::fs::write(&path, stdout).expect("write temp scenario");
+    path
+}
+
+#[test]
+fn demo_emits_parseable_scenario_json() {
+    let (ok, stdout, _) = netarch(&["demo"]);
+    assert!(ok);
+    let scenario: netarch::core::scenario::Scenario =
+        serde_json::from_str(&stdout).expect("valid scenario JSON");
+    assert_eq!(scenario.workloads.len(), 1);
+    assert!(scenario.catalog.num_systems() > 50);
+}
+
+#[test]
+fn check_reports_feasible_with_a_design() {
+    let path = demo_scenario_path();
+    let (ok, stdout, _) = netarch(&["check", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    assert!(stdout.starts_with("FEASIBLE"));
+    assert!(stdout.contains("load-balancer:"));
+}
+
+#[test]
+fn capacity_reports_fleet_size() {
+    let path = demo_scenario_path();
+    let (ok, stdout, _) = netarch(&["capacity", path.to_str().unwrap(), "512"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    assert!(stdout.contains("SERVERS NEEDED: 44"), "{stdout}");
+}
+
+#[test]
+fn compare_answers_listing_2_orderings() {
+    let path = demo_scenario_path();
+    let p = path.to_str().unwrap().to_string();
+    let (ok, stdout, _) = netarch(&["compare", &p, "SIMON", "PINGMESH", "monitoring-quality"]);
+    assert!(ok);
+    assert!(stdout.contains("Better"), "{stdout}");
+    let (ok, stdout, _) = netarch(&["compare", &p, "SIMON", "PINGMESH", "deployment-ease"]);
+    assert!(ok);
+    assert!(stdout.contains("Worse"), "{stdout}");
+    let (ok, stdout, _) = netarch(&["compare", &p, "SHENANGO", "DEMIKERNEL", "isolation"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    assert!(stdout.contains("Incomparable"), "{stdout}");
+}
+
+#[test]
+fn enumerate_lists_classes() {
+    let path = demo_scenario_path();
+    let (ok, stdout, _) = netarch(&["enumerate", path.to_str().unwrap(), "3"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    assert!(stdout.contains("3 equivalence classes"), "{stdout}");
+    assert!(stdout.contains("class 1:"));
+}
+
+#[test]
+fn export_catalog_roundtrips() {
+    let (ok, stdout, _) = netarch(&["export-catalog"]);
+    assert!(ok);
+    let catalog: netarch::core::catalog::Catalog =
+        serde_json::from_str(&stdout).expect("valid catalog JSON");
+    assert!(catalog.num_systems() > 50);
+    assert!(catalog.num_hardware() >= 180);
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let (ok, _, stderr) = netarch(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let (ok, _, stderr) = netarch(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("no command given"), "{stderr}");
+
+    let (ok, _, stderr) = netarch(&["check", "/nonexistent/path.json"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn json_flag_emits_machine_readable_designs() {
+    let path = demo_scenario_path();
+    let p = path.to_str().unwrap().to_string();
+    let (ok, stdout, stderr) = netarch(&["check", &p, "--json"]);
+    assert!(ok, "{stderr}");
+    let design: netarch::core::solution::Design =
+        serde_json::from_str(&stdout).expect("valid design JSON");
+    assert!(!design.selections.is_empty());
+
+    let (ok, stdout, _) = netarch(&["capacity", &p, "512", "--json"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(value["servers_needed"], 44);
+    assert!(value["design"]["hardware"]["Server"].is_string());
+}

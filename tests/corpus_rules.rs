@@ -1,0 +1,276 @@
+//! Engine-level tests for the corpus's marquee rules-of-thumb — each one
+//! traceable to a paper statement (§2.2, §2.3, §3.1, §4.1). Every test
+//! builds a small scenario over the full corpus and checks that the rule
+//! actually steers or blocks the design.
+
+use netarch::core::explain::render_diagnosis;
+use netarch::core::prelude::*;
+use netarch::corpus::{full_catalog, vocab::params, vocab::props};
+
+fn base() -> Scenario {
+    Scenario::new(full_catalog())
+        .with_param(params::LINK_SPEED_GBPS, 100.0)
+        .with_inventory(Inventory {
+            server_candidates: vec![HardwareId::new("EPYC_MILAN_64C")],
+            nic_candidates: vec![
+                HardwareId::new("INTEL_X710"),
+                HardwareId::new("MLX_CX6_100"),
+                HardwareId::new("BLUEFIELD2"),
+            ],
+            switch_candidates: vec![
+                HardwareId::new("TRIDENT3_T32"),   // ECN/PFC, no INT/QCN/P4
+                HardwareId::new("SPECTRUM2_SN3700"), // + QCN
+                HardwareId::new("TOFINO_T32"),     // P4/INT, 12 stages
+            ],
+            num_servers: 32,
+            num_switches: 4,
+        })
+}
+
+fn labels_of(diagnosis: &Diagnosis) -> Vec<&str> {
+    diagnosis.conflicts.iter().map(|c| c.label.as_str()).collect()
+}
+
+#[test]
+fn hpcc_routes_hardware_to_int_switches() {
+    // §3.1: "HPCC needs INT-enabled switches".
+    let scenario = base()
+        .with_workload(Workload::builder("app").property(props::DC_FLOWS).build())
+        .with_pin(Pin::Require(SystemId::new("HPCC")));
+    let mut engine = Engine::new(scenario.clone()).expect("compiles");
+    let design = engine.check().expect("runs");
+    let design = design.design().expect("feasible with the Tofino candidate");
+    let switch = design.hardware_for(HardwareKind::Switch).unwrap();
+    let spec = scenario.catalog.hardware(switch).unwrap();
+    assert!(spec.has_feature(&Feature::new("INT")), "HPCC on {switch}");
+}
+
+#[test]
+fn annulus_needs_both_qcn_and_wan_competition() {
+    // §2.3 + §4.1: QCN switches AND competing WAN traffic.
+    let no_wan = base()
+        .with_workload(Workload::builder("app").property(props::DC_FLOWS).build())
+        .with_pin(Pin::Require(SystemId::new("ANNULUS")));
+    let mut engine = Engine::new(no_wan).expect("compiles");
+    let outcome = engine.check().expect("runs");
+    let diagnosis = outcome.diagnosis().expect("no WAN traffic → Annulus pointless");
+    assert!(
+        labels_of(diagnosis)
+            .iter()
+            .any(|l| l.contains("annulus-only-with-competing-wan-traffic")),
+        "{diagnosis:?}"
+    );
+
+    let with_wan = base()
+        .with_workload(
+            Workload::builder("app")
+                .property(props::DC_FLOWS)
+                .property(props::WAN_TRAFFIC)
+                .build(),
+        )
+        .with_pin(Pin::Require(SystemId::new("ANNULUS")));
+    let mut engine = Engine::new(with_wan.clone()).expect("compiles");
+    let outcome = engine.check().expect("runs");
+    let design = outcome.design().expect("feasible with WAN traffic");
+    let switch = design.hardware_for(HardwareKind::Switch).unwrap();
+    assert!(with_wan
+        .catalog
+        .hardware(switch)
+        .unwrap()
+        .has_feature(&Feature::new("QCN")));
+}
+
+#[test]
+fn p4_stages_are_a_contended_resource() {
+    // §2.2 resource contention: Sonata (4 stages) + BFC (3) + HULA (2)
+    // fit the 12-stage Tofino with room to spare…
+    let p4_trio = || {
+        Scenario::new(full_catalog())
+            .with_param(params::LINK_SPEED_GBPS, 100.0)
+            .with_inventory(Inventory {
+                server_candidates: vec![HardwareId::new("EPYC_GENOA_96C")],
+                nic_candidates: vec![HardwareId::new("BLUEFIELD2")],
+                switch_candidates: vec![HardwareId::new("TOFINO_T32")],
+                num_servers: 32,
+                num_switches: 4,
+            })
+            .with_workload(Workload::builder("app").property(props::DC_FLOWS).build())
+            .with_pin(Pin::Require(SystemId::new("SONATA")))
+            .with_pin(Pin::Require(SystemId::new("BFC")))
+            .with_pin(Pin::Require(SystemId::new("HULA")))
+    };
+    let mut engine = Engine::new(p4_trio()).expect("compiles");
+    let outcome = engine.check().expect("runs");
+    let design = outcome.design().expect("9 stages fit 12");
+    let usage = &design.resources[&Resource::P4Stages];
+    assert_eq!(usage.used, 9);
+    assert_eq!(usage.capacity, Some(12));
+
+    // …but a fatter Sonata query set (8 stages via a modular catalog
+    // update) blows the pipeline budget: 8+3+2 = 13 > 12.
+    let mut scenario = p4_trio();
+    let mut fat_sonata = scenario.catalog.system(&SystemId::new("SONATA")).unwrap().clone();
+    for d in &mut fat_sonata.resources {
+        if d.resource == Resource::P4Stages {
+            d.amount = AmountExpr::constant(8);
+        }
+    }
+    scenario.catalog.apply(CatalogDelta::update_system(fat_sonata)).unwrap();
+    let mut engine = Engine::new(scenario).expect("compiles");
+    let outcome = engine.check().expect("runs");
+    let diagnosis = outcome.diagnosis().expect("13 stages cannot fit 12");
+    assert!(
+        labels_of(diagnosis)
+            .iter()
+            .any(|l| l.starts_with("resource:p4-stages:")),
+        "{diagnosis:?}"
+    );
+}
+
+#[test]
+fn monitoring_is_one_role_sonata_and_marple_conflict() {
+    let scenario = base()
+        .with_workload(Workload::builder("app").property(props::DC_FLOWS).build())
+        .with_pin(Pin::Require(SystemId::new("SONATA")))
+        .with_pin(Pin::Require(SystemId::new("MARPLE")));
+    let mut engine = Engine::new(scenario).expect("compiles");
+    let outcome = engine.check().expect("runs");
+    let diagnosis = outcome.diagnosis().expect("two monitors, one role");
+    assert!(labels_of(diagnosis).contains(&"role:monitoring"), "{diagnosis:?}");
+}
+
+#[test]
+fn dcqcn_rides_on_rocev2() {
+    let scenario = base()
+        .with_workload(Workload::builder("app").property(props::DC_FLOWS).build())
+        .with_pin(Pin::Require(SystemId::new("DCQCN")));
+    let mut engine = Engine::new(scenario).expect("compiles");
+    let outcome = engine.check().expect("runs");
+    let design = outcome.design().expect("feasible");
+    assert!(
+        design.includes(&SystemId::new("ROCEV2")),
+        "DCQCN selected without its RoCEv2 substrate:\n{design}"
+    );
+}
+
+#[test]
+fn edge_firewall_needs_an_edge_load_balancer() {
+    let lonely = base()
+        .with_workload(Workload::builder("app").build())
+        .with_pin(Pin::Require(SystemId::new("EDGE_FW")));
+    let mut engine = Engine::new(lonely).expect("compiles");
+    let outcome = engine.check().expect("runs");
+    let design = outcome.design().expect("engine should co-deploy a provider");
+    // §1: the edge firewall's EDGE_PROVISIONED requirement pulls in an
+    // L4 load balancer that provides it.
+    assert!(
+        design.includes(&SystemId::new("MAGLEV")) || design.includes(&SystemId::new("KATRAN")),
+        "{design}"
+    );
+}
+
+#[test]
+fn katran_requires_xdp_nics() {
+    let mut scenario = base()
+        .with_workload(Workload::builder("app").build())
+        .with_pin(Pin::Require(SystemId::new("KATRAN")));
+    // Only a NIC without XDP on offer.
+    scenario.inventory.nic_candidates = vec![HardwareId::new("INTEL_82599")];
+    let mut engine = Engine::new(scenario).expect("compiles");
+    let outcome = engine.check().expect("runs");
+    let diagnosis = outcome.diagnosis().expect("no XDP NIC");
+    assert!(
+        labels_of(diagnosis).iter().any(|l| l.contains("katran-needs-xdp-nic")),
+        "{diagnosis:?}"
+    );
+}
+
+#[test]
+fn sriov_blocks_live_migration_workloads() {
+    let scenario = base()
+        .with_workload(
+            Workload::builder("vms").property(props::LIVE_MIGRATION).build(),
+        )
+        .with_pin(Pin::Require(SystemId::new("SRIOV_PASSTHROUGH")));
+    let mut engine = Engine::new(scenario).expect("compiles");
+    let outcome = engine.check().expect("runs");
+    let diagnosis = outcome.diagnosis().expect("passthrough vs migration");
+    assert!(
+        labels_of(diagnosis).iter().any(|l| l.contains("sriov-blocks-live-migration")),
+        "{diagnosis:?}"
+    );
+}
+
+#[test]
+fn research_prototypes_blocked_by_production_deadline() {
+    // §3.1's deadline example, as a hard rule.
+    for prototype in ["SHENANGO", "DEMIKERNEL", "ZYGOS", "HOMA_CC", "HULA"] {
+        let scenario = base()
+            .with_workload(
+                Workload::builder("app")
+                    .property(props::PRODUCTION_ONLY)
+                    .property(props::APPS_MODIFIABLE)
+                    .build(),
+            )
+            .with_pin(Pin::Require(SystemId::new(prototype)));
+        let mut engine = Engine::new(scenario).expect("compiles");
+        let outcome = engine.check().expect("runs");
+        assert!(
+            outcome.diagnosis().is_some(),
+            "{prototype} must be undeployable under a production-only constraint"
+        );
+    }
+}
+
+#[test]
+fn accelnet_needs_fpga_smartnic_and_provides_tunnel_offload() {
+    let mut scenario = base()
+        .with_workload(Workload::builder("app").build())
+        .with_pin(Pin::Require(SystemId::new("ACCELNET")));
+    scenario.inventory.nic_candidates =
+        vec![HardwareId::new("BLUEFIELD2"), HardwareId::new("ALVEO_U45")];
+    let mut engine = Engine::new(scenario.clone()).expect("compiles");
+    let outcome = engine.check().expect("runs");
+    let design = outcome.design().expect("FPGA candidate available");
+    let nic = design.hardware_for(HardwareKind::Nic).unwrap();
+    assert!(
+        scenario
+            .catalog
+            .hardware(nic)
+            .unwrap()
+            .has_feature(&Feature::new("SMARTNIC_FPGA")),
+        "AccelNet on {nic} (a CPU SmartNIC is not enough)"
+    );
+}
+
+#[test]
+fn qos_classes_sum_across_selected_systems() {
+    // Swift (1 class) + Homa transport (4 classes) ≤ 8 available: fine.
+    // The accounting must show up in the design's resource table.
+    let scenario = base()
+        .with_workload(Workload::builder("app").property(props::DC_FLOWS).build())
+        .with_pin(Pin::Require(SystemId::new("SWIFT")))
+        .with_pin(Pin::Require(SystemId::new("HOMA_TRANSPORT")));
+    let mut engine = Engine::new(scenario).expect("compiles");
+    let outcome = engine.check().expect("runs");
+    let design = outcome.design().expect("feasible");
+    let qos = &design.resources[&Resource::QosClasses];
+    assert_eq!(qos.used, 5);
+    assert_eq!(qos.capacity, Some(8));
+}
+
+#[test]
+fn infeasible_scenarios_render_readable_reports() {
+    // Smoke the full explanation path on a real conflict.
+    let scenario = base()
+        .with_workload(
+            Workload::builder("vms").property(props::LIVE_MIGRATION).build(),
+        )
+        .with_pin(Pin::Require(SystemId::new("SRIOV_PASSTHROUGH")));
+    let mut engine = Engine::new(scenario).expect("compiles");
+    let outcome = engine.check().expect("runs");
+    let text = render_diagnosis(outcome.diagnosis().unwrap());
+    assert!(text.contains("rules conflict"));
+    assert!(text.contains("Suggested relaxations"));
+    assert!(text.contains("pin:require:SRIOV_PASSTHROUGH"));
+}

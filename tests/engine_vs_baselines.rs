@@ -1,0 +1,214 @@
+//! Integration tests for experiment E8: the SAT engine against the
+//! baselines, including a randomized agreement check against exhaustive
+//! search (ground truth) on small scenarios.
+
+use netarch::core::baseline::{
+    validate_design, ExhaustiveSearch, GreedyArchitect, Reasoner, SimulatedLlm,
+};
+use netarch::core::prelude::*;
+use netarch::corpus::case_study;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random small scenario over a random sub-catalog.
+fn random_scenario(rng: &mut StdRng) -> Scenario {
+    let full = netarch::corpus::full_catalog();
+    let mut catalog = Catalog::new();
+    // Sample a handful of systems per category (keeping referential
+    // integrity by including conflict/condition targets when sampled).
+    let mut chosen: Vec<SystemSpec> = Vec::new();
+    for cat in Category::builtin() {
+        let members = full.systems_in(&cat);
+        for m in members {
+            if rng.gen_bool(0.4) {
+                chosen.push((*m).clone());
+            }
+        }
+    }
+    let chosen_ids: std::collections::BTreeSet<SystemId> =
+        chosen.iter().map(|s| s.id.clone()).collect();
+    for mut spec in chosen {
+        // Prune dangling conflicts to keep the sampled catalog valid;
+        // conditions referencing unsampled systems are fine (they compile
+        // to False/True), but validate() rejects them, so prune those
+        // requirements too.
+        spec.conflicts.retain(|c| chosen_ids.contains(c));
+        spec.requires.retain(|r| {
+            r.condition
+                .referenced_systems()
+                .iter()
+                .all(|s| chosen_ids.contains(s))
+        });
+        catalog.add_system(spec).unwrap();
+    }
+    // A few hardware candidates.
+    let mut nics = Vec::new();
+    let mut switches = Vec::new();
+    let mut servers = Vec::new();
+    for h in full.hardware_specs() {
+        let include = rng.gen_bool(0.12);
+        if !include {
+            continue;
+        }
+        catalog.add_hardware(h.clone()).unwrap();
+        match h.kind {
+            HardwareKind::Nic if nics.len() < 3 => nics.push(h.id.clone()),
+            HardwareKind::Switch if switches.len() < 3 => switches.push(h.id.clone()),
+            HardwareKind::Server if servers.len() < 2 => servers.push(h.id.clone()),
+            _ => {}
+        }
+    }
+    let mut scenario = Scenario::new(catalog)
+        .with_param("link_speed_gbps", if rng.gen_bool(0.5) { 10.0 } else { 100.0 })
+        .with_inventory(Inventory {
+            nic_candidates: nics,
+            switch_candidates: switches,
+            server_candidates: servers,
+            num_servers: rng.gen_range(4..32),
+            num_switches: rng.gen_range(1..4),
+        });
+    // A workload needing 1-2 capabilities that sampled systems provide.
+    let mut w = Workload::builder("app")
+        .peak_cores(rng.gen_range(0..200))
+        .num_flows(rng.gen_range(100..20_000));
+    if rng.gen_bool(0.5) {
+        w = w.property("dc_flows");
+    }
+    let caps = ["load_balancing", "firewalling", "virtualization", "host_networking"];
+    for cap in caps {
+        if rng.gen_bool(0.4) {
+            w = w.needs(cap);
+        }
+    }
+    scenario = scenario.with_workload(w.build());
+    scenario
+}
+
+#[test]
+fn engine_agrees_with_exhaustive_search_on_random_scenarios() {
+    let mut rng = StdRng::seed_from_u64(0xE2E_BA5E);
+    let mut feasible = 0;
+    let mut infeasible = 0;
+    let mut skipped = 0;
+    for round in 0..25 {
+        let scenario = random_scenario(&mut rng);
+        // Skip rounds whose combination space exceeds the exhaustive
+        // budget — ExhaustiveSearch::propose cannot distinguish "gave up"
+        // from "no valid combo", so only in-budget rounds are oracles.
+        let mut combos: u64 = 1;
+        for cat in Category::builtin() {
+            combos = combos.saturating_mul(1 + scenario.catalog.systems_in(&cat).len() as u64);
+        }
+        for axis in [
+            &scenario.inventory.server_candidates,
+            &scenario.inventory.nic_candidates,
+            &scenario.inventory.switch_candidates,
+        ] {
+            if !axis.is_empty() {
+                combos = combos.saturating_mul(axis.len() as u64);
+            }
+        }
+        if combos > 300_000 {
+            skipped += 1;
+            continue;
+        }
+        let mut exhaustive = ExhaustiveSearch { max_combinations: 300_000 };
+        let ground_truth = exhaustive
+            .propose(&scenario)
+            .map(|d| validate_design(&scenario, &d).is_empty())
+            .unwrap_or(false);
+        // Exhaustive returning None within budget means "no valid combo".
+        let mut engine = match Engine::new(scenario.clone()) {
+            Ok(e) => e,
+            Err(err) => panic!("round {round}: compile error {err}"),
+        };
+        match engine.check().expect("runs") {
+            Outcome::Feasible(design) => {
+                feasible += 1;
+                assert!(
+                    validate_design(&scenario, &design).is_empty(),
+                    "round {round}: engine design invalid: {design}"
+                );
+                // Exhaustive must also find something (unless it gave up,
+                // in which case ground_truth is false but bounded).
+                assert!(
+                    ground_truth,
+                    "round {round}: engine SAT but exhaustive found nothing"
+                );
+            }
+            Outcome::Infeasible(_) => {
+                infeasible += 1;
+                assert!(
+                    !ground_truth,
+                    "round {round}: engine UNSAT but exhaustive found a valid design"
+                );
+            }
+        }
+    }
+    // The generator should produce a healthy mix.
+    assert!(feasible >= 3, "too few feasible rounds: {feasible}");
+    assert_eq!(infeasible + feasible + skipped, 25);
+    assert!(skipped < 20, "almost every round skipped ({skipped})");
+}
+
+#[test]
+fn greedy_fails_on_the_case_study_resource_coupling() {
+    // On the full case study, the greedy architect picks role-by-role;
+    // the engine's answer always validates, greedy's may not — and when
+    // greedy does produce a valid design, it must not beat the engine's
+    // lexicographic optimum (sanity of the optimizer).
+    let scenario = case_study::scenario();
+    let mut greedy = GreedyArchitect::new();
+    let greedy_design = greedy.propose(&scenario);
+    let mut engine = Engine::new(scenario.clone()).expect("compiles");
+    let engine_result = engine.optimize().expect("runs").expect("feasible");
+    assert!(validate_design(&scenario, &engine_result.design).is_empty());
+
+    if let Some(d) = greedy_design {
+        let violations = validate_design(&scenario, &d);
+        if violations.is_empty() {
+            // Valid greedy design can't be cheaper AND better: compare cost
+            // only when both meet all hard constraints (engine optimized
+            // latency first, so compare on the latency level indirectly by
+            // checking the engine met it perfectly).
+            assert!(engine_result.levels[0].penalty == 0);
+        } else {
+            // The expected outcome: greedy trips over a cross-cutting rule.
+            assert!(!violations.is_empty());
+        }
+    }
+}
+
+#[test]
+fn llm_baseline_proposes_invalid_designs_on_nuanced_scenarios() {
+    // §5.2: the LLM "failed to return correct results when faced with
+    // nuances". Over seeds, the simulated LLM must produce at least one
+    // invalid design on the case study, while the engine never does.
+    let scenario = case_study::scenario();
+    let mut llm_failures = 0;
+    for seed in 0..10 {
+        let mut llm = SimulatedLlm::new(seed);
+        if let Some(d) = llm.propose(&scenario) {
+            if !validate_design(&scenario, &d).is_empty() {
+                llm_failures += 1;
+            }
+        }
+    }
+    assert!(
+        llm_failures > 0,
+        "the simulated LLM should trip on the case study's nuances"
+    );
+}
+
+#[test]
+fn llm_aggregate_queries_are_correct() {
+    // §5.2: "it accurately determined straightforward requirements such
+    // as the minimum number of cores needed".
+    let scenario = case_study::scenario();
+    let mut engine = Engine::new(scenario.clone()).expect("compiles");
+    let result = engine.optimize().expect("runs").expect("feasible");
+    let llm = SimulatedLlm::new(0);
+    let llm_answer = llm.min_cores_needed(&scenario, &result.design);
+    let engine_answer = result.design.resources[&Resource::Cores].used;
+    assert_eq!(llm_answer, engine_answer);
+}

@@ -1,0 +1,192 @@
+//! Integration tests for the extension experiments (E13–E15):
+//! downstream extraction impact, disambiguation, catalog deltas, and
+//! capacity planning over the full corpus.
+
+use netarch::core::baseline::validate_design;
+use netarch::core::prelude::*;
+use netarch::corpus::case_study;
+use netarch::extract::downstream::degrade_systems;
+use netarch::extract::Prompt;
+
+#[test]
+fn capacity_plan_is_minimal_and_valid_on_the_case_study() {
+    let scenario = case_study::scenario();
+    let engine = Engine::new(scenario.clone()).expect("compiles");
+    let plan = engine.plan_capacity(512).expect("runs").expect("feasible");
+    assert!(plan.servers_needed >= 44, "2813 cores / 64 per server ≥ 44");
+    assert!(plan.servers_needed <= scenario.inventory.num_servers);
+
+    // Valid at the planned size.
+    let mut sized = scenario.clone();
+    sized.inventory.num_servers = plan.servers_needed;
+    assert_eq!(validate_design(&sized, &plan.design), vec![]);
+
+    // Infeasible one below.
+    let mut smaller = scenario;
+    smaller.inventory.num_servers = plan.servers_needed - 1;
+    let mut engine = Engine::new(smaller).expect("compiles");
+    assert!(engine.check().expect("runs").diagnosis().is_some());
+}
+
+#[test]
+fn capacity_plan_matches_fixed_size_feasibility_boundary() {
+    // Cross-check the variable-count encoding against the fixed-count
+    // encoding at several sizes around the optimum.
+    let scenario = case_study::scenario();
+    let engine = Engine::new(scenario.clone()).expect("compiles");
+    let plan = engine.plan_capacity(512).expect("runs").expect("feasible");
+    for delta in [-2i64, -1, 0, 1, 5] {
+        let size = plan.servers_needed as i64 + delta;
+        if size <= 0 {
+            continue;
+        }
+        let mut fixed = scenario.clone();
+        fixed.inventory.num_servers = size as u64;
+        let mut engine = Engine::new(fixed).expect("compiles");
+        let feasible = engine.check().expect("runs").design().is_some();
+        assert_eq!(
+            feasible,
+            delta >= 0,
+            "fixed-size feasibility at {size} disagrees with the plan ({})",
+            plan.servers_needed
+        );
+    }
+}
+
+#[test]
+fn disambiguation_plan_questions_actually_disambiguate() {
+    // Follow the plan's first question with every option and confirm the
+    // class count shrinks each time.
+    let base = || {
+        let mut s = case_study::scenario();
+        s.objectives.clear();
+        s.with_role(Category::Transport, RoleRule::Forbidden)
+            .with_role(Category::Firewall, RoleRule::Forbidden)
+            .with_role(Category::Custom("l2-address-resolution".into()), RoleRule::Forbidden)
+            .with_role(Category::Custom("memory-pooling".into()), RoleRule::Forbidden)
+            .with_pin(Pin::Require(SystemId::new("SWIFT")))
+            .with_pin(Pin::Require(SystemId::new("OVS")))
+    };
+    let engine = Engine::new(base()).expect("compiles");
+    let plan = engine.disambiguate(256).expect("runs");
+    assert!(!plan.truncated, "demo space must enumerate fully");
+    assert!(plan.classes > 1);
+    let first = &plan.questions[0];
+    let mut total_after: usize = 0;
+    for option in first.options.iter().flatten() {
+        let narrowed = base().with_pin(Pin::Require(option.clone()));
+        let engine = Engine::new(narrowed).expect("compiles");
+        let sub = engine.disambiguate(256).expect("runs");
+        assert!(
+            sub.classes < plan.classes,
+            "answering {option} did not shrink the space"
+        );
+        assert!(
+            sub.classes <= first.worst_case_remaining,
+            "worst-case bound violated for {option}: {} > {}",
+            sub.classes,
+            first.worst_case_remaining
+        );
+        total_after += sub.classes;
+    }
+    // Partitioning: the per-answer classes sum back to the whole.
+    assert_eq!(total_after, plan.classes);
+}
+
+#[test]
+fn catalog_delta_updates_flow_through_the_engine() {
+    // Tighten LINUX with an impossible requirement via a delta; the naive
+    // pinned design must now fail on that rule too.
+    let mut scenario = case_study::naive_scenario();
+    let mut linux = scenario.catalog.system(&SystemId::new("LINUX")).unwrap().clone();
+    linux.requires.push(netarch::core::component::Requirement::new(
+        "linux-suddenly-needs-int",
+        Condition::switches_have("INT"),
+    ));
+    scenario.catalog.apply(CatalogDelta::update_system(linux)).unwrap();
+    // Remove the ECMP pin so the only conflicts left involve LINUX's new
+    // rule (the inventory has no INT switch except Tofino).
+    scenario.pins.retain(|p| !matches!(p, Pin::Require(id) if id.as_str() == "ECMP"));
+    let mut engine = Engine::new(scenario).expect("compiles");
+    match engine.check().expect("runs") {
+        Outcome::Feasible(design) => {
+            // Feasible is fine too — but then the switch must have INT.
+            let sw = design.hardware_for(HardwareKind::Switch).unwrap();
+            assert_eq!(sw.as_str(), "TOFINO_T32");
+        }
+        Outcome::Infeasible(diagnosis) => {
+            let labels: Vec<&str> =
+                diagnosis.conflicts.iter().map(|c| c.label.as_str()).collect();
+            assert!(
+                labels.iter().any(|l| l.contains("linux-suddenly-needs-int")),
+                "{labels:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn degraded_catalogs_keep_referential_integrity() {
+    for seed in 0..5 {
+        let lossy = degrade_systems(&netarch::corpus::all_systems(), Prompt::Naive, seed);
+        let mut catalog = Catalog::new();
+        let ids: std::collections::BTreeSet<SystemId> =
+            lossy.iter().map(|s| s.id.clone()).collect();
+        for mut spec in lossy {
+            spec.conflicts.retain(|c| ids.contains(c));
+            catalog.add_system(spec).unwrap();
+        }
+        assert!(catalog.validate().is_empty(), "seed {seed}");
+    }
+}
+
+#[test]
+fn downstream_unsafe_designs_cite_rules_the_extraction_dropped() {
+    // Find one unsafe round and verify every ground-truth violation names
+    // a rule absent from the lossy catalog (or a resource consequence).
+    let truth = case_study::scenario();
+    let mut found_unsafe = false;
+    for seed in 0..20 {
+        let lossy_systems =
+            degrade_systems(&netarch::corpus::all_systems(), Prompt::Naive, seed);
+        let ids: std::collections::BTreeSet<SystemId> =
+            lossy_systems.iter().map(|s| s.id.clone()).collect();
+        let mut catalog = Catalog::new();
+        let mut lossy_rule_labels = std::collections::BTreeSet::new();
+        for mut spec in lossy_systems {
+            spec.conflicts.retain(|c| ids.contains(c));
+            for r in &spec.requires {
+                lossy_rule_labels.insert(format!("req:{}:{}", spec.id, r.label));
+            }
+            catalog.add_system(spec).unwrap();
+        }
+        for h in truth.catalog.hardware_specs() {
+            catalog.add_hardware(h.clone()).unwrap();
+        }
+        for e in truth.catalog.order().edges() {
+            catalog.add_ordering(e.clone()).unwrap();
+        }
+        let mut scenario = case_study::scenario();
+        scenario.catalog = catalog;
+        let mut engine = Engine::new(scenario).expect("compiles");
+        if let Outcome::Feasible(design) = engine.check().expect("runs") {
+            let violations = validate_design(&truth, &design);
+            if violations.is_empty() {
+                continue;
+            }
+            found_unsafe = true;
+            for v in &violations {
+                if v.label.starts_with("req:") {
+                    assert!(
+                        !lossy_rule_labels.contains(&v.label),
+                        "violated rule {} was present in the lossy catalog — \
+                         the engine should have enforced it",
+                        v.label
+                    );
+                }
+            }
+            break;
+        }
+    }
+    assert!(found_unsafe, "no unsafe round found in 20 seeds");
+}
