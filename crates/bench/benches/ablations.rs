@@ -3,12 +3,11 @@
 //! minimization/deletion), cardinality encodings, and the MaxSAT
 //! algorithm.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use netarch_logic::cardinality::{assert_at_most, CardEncoding};
 use netarch_logic::maxsat::{minimize, MaxSatAlgorithm};
 use netarch_logic::{Atom, Encoder, Formula, Soft};
+use netarch_rt::bench::{black_box, Harness};
 use netarch_sat::{Lit, SolveResult, Solver, SolverConfig};
-use std::hint::black_box;
 
 #[allow(clippy::needless_range_loop)]
 fn pigeonhole_with(config: SolverConfig, n: usize) -> u64 {
@@ -31,8 +30,9 @@ fn pigeonhole_with(config: SolverConfig, n: usize) -> u64 {
     s.stats().conflicts
 }
 
-fn bench_solver_ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate/solver_php7");
+fn main() {
+    let mut h = Harness::new("ablations");
+
     for (label, config) in [
         ("full", SolverConfig::default()),
         ("no-vsids", SolverConfig { vsids_enabled: false, ..SolverConfig::default() }),
@@ -40,40 +40,30 @@ fn bench_solver_ablations(c: &mut Criterion) {
         ("no-minimize", SolverConfig { minimize_enabled: false, ..SolverConfig::default() }),
         ("no-reduce", SolverConfig { reduce_enabled: false, ..SolverConfig::default() }),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(pigeonhole_with(config.clone(), 7)));
+        h.bench(&format!("ablate/solver_php7/{label}"), || {
+            black_box(pigeonhole_with(config.clone(), 7))
         });
     }
-    group.finish();
-}
 
-fn bench_cardinality_encodings(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate/cardinality_amk");
     // Assert AMK then force violation — measures encode + solve.
     for (label, enc) in [
         ("sequential", CardEncoding::SequentialCounter),
         ("totalizer", CardEncoding::Totalizer),
         ("auto", CardEncoding::Auto),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let mut s = Solver::new();
-                let xs: Vec<Lit> = (0..60).map(|_| s.new_var().positive()).collect();
-                assert_at_most(&mut s, &xs, 5, enc);
-                // Force six true → UNSAT.
-                for &x in xs.iter().take(6) {
-                    s.add_clause([x]);
-                }
-                assert_eq!(s.solve(), SolveResult::Unsat);
-                black_box(s.num_clauses())
-            });
+        h.bench(&format!("ablate/cardinality_amk/{label}"), || {
+            let mut s = Solver::new();
+            let xs: Vec<Lit> = (0..60).map(|_| s.new_var().positive()).collect();
+            assert_at_most(&mut s, &xs, 5, enc);
+            // Force six true → UNSAT.
+            for &x in xs.iter().take(6) {
+                s.add_clause([x]);
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            black_box(s.num_clauses())
         });
     }
-    group.finish();
-}
 
-fn bench_maxsat_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablate/maxsat");
     // Uniform-weight instance where both algorithms apply: at-most-2 of
     // 12 atoms, all softly wanted → optimum 10 violations.
     let build = || {
@@ -87,23 +77,11 @@ fn bench_maxsat_algorithms(c: &mut Criterion) {
         ("linear-gte", MaxSatAlgorithm::LinearGte),
         ("fu-malik", MaxSatAlgorithm::FuMalik),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let (mut e, soft) = build();
-                black_box(minimize(&mut e, &soft, alg))
-            });
+        h.bench(&format!("ablate/maxsat/{label}"), || {
+            let (mut e, soft) = build();
+            black_box(minimize(&mut e, &soft, alg))
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    // Lean sampling: the repo's benches are smoke+shape oriented;
-    // a full workspace bench run must finish in minutes.
-    config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_solver_ablations,
-    bench_cardinality_encodings,
-    bench_maxsat_algorithms
+    h.finish();
 }
-criterion_main!(benches);

@@ -2,50 +2,36 @@
 //! and the simulated LLM on the case study. The baselines are faster but
 //! wrong; this bench quantifies the speed side of that trade.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use netarch_core::baseline::{GreedyArchitect, Reasoner, SimulatedLlm};
 use netarch_core::prelude::*;
 use netarch_corpus::case_study;
-use std::hint::black_box;
+use netarch_rt::bench::{black_box, Harness};
 
-fn bench_baselines(c: &mut Criterion) {
+fn main() {
     let scenario = case_study::scenario();
 
-    c.bench_function("reasoners/sat_engine_check", |b| {
-        b.iter(|| {
-            let mut engine = Engine::new(scenario.clone()).unwrap();
-            black_box(engine.check().unwrap().design().is_some())
-        });
+    let mut h = Harness::new("baselines");
+
+    h.bench("reasoners/sat_engine_check", || {
+        let mut engine = Engine::new(scenario.clone()).unwrap();
+        black_box(engine.check().unwrap().design().is_some())
     });
 
-    c.bench_function("reasoners/greedy_architect", |b| {
-        b.iter(|| {
-            let mut greedy = GreedyArchitect::new();
-            black_box(greedy.propose(&scenario).is_some())
-        });
-    });
-
-    c.bench_function("reasoners/simulated_llm", |b| {
-        b.iter(|| {
-            let mut llm = SimulatedLlm::new(7);
-            black_box(llm.propose(&scenario).is_some())
-        });
-    });
-
-    c.bench_function("reasoners/validator", |b| {
+    h.bench("reasoners/greedy_architect", || {
         let mut greedy = GreedyArchitect::new();
-        let design = greedy.propose(&scenario).unwrap();
-        b.iter(|| {
-            black_box(netarch_core::baseline::validate_design(&scenario, &design).len())
-        });
+        black_box(greedy.propose(&scenario).is_some())
     });
-}
 
-criterion_group! {
-    name = benches;
-    // Lean sampling: the repo's benches are smoke+shape oriented;
-    // a full workspace bench run must finish in minutes.
-    config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_baselines
+    h.bench("reasoners/simulated_llm", || {
+        let mut llm = SimulatedLlm::new(7);
+        black_box(llm.propose(&scenario).is_some())
+    });
+
+    let mut greedy = GreedyArchitect::new();
+    let design = greedy.propose(&scenario).unwrap();
+    h.bench("reasoners/validator", || {
+        black_box(netarch_core::baseline::validate_design(&scenario, &design).len())
+    });
+
+    h.finish();
 }
-criterion_main!(benches);

@@ -2,62 +2,45 @@
 //! study — plain satisfiability, full lexicographic optimization
 //! (Listing 3), diagnosis of the naive design, and the what-if queries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use netarch_core::prelude::*;
 use netarch_corpus::case_study;
-use std::hint::black_box;
+use netarch_rt::bench::{black_box, Harness};
 
-fn bench_case_study(c: &mut Criterion) {
-    c.bench_function("case_study/compile", |b| {
-        let scenario = case_study::scenario();
-        b.iter(|| black_box(netarch_core::compile::compile(&scenario).unwrap().stats));
+fn main() {
+    let mut h = Harness::new("case_study_solve");
+
+    let scenario = case_study::scenario();
+    h.bench("case_study/compile", || {
+        black_box(netarch_core::compile::compile(&scenario).unwrap().stats)
     });
 
-    c.bench_function("case_study/check", |b| {
-        b.iter(|| {
-            let mut engine = Engine::new(case_study::scenario()).unwrap();
-            black_box(engine.check().unwrap().design().is_some())
-        });
+    h.bench("case_study/check", || {
+        let mut engine = Engine::new(case_study::scenario()).unwrap();
+        black_box(engine.check().unwrap().design().is_some())
     });
 
-    c.bench_function("case_study/optimize_lexicographic", |b| {
-        b.iter(|| {
-            let mut engine = Engine::new(case_study::scenario()).unwrap();
-            let result = engine.optimize().unwrap().expect("feasible");
-            black_box(result.design.total_cost_usd)
-        });
+    h.bench("case_study/optimize_lexicographic", || {
+        let mut engine = Engine::new(case_study::scenario()).unwrap();
+        let result = engine.optimize().unwrap().expect("feasible");
+        black_box(result.design.total_cost_usd)
     });
 
-    c.bench_function("case_study/diagnose_naive", |b| {
-        b.iter(|| {
-            let mut engine = Engine::new(case_study::naive_scenario()).unwrap();
-            let outcome = engine.check().unwrap();
-            black_box(outcome.diagnosis().expect("infeasible").conflicts.len())
-        });
+    h.bench("case_study/diagnose_naive", || {
+        let mut engine = Engine::new(case_study::naive_scenario()).unwrap();
+        let outcome = engine.check().unwrap();
+        black_box(outcome.diagnosis().expect("infeasible").conflicts.len())
     });
 
-    c.bench_function("case_study/whatif_pin_sonata", |b| {
-        b.iter(|| {
-            let scenario =
-                case_study::scenario().with_pin(Pin::Require(SystemId::new("SONATA")));
-            let mut engine = Engine::new(scenario).unwrap();
-            black_box(engine.check().unwrap().design().is_some())
-        });
+    h.bench("case_study/whatif_pin_sonata", || {
+        let scenario = case_study::scenario().with_pin(Pin::Require(SystemId::new("SONATA")));
+        let mut engine = Engine::new(scenario).unwrap();
+        black_box(engine.check().unwrap().design().is_some())
     });
 
-    c.bench_function("case_study/enumerate_8_classes", |b| {
-        b.iter(|| {
-            let engine = Engine::new(case_study::scenario()).unwrap();
-            black_box(engine.enumerate_designs(8, false).unwrap().len())
-        });
+    h.bench("case_study/enumerate_8_classes", || {
+        let engine = Engine::new(case_study::scenario()).unwrap();
+        black_box(engine.enumerate_designs(8, false).unwrap().len())
     });
+
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Lean sampling: the repo's benches are smoke+shape oriented;
-    // a full workspace bench run must finish in minutes.
-    config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_case_study
-}
-criterion_main!(benches);

@@ -1,44 +1,32 @@
 //! Benchmark for experiments E6/E7: the extraction and checking studies
 //! over the full corpus.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use netarch_extract::{run_checking_study, run_extraction_study, Prompt};
-use std::hint::black_box;
+use netarch_rt::bench::{black_box, Harness};
 
-fn bench_extraction(c: &mut Criterion) {
+fn main() {
     let hardware = netarch_corpus::all_hardware();
     let systems = netarch_corpus::all_systems();
 
-    c.bench_function("extract/full_corpus_naive", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_extraction_study(&hardware, &systems, Prompt::Naive, seed))
-        });
+    let mut h = Harness::new("extraction");
+
+    let mut seed = 0u64;
+    h.bench("extract/full_corpus_naive", || {
+        seed += 1;
+        black_box(run_extraction_study(&hardware, &systems, Prompt::Naive, seed))
     });
 
-    c.bench_function("extract/full_corpus_adversarial", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_extraction_study(&hardware, &systems, Prompt::Adversarial, seed))
-        });
+    let mut seed = 0u64;
+    h.bench("extract/full_corpus_adversarial", || {
+        seed += 1;
+        black_box(run_extraction_study(&hardware, &systems, Prompt::Adversarial, seed))
     });
 
-    c.bench_function("extract/checking_study", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_checking_study(&systems, seed))
-        });
+    let mut seed = 0u64;
+    h.bench("extract/checking_study", || {
+        seed += 1;
+        black_box(run_checking_study(&systems, seed))
     });
+
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Lean sampling: the repo's benches are smoke+shape oriented;
-    // a full workspace bench run must finish in minutes.
-    config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_extraction
-}
-criterion_main!(benches);

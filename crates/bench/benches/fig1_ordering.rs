@@ -2,12 +2,11 @@
 //! comparisons, dominance closures, and rank computation over the full
 //! corpus.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use netarch_bench::context_scenario;
 use netarch_core::prelude::*;
-use std::hint::black_box;
+use netarch_rt::bench::{black_box, Harness};
 
-fn bench_ordering(c: &mut Criterion) {
+fn main() {
     let scenario = context_scenario(100.0);
     let stacks: Vec<SystemId> = scenario
         .catalog
@@ -16,53 +15,38 @@ fn bench_ordering(c: &mut Criterion) {
         .map(|s| s.id.clone())
         .collect();
 
-    c.bench_function("ordering/pairwise_compare", |b| {
-        b.iter(|| {
-            let mut verdicts = 0usize;
-            for a in &stacks {
-                for x in &stacks {
-                    if a != x {
-                        black_box(scenario.catalog.order().compare(
-                            a,
-                            x,
-                            &Dimension::Throughput,
-                            &scenario,
-                        ));
-                        verdicts += 1;
-                    }
+    let mut h = Harness::new("fig1_ordering");
+
+    h.bench("ordering/pairwise_compare", || {
+        let mut verdicts = 0usize;
+        for a in &stacks {
+            for x in &stacks {
+                if a != x {
+                    black_box(scenario.catalog.order().compare(
+                        a,
+                        x,
+                        &Dimension::Throughput,
+                        &scenario,
+                    ));
+                    verdicts += 1;
                 }
             }
-            verdicts
-        });
+        }
+        verdicts
     });
 
-    c.bench_function("ordering/ranks_full_dimension", |b| {
-        b.iter(|| {
-            black_box(scenario.catalog.order().ranks(
-                &stacks,
-                &Dimension::Throughput,
-                &scenario,
-            ))
-        });
+    h.bench("ordering/ranks_full_dimension", || {
+        black_box(scenario.catalog.order().ranks(&stacks, &Dimension::Throughput, &scenario))
     });
 
-    c.bench_function("ordering/dominated_closure", |b| {
-        let simon = SystemId::new("SNAP_PONY");
-        b.iter(|| {
-            black_box(scenario.catalog.order().dominated_by(
-                &simon,
-                &Dimension::Throughput,
-                &scenario,
-            ))
-        });
+    let simon = SystemId::new("SNAP_PONY");
+    h.bench("ordering/dominated_closure", || {
+        black_box(scenario.catalog.order().dominated_by(
+            &simon,
+            &Dimension::Throughput,
+            &scenario,
+        ))
     });
+
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Lean sampling: the repo's benches are smoke+shape oriented;
-    // a full workspace bench run must finish in minutes.
-    config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_ordering
-}
-criterion_main!(benches);

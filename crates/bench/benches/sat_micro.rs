@@ -2,11 +2,9 @@
 //! 3-SAT near/below the phase transition, and graph coloring — the
 //! combinatorial muscles §3.4 relies on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netarch_rt::bench::{black_box, Harness};
+use netarch_rt::Rng;
 use netarch_sat::{Lit, SolveResult, Solver, Var};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
 
 #[allow(clippy::needless_range_loop)]
 fn pigeonhole_solver(n: usize) -> Solver {
@@ -29,7 +27,7 @@ fn pigeonhole_solver(n: usize) -> Solver {
 }
 
 fn random_3sat_solver(num_vars: usize, ratio: f64, seed: u64) -> Solver {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut s = Solver::new();
     s.ensure_vars(num_vars);
     let clauses = (num_vars as f64 * ratio) as usize;
@@ -46,42 +44,24 @@ fn random_3sat_solver(num_vars: usize, ratio: f64, seed: u64) -> Solver {
     s
 }
 
-fn bench_pigeonhole(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat/pigeonhole");
+fn main() {
+    let mut h = Harness::new("sat_micro");
     for n in [6usize, 7, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut s = pigeonhole_solver(n);
-                assert_eq!(s.solve(), SolveResult::Unsat);
-                black_box(s.stats().conflicts)
-            });
+        h.bench(&format!("sat/pigeonhole/{n}"), || {
+            let mut s = pigeonhole_solver(n);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            black_box(s.stats().conflicts)
         });
     }
-    group.finish();
-}
-
-fn bench_random_3sat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat/random3sat");
     for &(num_vars, ratio, label) in
         &[(150usize, 3.0f64, "easy-sat"), (100, 4.26, "threshold"), (80, 6.0, "unsat")]
     {
-        group.bench_function(label, |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut s = random_3sat_solver(num_vars, ratio, seed);
-                black_box(s.solve())
-            });
+        let mut seed = 0u64;
+        h.bench(&format!("sat/random3sat/{label}"), || {
+            seed += 1;
+            let mut s = random_3sat_solver(num_vars, ratio, seed);
+            black_box(s.solve())
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Lean sampling: the repo's benches are smoke+shape oriented;
-    // a full workspace bench run must finish in minutes.
-    config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_pigeonhole, bench_random_3sat
-}
-criterion_main!(benches);

@@ -1,10 +1,9 @@
 //! Benchmark for experiment E9: compile and solve time as the catalog
 //! grows — the performance side of §3.1's linear-specification claim.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netarch_bench::subset_catalog;
 use netarch_core::prelude::*;
-use std::hint::black_box;
+use netarch_rt::bench::{black_box, Harness};
 
 fn scenario_over(catalog: Catalog) -> Scenario {
     let nics: Vec<HardwareId> = catalog
@@ -44,51 +43,35 @@ fn scenario_over(catalog: Catalog) -> Scenario {
         })
 }
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut compile_group = c.benchmark_group("scaling/compile");
-    for n in [20usize, 40, 70] {
-        compile_group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let scenario = scenario_over(subset_catalog(n, 80));
-            b.iter(|| black_box(netarch_core::compile::compile(&scenario).unwrap().stats));
-        });
-    }
-    compile_group.finish();
+fn main() {
+    let mut h = Harness::new("scaling");
 
-    let mut check_group = c.benchmark_group("scaling/check");
     for n in [20usize, 40, 70] {
-        check_group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let scenario = scenario_over(subset_catalog(n, 80));
-            b.iter(|| {
-                let mut engine = Engine::new(scenario.clone()).unwrap();
-                black_box(engine.check().unwrap().design().is_some())
-            });
+        let scenario = scenario_over(subset_catalog(n, 80));
+        h.bench(&format!("scaling/compile/{n}"), || {
+            black_box(netarch_core::compile::compile(&scenario).unwrap().stats)
         });
     }
-    check_group.finish();
 
-    let mut optimize_group = c.benchmark_group("scaling/optimize");
-    optimize_group.sample_size(20);
     for n in [20usize, 40, 70] {
-        optimize_group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut scenario = scenario_over(subset_catalog(n, 80));
-            scenario.objectives = vec![
-                Objective::MaximizeDimension(Dimension::Latency),
-                Objective::MinimizeCost,
-            ];
-            b.iter(|| {
-                let mut engine = Engine::new(scenario.clone()).unwrap();
-                black_box(engine.optimize().unwrap().is_ok())
-            });
+        let scenario = scenario_over(subset_catalog(n, 80));
+        h.bench(&format!("scaling/check/{n}"), || {
+            let mut engine = Engine::new(scenario.clone()).unwrap();
+            black_box(engine.check().unwrap().design().is_some())
         });
     }
-    optimize_group.finish();
+
+    for n in [20usize, 40, 70] {
+        let mut scenario = scenario_over(subset_catalog(n, 80));
+        scenario.objectives = vec![
+            Objective::MaximizeDimension(Dimension::Latency),
+            Objective::MinimizeCost,
+        ];
+        h.bench(&format!("scaling/optimize/{n}"), || {
+            let mut engine = Engine::new(scenario.clone()).unwrap();
+            black_box(engine.optimize().unwrap().is_ok())
+        });
+    }
+
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Lean sampling: the repo's benches are smoke+shape oriented;
-    // a full workspace bench run must finish in minutes.
-    config = Criterion::default().sample_size(12).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_scaling
-}
-criterion_main!(benches);

@@ -107,5 +107,22 @@ fn main() {
         let optimize = t1.elapsed();
         println!("  {n_sys:>8} {n_hw:>10} {check:>14.2?} {optimize:>14.2?}");
     }
+    // Machine-readable summary for downstream tooling; the smoke test
+    // parses this line back to validate the interchange format.
+    let summary = netarch_rt::jobj! {
+        "experiment": "scaling",
+        "marginal_spec_units_per_system": marginal,
+        "clause_growth": clause_ratio,
+        "rows": rows
+            .iter()
+            .map(|&(systems, spec_units, clauses)| netarch_rt::jobj! {
+                "systems": systems,
+                "spec_units": spec_units,
+                "clauses": clauses,
+            })
+            .collect::<Vec<_>>(),
+    };
+    println!("RESULT_JSON: {}", netarch_rt::json::to_string(&summary));
+
     println!("\nPASS: spec growth linear; solving stays interactive at full corpus scale.");
 }

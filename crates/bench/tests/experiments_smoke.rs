@@ -41,3 +41,25 @@ smoke!(explain, "CARGO_BIN_EXE_exp_explain", "explainability and modularity exte
 smoke!(capacity, "CARGO_BIN_EXE_exp_capacity", "fleet-sizing queries exactly");
 smoke!(measure, "CARGO_BIN_EXE_exp_measure", "measurement-triage workflow");
 smoke!(scaling, "CARGO_BIN_EXE_exp_scaling", "spec growth linear");
+
+/// The scaling experiment's machine-readable summary must be valid JSON
+/// that parses back through the runtime's own parser.
+#[test]
+fn scaling_emits_parseable_json_summary() {
+    let (ok, output) = run(env!("CARGO_BIN_EXE_exp_scaling"));
+    assert!(ok, "experiment failed:\n{output}");
+    let line = output
+        .lines()
+        .find_map(|l| l.strip_prefix("RESULT_JSON: "))
+        .expect("RESULT_JSON line present");
+    let value: netarch_rt::Json = netarch_rt::json::from_str(line).expect("valid JSON");
+    assert_eq!(value["experiment"].as_str(), Some("scaling"));
+    assert!(value["marginal_spec_units_per_system"].as_f64().unwrap() < 20.0);
+    let rows = value["rows"].as_array().expect("rows array");
+    assert_eq!(rows.len(), 7);
+    for row in rows {
+        assert!(row["systems"].is_u64());
+        assert!(row["spec_units"].is_u64());
+        assert!(row["clauses"].is_u64());
+    }
+}

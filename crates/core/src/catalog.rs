@@ -6,16 +6,18 @@ use crate::component::{HardwareSpec, SystemSpec};
 use crate::error::CatalogError;
 use crate::ordering::{OrderingEdge, PreferenceOrder};
 use crate::types::{Capability, Category, HardwareId, HardwareKind, SystemId};
-use serde::{Deserialize, Serialize};
+use netarch_rt::impl_json_struct;
 use std::collections::BTreeMap;
 
 /// The knowledge catalog.
-#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Default, Debug)]
 pub struct Catalog {
     systems: BTreeMap<SystemId, SystemSpec>,
     hardware: BTreeMap<HardwareId, HardwareSpec>,
     order: PreferenceOrder,
 }
+
+impl_json_struct!(Catalog { systems, hardware, order });
 
 impl Catalog {
     /// Creates an empty catalog.
@@ -163,7 +165,7 @@ impl Catalog {
 /// it; if any *remaining* system still references the removed one (in a
 /// conflict or condition), the delta is rejected so the knowledge base
 /// can never silently dangle.
-#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Default, Debug)]
 pub struct CatalogDelta {
     /// Systems to add or replace (matched by id).
     pub upsert_systems: Vec<SystemSpec>,
@@ -176,6 +178,14 @@ pub struct CatalogDelta {
     /// Ordering edges to append.
     pub add_orderings: Vec<OrderingEdge>,
 }
+
+impl_json_struct!(CatalogDelta {
+    upsert_systems,
+    remove_systems,
+    upsert_hardware,
+    remove_hardware,
+    add_orderings,
+});
 
 impl CatalogDelta {
     /// A delta that replaces one system encoding (the common "new version

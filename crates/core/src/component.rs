@@ -12,11 +12,11 @@
 
 use crate::condition::{AmountExpr, Condition};
 use crate::types::{Capability, Category, Feature, HardwareId, HardwareKind, Resource, SystemId};
-use serde::{Deserialize, Serialize};
+use netarch_rt::impl_json_struct;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A named deployment requirement with provenance.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Requirement {
     /// Short human-readable rule name (used in diagnoses).
     pub label: String,
@@ -25,6 +25,8 @@ pub struct Requirement {
     /// Where the rule came from (paper, datasheet, deployment experience).
     pub citation: Option<String>,
 }
+
+impl_json_struct!(Requirement { label, condition, citation });
 
 impl Requirement {
     /// Creates a requirement.
@@ -40,7 +42,7 @@ impl Requirement {
 }
 
 /// A resource demand: deploying the system consumes `amount` of `resource`.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ResourceDemand {
     /// The contended resource.
     pub resource: Resource,
@@ -48,8 +50,10 @@ pub struct ResourceDemand {
     pub amount: AmountExpr,
 }
 
+impl_json_struct!(ResourceDemand { resource, amount });
+
 /// Encoding of one deployable system (paper Listing 2).
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SystemSpec {
     /// Unique identifier.
     pub id: SystemId,
@@ -74,6 +78,19 @@ pub struct SystemSpec {
     /// Free-form notes (not used in reasoning).
     pub notes: Option<String>,
 }
+
+impl_json_struct!(SystemSpec {
+    id,
+    name,
+    category,
+    solves,
+    requires,
+    conflicts,
+    resources,
+    provides,
+    cost_usd,
+    notes,
+});
 
 impl SystemSpec {
     /// Starts a builder for the given id/category.
@@ -176,7 +193,7 @@ impl SystemSpecBuilder {
 }
 
 /// Encoding of one hardware model (paper Listing 1).
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct HardwareSpec {
     /// Unique identifier.
     pub id: HardwareId,
@@ -193,6 +210,15 @@ pub struct HardwareSpec {
     /// Unit cost, USD.
     pub cost_usd: u64,
 }
+
+impl_json_struct!(HardwareSpec {
+    id,
+    model_name,
+    kind,
+    features,
+    numeric,
+    cost_usd,
+});
 
 impl HardwareSpec {
     /// Starts a builder.
@@ -362,14 +388,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_system_and_hardware() {
+    fn json_roundtrip_system_and_hardware() {
         let s = simon();
-        let json = serde_json::to_string_pretty(&s).unwrap();
-        assert_eq!(serde_json::from_str::<SystemSpec>(&json).unwrap(), s);
+        let text = netarch_rt::json::to_string_pretty(&s);
+        assert_eq!(netarch_rt::json::from_str::<SystemSpec>(&text).unwrap(), s);
 
         let hw = catalyst_9500_40x();
-        let json = serde_json::to_string_pretty(&hw).unwrap();
-        assert!(json.contains("Cisco Catalyst 9500-40X"));
-        assert_eq!(serde_json::from_str::<HardwareSpec>(&json).unwrap(), hw);
+        let text = netarch_rt::json::to_string_pretty(&hw);
+        assert!(text.contains("Cisco Catalyst 9500-40X"));
+        assert_eq!(netarch_rt::json::from_str::<HardwareSpec>(&text).unwrap(), hw);
     }
 }

@@ -10,11 +10,11 @@
 //! Boolean.
 
 use crate::types::{Category, Feature, ParamName, Property, SystemId};
-use serde::{Deserialize, Serialize};
+use netarch_rt::impl_json_enum;
 use std::fmt;
 
 /// Comparison operators for numeric parameters.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CmpOp {
     /// `<`
     Lt,
@@ -28,6 +28,14 @@ pub enum CmpOp {
     /// constants, not computed values).
     Eq,
 }
+
+impl_json_enum!(CmpOp {
+    unit Lt,
+    unit Le,
+    unit Gt,
+    unit Ge,
+    unit Eq,
+});
 
 impl CmpOp {
     /// Applies the comparison.
@@ -56,7 +64,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// A rule condition over the deployment context.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Condition {
     /// Always holds.
     True,
@@ -88,6 +96,22 @@ pub enum Condition {
     /// Disjunction.
     Any(Vec<Condition>),
 }
+
+impl_json_enum!(Condition {
+    unit True,
+    unit False,
+    one SystemSelected(SystemId),
+    one CategoryFilled(Category),
+    one NicFeature(Feature),
+    one SwitchFeature(Feature),
+    one ServerFeature(Feature),
+    one ProvidedFeature(Feature),
+    one WorkloadProperty(Property),
+    tuple Param(ParamName, CmpOp, f64),
+    one Not(Box<Condition>),
+    one All(Vec<Condition>),
+    one Any(Vec<Condition>),
+});
 
 impl Condition {
     /// Convenience: conjunction.
@@ -261,7 +285,7 @@ impl Condition {
 
 /// A linear expression over scenario parameters, used for resource demand
 /// amounts — Listing 2's `cores_needed(CPU_FACTOR * num_flows)`.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum AmountExpr {
     /// A fixed amount.
     Const(u64),
@@ -275,6 +299,12 @@ pub enum AmountExpr {
     /// Sum of sub-expressions.
     Sum(Vec<AmountExpr>),
 }
+
+impl_json_enum!(AmountExpr {
+    one Const(u64),
+    record ParamScaled { param: ParamName, factor: f64 },
+    one Sum(Vec<AmountExpr>),
+});
 
 impl AmountExpr {
     /// Evaluates against the scenario's parameter table. Unknown
@@ -442,13 +472,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let c = Condition::all([
             Condition::nics_have("QCN"),
             Condition::workload("wan_traffic"),
             Condition::param("link_speed_gbps", CmpOp::Ge, 40.0),
         ]);
-        let json = serde_json::to_string(&c).unwrap();
-        assert_eq!(serde_json::from_str::<Condition>(&json).unwrap(), c);
+        let text = netarch_rt::json::to_string(&c);
+        assert_eq!(netarch_rt::json::from_str::<Condition>(&text).unwrap(), c);
     }
 }

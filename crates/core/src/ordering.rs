@@ -10,11 +10,11 @@
 
 use crate::condition::{Condition, StaticContext};
 use crate::types::{Dimension, SystemId};
-use serde::{Deserialize, Serialize};
+use netarch_rt::{impl_json_enum, impl_json_struct};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Edge flavor: strict preference (solid arrow) or equivalence (dashed).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EdgeKind {
     /// `better ≻ worse` (solid arrow, points to the lower system).
     Strict,
@@ -22,8 +22,13 @@ pub enum EdgeKind {
     Equal,
 }
 
+impl_json_enum!(EdgeKind {
+    unit Strict,
+    unit Equal,
+});
+
 /// One rule-of-thumb preference edge.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct OrderingEdge {
     /// The preferred system (for `Equal`, an arbitrary side).
     pub better: SystemId,
@@ -38,6 +43,15 @@ pub struct OrderingEdge {
     /// Source of the rule.
     pub citation: Option<String>,
 }
+
+impl_json_struct!(OrderingEdge {
+    better,
+    worse,
+    dimension,
+    condition,
+    kind,
+    citation,
+});
 
 impl OrderingEdge {
     /// An unconditional strict edge `better ≻ worse` on `dimension`.
@@ -100,10 +114,12 @@ pub enum Comparison {
 }
 
 /// A set of conditional preference edges with dominance queries.
-#[derive(Clone, Default, Debug, Serialize, Deserialize)]
+#[derive(Clone, Default, Debug)]
 pub struct PreferenceOrder {
     edges: Vec<OrderingEdge>,
 }
+
+impl_json_struct!(PreferenceOrder { edges });
 
 impl PreferenceOrder {
     /// Creates an empty order.
@@ -444,10 +460,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let o = figure1_like();
-        let json = serde_json::to_string(&o).unwrap();
-        let back: PreferenceOrder = serde_json::from_str(&json).unwrap();
+        let text = netarch_rt::json::to_string(&o);
+        let back: PreferenceOrder = netarch_rt::json::from_str(&text).unwrap();
         assert_eq!(back.edges().len(), o.edges().len());
     }
 }

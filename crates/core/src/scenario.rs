@@ -12,12 +12,12 @@ use crate::types::{
     Capability, Category, Dimension, HardwareId, ParamName, Property, SystemId,
 };
 use crate::workload::Workload;
-use serde::{Deserialize, Serialize};
+use netarch_rt::{impl_json_enum, impl_json_struct};
 use std::collections::BTreeMap;
 
 /// The hardware under consideration: candidate models per slot and the
 /// deployment's unit counts.
-#[derive(Clone, Default, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Default, Debug, PartialEq)]
 pub struct Inventory {
     /// Candidate server SKUs (the engine picks exactly one).
     pub server_candidates: Vec<HardwareId>,
@@ -31,8 +31,16 @@ pub struct Inventory {
     pub num_switches: u64,
 }
 
+impl_json_struct!(Inventory {
+    server_candidates,
+    nic_candidates,
+    switch_candidates,
+    num_servers,
+    num_switches,
+});
+
 /// Whether a role must, may, or must not be filled.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RoleRule {
     /// Exactly one system of this category must be selected.
     Required,
@@ -42,8 +50,14 @@ pub enum RoleRule {
     Forbidden,
 }
 
+impl_json_enum!(RoleRule {
+    unit Required,
+    unit Optional,
+    unit Forbidden,
+});
+
 /// One level of the lexicographic objective stack.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Objective {
     /// Prefer selections ranked higher in the preference order on this
     /// dimension (Listing 3's `latency` / `monitoring` terms).
@@ -56,8 +70,14 @@ pub enum Objective {
     PreferCapability(Capability),
 }
 
+impl_json_enum!(Objective {
+    one MaximizeDimension(Dimension),
+    unit MinimizeCost,
+    one PreferCapability(Capability),
+});
+
 /// A WhatIf pin: force a system in or out of the design.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Pin {
     /// The system must be part of the design ("already deployed").
     Require(SystemId),
@@ -65,8 +85,13 @@ pub enum Pin {
     Forbid(SystemId),
 }
 
+impl_json_enum!(Pin {
+    one Require(SystemId),
+    one Forbid(SystemId),
+});
+
 /// A complete design question.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Scenario {
     /// The knowledge catalog in force.
     pub catalog: Catalog,
@@ -87,6 +112,17 @@ pub struct Scenario {
     /// Optional budget cap on total cost, USD.
     pub budget_usd: Option<u64>,
 }
+
+impl_json_struct!(Scenario {
+    catalog,
+    workloads,
+    inventory,
+    params,
+    roles,
+    objectives,
+    pins,
+    budget_usd,
+});
 
 impl Scenario {
     /// Creates a scenario over a catalog with everything else empty.

@@ -7,12 +7,12 @@
 
 use crate::scenario::Scenario;
 use crate::types::{Category, HardwareId, HardwareKind, Resource, SystemId};
-use serde::{Deserialize, Serialize};
+use netarch_rt::impl_json_struct;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A concrete architecture design.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Design {
     /// Selected systems grouped by category.
     pub selections: BTreeMap<Category, Vec<SystemId>>,
@@ -25,14 +25,23 @@ pub struct Design {
     pub resources: BTreeMap<Resource, ResourceUsage>,
 }
 
+impl_json_struct!(Design {
+    selections,
+    hardware,
+    total_cost_usd,
+    resources,
+});
+
 /// Demand vs. capacity for one resource.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ResourceUsage {
     /// Total consumed by selected systems plus workload peaks.
     pub used: u64,
     /// Capacity under the chosen hardware, when the scenario constrains it.
     pub capacity: Option<u64>,
 }
+
+impl_json_struct!(ResourceUsage { used, capacity });
 
 impl Design {
     /// All selected systems, flattened.

@@ -8,14 +8,14 @@
 //! valid capability or feature, so new systems can be encoded without
 //! touching the engine.
 
-use serde::{Deserialize, Serialize};
+use netarch_rt::impl_json_enum;
+use netarch_rt::json::{FromJson, Json, JsonError, JsonKey, ToJson};
 use std::fmt;
 
 macro_rules! string_id {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-        #[serde(transparent)]
+        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub String);
 
         impl $name {
@@ -51,6 +51,29 @@ macro_rules! string_id {
         impl From<String> for $name {
             fn from(value: String) -> $name {
                 $name(value)
+            }
+        }
+
+        // Ids serialize transparently as their inner string, and double
+        // as JSON object keys.
+        impl ToJson for $name {
+            fn to_json(&self) -> Json {
+                Json::Str(self.0.clone())
+            }
+        }
+
+        impl FromJson for $name {
+            fn from_json(j: &Json) -> Result<Self, JsonError> {
+                Ok($name(String::from_json(j)?))
+            }
+        }
+
+        impl JsonKey for $name {
+            fn to_key(&self) -> String {
+                self.0.clone()
+            }
+            fn from_key(key: &str) -> Result<Self, JsonError> {
+                Ok($name(key.to_string()))
             }
         }
     };
@@ -93,9 +116,37 @@ string_id! {
     ParamName
 }
 
+/// Implements [`JsonKey`] for an enum whose variants are unit names plus
+/// one `Custom(String)` escape hatch: keys are the variant name, with
+/// `Custom` values spelled `Custom:<name>`.
+macro_rules! enum_json_key {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl JsonKey for $ty {
+            fn to_key(&self) -> String {
+                match self {
+                    $($ty::$variant => stringify!($variant).to_string(),)+
+                    $ty::Custom(name) => format!("Custom:{name}"),
+                }
+            }
+            fn from_key(key: &str) -> Result<Self, JsonError> {
+                $(if key == stringify!($variant) {
+                    return Ok($ty::$variant);
+                })+
+                if let Some(name) = key.strip_prefix("Custom:") {
+                    return Ok($ty::Custom(name.to_string()));
+                }
+                Err(JsonError(format!(
+                    "unknown {} key `{key}`",
+                    stringify!($ty)
+                )))
+            }
+        }
+    };
+}
+
 /// The functional role a system fills in the architecture. The paper's
 /// prototype spans seven categories (§5.1).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Category {
     /// End-host network stacks (Linux, Snap, Shenango, …).
     NetworkStack,
@@ -114,6 +165,27 @@ pub enum Category {
     /// An extension category not among the paper's seven.
     Custom(String),
 }
+
+impl_json_enum!(Category {
+    unit NetworkStack,
+    unit CongestionControl,
+    unit Monitoring,
+    unit Firewall,
+    unit VirtualSwitch,
+    unit LoadBalancer,
+    unit Transport,
+    one Custom(String),
+});
+
+enum_json_key!(Category {
+    NetworkStack,
+    CongestionControl,
+    Monitoring,
+    Firewall,
+    VirtualSwitch,
+    LoadBalancer,
+    Transport,
+});
 
 impl Category {
     /// All built-in categories, in display order.
@@ -148,7 +220,7 @@ impl fmt::Display for Category {
 /// A preference dimension along which systems are partially ordered —
 /// the colored edges of the paper's Figure 1 plus the dimensions used by
 /// Listings 2–3.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Dimension {
     /// Sustained data rate (Figure 1, yellow).
     Throughput,
@@ -173,6 +245,19 @@ pub enum Dimension {
     Custom(String),
 }
 
+impl_json_enum!(Dimension {
+    unit Throughput,
+    unit Isolation,
+    unit AppCompatibility,
+    unit Latency,
+    unit TailLatency,
+    unit MonitoringQuality,
+    unit DeploymentEase,
+    unit LoadBalancingQuality,
+    unit CpuEfficiency,
+    one Custom(String),
+});
+
 impl fmt::Display for Dimension {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -191,7 +276,7 @@ impl fmt::Display for Dimension {
 }
 
 /// A consumable deployment resource (§2.2 "Resource contention").
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Resource {
     /// Server CPU cores.
     Cores,
@@ -209,6 +294,25 @@ pub enum Resource {
     Custom(String),
 }
 
+impl_json_enum!(Resource {
+    unit Cores,
+    unit ServerMemoryGb,
+    unit SwitchMemoryMb,
+    unit P4Stages,
+    unit SmartNicCapacity,
+    unit QosClasses,
+    one Custom(String),
+});
+
+enum_json_key!(Resource {
+    Cores,
+    ServerMemoryGb,
+    SwitchMemoryMb,
+    P4Stages,
+    SmartNicCapacity,
+    QosClasses,
+});
+
 impl fmt::Display for Resource {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -224,7 +328,7 @@ impl fmt::Display for Resource {
 }
 
 /// Hardware kind: which slot of the inventory a model competes for.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum HardwareKind {
     /// Top-of-rack / fabric switches.
     Switch,
@@ -232,6 +336,30 @@ pub enum HardwareKind {
     Nic,
     /// Server SKUs.
     Server,
+}
+
+impl_json_enum!(HardwareKind {
+    unit Switch,
+    unit Nic,
+    unit Server,
+});
+
+impl JsonKey for HardwareKind {
+    fn to_key(&self) -> String {
+        match self {
+            HardwareKind::Switch => "Switch".to_string(),
+            HardwareKind::Nic => "Nic".to_string(),
+            HardwareKind::Server => "Server".to_string(),
+        }
+    }
+    fn from_key(key: &str) -> Result<Self, JsonError> {
+        match key {
+            "Switch" => Ok(HardwareKind::Switch),
+            "Nic" => Ok(HardwareKind::Nic),
+            "Server" => Ok(HardwareKind::Server),
+            other => Err(JsonError(format!("unknown HardwareKind key `{other}`"))),
+        }
+    }
 }
 
 impl fmt::Display for HardwareKind {
@@ -247,6 +375,7 @@ impl fmt::Display for HardwareKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netarch_rt::json;
 
     #[test]
     fn id_construction_and_display() {
@@ -277,19 +406,40 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let c = Category::CongestionControl;
-        let json = serde_json::to_string(&c).unwrap();
-        assert_eq!(serde_json::from_str::<Category>(&json).unwrap(), c);
+        let text = json::to_string(&c);
+        assert_eq!(json::from_str::<Category>(&text).unwrap(), c);
 
         let d = Dimension::MonitoringQuality;
-        let json = serde_json::to_string(&d).unwrap();
-        assert_eq!(serde_json::from_str::<Dimension>(&json).unwrap(), d);
+        let text = json::to_string(&d);
+        assert_eq!(json::from_str::<Dimension>(&text).unwrap(), d);
 
         let id = SystemId::new("SIMON");
-        let json = serde_json::to_string(&id).unwrap();
-        assert_eq!(json, "\"SIMON\"");
-        assert_eq!(serde_json::from_str::<SystemId>(&json).unwrap(), id);
+        let text = json::to_string(&id);
+        assert_eq!(text, "\"SIMON\"");
+        assert_eq!(json::from_str::<SystemId>(&text).unwrap(), id);
+    }
+
+    #[test]
+    fn custom_variants_roundtrip() {
+        let c = Category::Custom("cache".into());
+        let text = json::to_string(&c);
+        assert_eq!(text, r#"{"Custom":"cache"}"#);
+        assert_eq!(json::from_str::<Category>(&text).unwrap(), c);
+    }
+
+    #[test]
+    fn map_keys_roundtrip() {
+        for kind in [HardwareKind::Switch, HardwareKind::Nic, HardwareKind::Server] {
+            assert_eq!(HardwareKind::from_key(&kind.to_key()).unwrap(), kind);
+        }
+        for cat in Category::builtin() {
+            assert_eq!(Category::from_key(&cat.to_key()).unwrap(), cat);
+        }
+        let custom = Resource::Custom("fpga-luts".into());
+        assert_eq!(Resource::from_key(&custom.to_key()).unwrap(), custom);
+        assert!(Category::from_key("NoSuch").is_err());
     }
 
     #[test]

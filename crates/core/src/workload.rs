@@ -7,13 +7,13 @@
 //! ("the load balancing must be at least as good as packet spraying").
 
 use crate::types::{Capability, Dimension, Property, SystemId, WorkloadId};
-use serde::{Deserialize, Serialize};
+use netarch_rt::impl_json_struct;
 use std::ops::Range;
 
 /// A lower bound on solution quality along one dimension: the selected
 /// system for the dimension's role must be *strictly better than* (or at
 /// least *not worse than*) the reference system.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PerformanceBound {
     /// The dimension the bound constrains.
     pub dimension: Dimension,
@@ -21,8 +21,10 @@ pub struct PerformanceBound {
     pub better_than: SystemId,
 }
 
+impl_json_struct!(PerformanceBound { dimension, better_than });
+
 /// Encoding of one workload (paper Listing 3).
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Workload {
     /// Unique identifier.
     pub id: WorkloadId,
@@ -43,6 +45,18 @@ pub struct Workload {
     /// Quality floors against the preference order.
     pub bounds: Vec<PerformanceBound>,
 }
+
+impl_json_struct!(Workload {
+    id,
+    name,
+    properties,
+    racks,
+    peak_cores,
+    peak_bandwidth_gbps,
+    num_flows,
+    needs,
+    bounds,
+});
 
 impl Workload {
     /// Starts a builder.
@@ -170,9 +184,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let w = inference_app();
-        let json = serde_json::to_string(&w).unwrap();
-        assert_eq!(serde_json::from_str::<Workload>(&json).unwrap(), w);
+        let text = netarch_rt::json::to_string(&w);
+        assert_eq!(netarch_rt::json::from_str::<Workload>(&text).unwrap(), w);
     }
 }

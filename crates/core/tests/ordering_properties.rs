@@ -6,7 +6,8 @@
 use netarch_core::condition::StaticContext;
 use netarch_core::ordering::{Comparison, OrderingEdge, PreferenceOrder};
 use netarch_core::prelude::*;
-use proptest::prelude::*;
+use netarch_rt::prop::{self, gen_vec, Config};
+use netarch_rt::{prop_assert, prop_assert_eq, Rng};
 
 const N: usize = 6;
 
@@ -24,43 +25,51 @@ impl StaticContext for NoCtx {
     }
 }
 
-/// Random DAG-ish edge set: strict edges only from lower to higher index
-/// (guaranteeing acyclicity), equal edges anywhere.
-fn order_strategy() -> impl Strategy<Value = PreferenceOrder> {
-    let strict_edges = prop::collection::vec((0..N, 0..N), 0..10);
-    let equal_edges = prop::collection::vec((0..N, 0..N), 0..4);
-    (strict_edges, equal_edges).prop_map(|(strict, equal)| {
-        let mut o = PreferenceOrder::new();
-        for (a, b) in strict {
-            if a == b {
-                continue;
-            }
-            let (hi, lo) = if a < b { (a, b) } else { (b, a) };
-            o.add(OrderingEdge::strict(sid(hi), sid(lo), Dimension::Throughput));
-        }
-        for (a, b) in equal {
-            if a == b {
-                continue;
-            }
-            // Equal edges only between same-index-parity nodes to avoid
-            // collapsing strict chains into cycles.
-            if a % 2 == b % 2 {
-                o.add(OrderingEdge::equal(sid(a), sid(b), Dimension::Isolation));
-            }
-        }
-        o
-    })
+/// Raw edge lists; a shrinkable stand-in for a [`PreferenceOrder`].
+type RawEdges = (Vec<(usize, usize)>, Vec<(usize, usize)>);
+
+fn gen_edges(rng: &mut Rng) -> RawEdges {
+    let strict = gen_vec(rng, 0..=9, |r| (r.gen_range(0..N), r.gen_range(0..N)));
+    let equal = gen_vec(rng, 0..=3, |r| (r.gen_range(0..N), r.gen_range(0..N)));
+    (strict, equal)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Random DAG-ish edge set: strict edges only from lower to higher index
+/// (guaranteeing acyclicity), equal edges anywhere.
+fn build_order(edges: &RawEdges) -> PreferenceOrder {
+    let mut o = PreferenceOrder::new();
+    for &(a, b) in &edges.0 {
+        let (a, b) = (a % N, b % N);
+        if a == b {
+            continue;
+        }
+        let (hi, lo) = if a < b { (a, b) } else { (b, a) };
+        o.add(OrderingEdge::strict(sid(hi), sid(lo), Dimension::Throughput));
+    }
+    for &(a, b) in &edges.1 {
+        let (a, b) = (a % N, b % N);
+        if a == b {
+            continue;
+        }
+        // Equal edges only between same-index-parity nodes to avoid
+        // collapsing strict chains into cycles.
+        if a % 2 == b % 2 {
+            o.add(OrderingEdge::equal(sid(a), sid(b), Dimension::Isolation));
+        }
+    }
+    o
+}
 
-    #[test]
-    fn comparisons_are_antisymmetric(o in order_strategy()) {
+#[test]
+fn comparisons_are_antisymmetric() {
+    prop::check(&Config::with_cases(128), gen_edges, |edges| {
+        let o = build_order(edges);
         let dim = Dimension::Throughput;
         for a in 0..N {
             for b in 0..N {
-                if a == b { continue; }
+                if a == b {
+                    continue;
+                }
                 let ab = o.compare(&sid(a), &sid(b), &dim, &NoCtx);
                 let ba = o.compare(&sid(b), &sid(a), &dim, &NoCtx);
                 let expected = match ab {
@@ -71,10 +80,14 @@ proptest! {
                 prop_assert_eq!(ba, expected, "S{} vs S{}", a, b);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dominance_is_transitive(o in order_strategy()) {
+#[test]
+fn dominance_is_transitive() {
+    prop::check(&Config::with_cases(128), gen_edges, |edges| {
+        let o = build_order(edges);
         let dim = Dimension::Throughput;
         for a in 0..N {
             let da = o.dominated_by(&sid(a), &dim, &NoCtx);
@@ -83,27 +96,39 @@ proptest! {
                 for c in db.iter() {
                     prop_assert!(
                         da.contains(c),
-                        "S{} ≻ {} ≻ {} but closure misses the chain", a, b, c
+                        "S{} ≻ {} ≻ {} but closure misses the chain",
+                        a,
+                        b,
+                        c
                     );
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn strict_dominance_is_irreflexive_on_acyclic_inputs(o in order_strategy()) {
+#[test]
+fn strict_dominance_is_irreflexive_on_acyclic_inputs() {
+    prop::check(&Config::with_cases(128), gen_edges, |edges| {
+        let o = build_order(edges);
         let dim = Dimension::Throughput;
         prop_assert_eq!(o.find_cycle(&dim, &NoCtx), None);
         for a in 0..N {
             prop_assert!(
                 !o.dominated_by(&sid(a), &dim, &NoCtx).contains(&sid(a)),
-                "S{} dominates itself", a
+                "S{} dominates itself",
+                a
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ranks_agree_with_pairwise_dominance(o in order_strategy()) {
+#[test]
+fn ranks_agree_with_pairwise_dominance() {
+    prop::check(&Config::with_cases(128), gen_edges, |edges| {
+        let o = build_order(edges);
         let dim = Dimension::Throughput;
         let universe: Vec<SystemId> = (0..N).map(sid).collect();
         let ranks = o.ranks(&universe, &dim, &NoCtx);
@@ -114,10 +139,14 @@ proptest! {
                 .count();
             prop_assert_eq!(ranks[&sid(a)], expected, "rank of S{}", a);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn equality_is_symmetric_and_never_strict(o in order_strategy()) {
+#[test]
+fn equality_is_symmetric_and_never_strict() {
+    prop::check(&Config::with_cases(128), gen_edges, |edges| {
+        let o = build_order(edges);
         let dim = Dimension::Isolation;
         for a in 0..N {
             let ea = o.equal_to(&sid(a), &dim, &NoCtx);
@@ -125,7 +154,9 @@ proptest! {
                 let idx: usize = b.as_str()[1..].parse().unwrap();
                 prop_assert!(
                     o.equal_to(b, &dim, &NoCtx).contains(&sid(a)),
-                    "equality not symmetric: S{} ~ {}", a, b
+                    "equality not symmetric: S{} ~ {}",
+                    a,
+                    b
                 );
                 // No strict edges exist on this dimension in the generator,
                 // so equality must be the whole story.
@@ -135,28 +166,41 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn conditional_edges_do_not_leak_across_contexts(strict in prop::collection::vec((0..N, 0..N), 1..8)) {
-        // Every edge gated on a parameter the context lacks: nothing holds.
-        let mut o = PreferenceOrder::new();
-        for (a, b) in strict {
-            if a == b { continue; }
-            let (hi, lo) = if a < b { (a, b) } else { (b, a) };
-            o.add(
-                OrderingEdge::strict(sid(hi), sid(lo), Dimension::Latency)
-                    .when(Condition::param("undefined_param", CmpOp::Ge, 1.0)),
-            );
-        }
-        for a in 0..N {
-            for b in 0..N {
-                if a == b { continue; }
-                prop_assert_eq!(
-                    o.compare(&sid(a), &sid(b), &Dimension::Latency, &NoCtx),
-                    Comparison::Incomparable
+#[test]
+fn conditional_edges_do_not_leak_across_contexts() {
+    prop::check(
+        &Config::with_cases(128),
+        |rng| gen_vec(rng, 1..=7, |r| (r.gen_range(0..N), r.gen_range(0..N))),
+        |strict| {
+            // Every edge gated on a parameter the context lacks: nothing holds.
+            let mut o = PreferenceOrder::new();
+            for &(a, b) in strict {
+                let (a, b) = (a % N, b % N);
+                if a == b {
+                    continue;
+                }
+                let (hi, lo) = if a < b { (a, b) } else { (b, a) };
+                o.add(
+                    OrderingEdge::strict(sid(hi), sid(lo), Dimension::Latency)
+                        .when(Condition::param("undefined_param", CmpOp::Ge, 1.0)),
                 );
             }
-        }
-    }
+            for a in 0..N {
+                for b in 0..N {
+                    if a == b {
+                        continue;
+                    }
+                    prop_assert_eq!(
+                        o.compare(&sid(a), &sid(b), &Dimension::Latency, &NoCtx),
+                        Comparison::Incomparable
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
 }

@@ -81,7 +81,7 @@ pub fn all_hardware() -> Vec<HardwareSpec> {
 /// Serializes the full catalog as pretty JSON (the interchange format the
 /// paper's Listing 1 sketches).
 pub fn catalog_json() -> String {
-    serde_json::to_string_pretty(&full_catalog()).expect("catalog serializes")
+    netarch_rt::json::to_string_pretty(&full_catalog())
 }
 
 #[cfg(test)]
@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn json_export_roundtrips() {
         let json = catalog_json();
-        let back: Catalog = serde_json::from_str(&json).unwrap();
+        let back: Catalog = netarch_rt::json::from_str(&json).unwrap();
         assert_eq!(back.num_systems(), full_catalog().num_systems());
         assert_eq!(back.num_hardware(), full_catalog().num_hardware());
         assert!(json.contains("Cisco Catalyst 9500-40X"));

@@ -11,8 +11,7 @@
 //!   values** are detected poorly, while a **missing** numeric condition
 //!   (e.g. no P4-stage requirement at all for Sonata) is flagged.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use netarch_rt::Rng;
 
 /// A seeded defect injected into a candidate encoding (for evaluation) or
 /// found by comparing a candidate against ground truth.
@@ -68,7 +67,7 @@ pub enum Verdict {
 /// The simulated checking pass.
 pub struct Checker {
     model: CheckerModel,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl Checker {
@@ -79,7 +78,7 @@ impl Checker {
 
     /// Creates a checker with an explicit model.
     pub fn with_model(model: CheckerModel, seed: u64) -> Checker {
-        Checker { model, rng: StdRng::seed_from_u64(seed) }
+        Checker { model, rng: Rng::seed_from_u64(seed) }
     }
 
     /// Checks one defective entry: does the checker catch it?

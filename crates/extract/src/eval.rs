@@ -4,8 +4,7 @@ use crate::checker::{Checker, DefectClass, DetectionReport};
 use crate::docs::{render_paper_prose, render_spec_sheet, Fact};
 use crate::extractor::{Extraction, Extractor, Prompt};
 use netarch_core::component::{HardwareSpec, SystemSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use netarch_rt::Rng;
 
 /// Per-class extraction accuracy over a corpus (experiment E6).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -104,7 +103,7 @@ pub fn run_extraction_study(
 /// candidate encodings derived from `systems`, measure detection rates.
 pub fn run_checking_study(systems: &[SystemSpec], seed: u64) -> DetectionReport {
     let mut checker = Checker::new(seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xDEAD_BEEF);
     let mut report = DetectionReport::default();
     let classes = [
         DefectClass::MissingCondition,

@@ -18,8 +18,7 @@
 //!   naive prompt misses.
 
 use crate::docs::{DocKind, Document, Fact};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use netarch_rt::Rng;
 
 /// Per-fact-class recovery probabilities.
 #[derive(Clone, Copy, Debug)]
@@ -113,7 +112,7 @@ impl Extraction {
 /// The simulated LLM extractor.
 pub struct Extractor {
     model: ErrorModel,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl Extractor {
@@ -124,7 +123,7 @@ impl Extractor {
 
     /// Creates an extractor with an explicit error model.
     pub fn with_model(model: ErrorModel, seed: u64) -> Extractor {
-        Extractor { model, rng: StdRng::seed_from_u64(seed) }
+        Extractor { model, rng: Rng::seed_from_u64(seed) }
     }
 
     /// Extracts facts from one document under a prompting strategy.

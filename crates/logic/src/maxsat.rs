@@ -351,8 +351,8 @@ mod tests {
 
     #[test]
     fn linear_matches_brute_force_on_random_cases() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(42);
+        use netarch_rt::Rng;
+        let mut rng = Rng::seed_from_u64(42);
         for _ in 0..30 {
             let num_atoms = rng.gen_range(2..=5u32);
             // Random hard 2-clauses + random weighted soft literals.

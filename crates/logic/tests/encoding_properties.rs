@@ -4,34 +4,75 @@
 //! of the AST semantics.
 
 use netarch_logic::{Atom, Encoder, Formula, MaxSatAlgorithm, Soft};
+use netarch_rt::prop::{self, gen_vec, Config, Shrink};
+use netarch_rt::{prop_assert, prop_assert_eq, Rng};
 use netarch_sat::SolveResult;
-use proptest::prelude::*;
 
 const MAX_ATOMS: u32 = 5;
 
-/// Random formula generator over up to MAX_ATOMS atoms.
-fn formula_strategy() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        (0..MAX_ATOMS).prop_map(|i| Formula::Atom(Atom(i))),
-        Just(Formula::True),
-        Just(Formula::False),
-    ];
-    leaf.prop_recursive(4, 48, 5, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Formula::not),
-            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::and),
-            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::or),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::xor(a, b)),
-            (0u32..4, prop::collection::vec(inner.clone(), 1..4))
-                .prop_map(|(k, fs)| Formula::at_most(k, fs)),
-            (0u32..4, prop::collection::vec(inner.clone(), 1..4))
-                .prop_map(|(k, fs)| Formula::at_least(k, fs)),
-            (0u32..4, prop::collection::vec(inner, 1..4))
-                .prop_map(|(k, fs)| Formula::exactly(k, fs)),
-        ]
-    })
+/// Shrinkable wrapper: a random formula over up to MAX_ATOMS atoms.
+#[derive(Clone, Debug)]
+struct F(Formula);
+
+/// Random formula with nesting depth at most `depth`.
+fn gen_formula_depth(rng: &mut Rng, depth: u32) -> Formula {
+    if depth == 0 || rng.gen_bool(0.25) {
+        return match rng.gen_range(0..7u32) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => Formula::Atom(Atom(rng.gen_range(0..MAX_ATOMS))),
+        };
+    }
+    let d = depth - 1;
+    let children =
+        |rng: &mut Rng, lo: usize, hi: usize| gen_vec(rng, lo..=hi, |r| gen_formula_depth(r, d));
+    match rng.gen_range(0..9u32) {
+        0 => Formula::not(gen_formula_depth(rng, d)),
+        1 => Formula::and(children(rng, 2, 3)),
+        2 => Formula::or(children(rng, 2, 3)),
+        3 => Formula::implies(gen_formula_depth(rng, d), gen_formula_depth(rng, d)),
+        4 => Formula::iff(gen_formula_depth(rng, d), gen_formula_depth(rng, d)),
+        5 => Formula::xor(gen_formula_depth(rng, d), gen_formula_depth(rng, d)),
+        6 => Formula::at_most(rng.gen_range(0..4u32), children(rng, 1, 3)),
+        7 => Formula::at_least(rng.gen_range(0..4u32), children(rng, 1, 3)),
+        _ => Formula::exactly(rng.gen_range(0..4u32), children(rng, 1, 3)),
+    }
+}
+
+fn gen_formula(rng: &mut Rng) -> F {
+    F(gen_formula_depth(rng, 4))
+}
+
+impl Shrink for F {
+    /// Candidates: the constants, each direct subformula, and the node
+    /// with one operand removed — enough to strip a failing formula down
+    /// to a small witness.
+    fn shrink(&self) -> Vec<F> {
+        let mut out = vec![F(Formula::True), F(Formula::False)];
+        let subs: Vec<Formula> = match &self.0 {
+            Formula::True | Formula::False | Formula::Atom(_) => Vec::new(),
+            Formula::Not(a) => vec![(**a).clone()],
+            Formula::And(fs) | Formula::Or(fs) => fs.clone(),
+            Formula::Implies(a, b) | Formula::Iff(a, b) | Formula::Xor(a, b) => {
+                vec![(**a).clone(), (**b).clone()]
+            }
+            Formula::AtMost(_, fs) | Formula::AtLeast(_, fs) | Formula::Exactly(_, fs) => {
+                fs.clone()
+            }
+        };
+        out.extend(subs.into_iter().map(F));
+        if let Formula::And(fs) | Formula::Or(fs) = &self.0 {
+            for i in 0..fs.len() {
+                let mut rest = fs.clone();
+                rest.remove(i);
+                out.push(F(match &self.0 {
+                    Formula::And(_) => Formula::and(rest),
+                    _ => Formula::or(rest),
+                }));
+            }
+        }
+        out
+    }
 }
 
 /// Counts satisfying assignments over all MAX_ATOMS atoms by evaluation.
@@ -41,27 +82,28 @@ fn brute_count(f: &Formula) -> usize {
         .count()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn encoder_verdict_matches_semantics(f in formula_strategy()) {
-        let expected_sat = brute_count(&f) > 0;
+#[test]
+fn encoder_verdict_matches_semantics() {
+    prop::check(&Config::with_cases(192), gen_formula, |F(f)| {
+        let expected_sat = brute_count(f) > 0;
         let mut e = Encoder::new();
-        e.assert(&f);
+        e.assert(f);
         let got = e.solve();
         prop_assert_eq!(got == SolveResult::Sat, expected_sat, "formula: {}", f);
         if got == SolveResult::Sat {
             // The returned model must actually satisfy the formula.
-            prop_assert!(e.eval_under_model(&f), "model violates formula {}", f);
+            prop_assert!(e.eval_under_model(f), "model violates formula {}", f);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn projected_model_count_matches_semantics(f in formula_strategy()) {
-        let expected = brute_count(&f);
+#[test]
+fn projected_model_count_matches_semantics() {
+    prop::check(&Config::with_cases(192), gen_formula, |F(f)| {
+        let expected = brute_count(f);
         let mut e = Encoder::new();
-        e.assert(&f);
+        e.assert(f);
         // Ensure all atoms are materialized so projection covers them.
         let atoms: Vec<Atom> = (0..MAX_ATOMS).map(Atom).collect();
         for &a in &atoms {
@@ -70,15 +112,18 @@ proptest! {
         let result = netarch_logic::enumerate::enumerate_models(e, &atoms, &[], 1 << MAX_ATOMS);
         prop_assert!(!result.truncated);
         prop_assert_eq!(result.models.len(), expected, "formula: {}", f);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lit_for_is_full_equivalence(f in formula_strategy()) {
+#[test]
+fn lit_for_is_full_equivalence() {
+    prop::check(&Config::with_cases(192), gen_formula, |F(f)| {
         // Reify f as a literal, force the literal false: remaining models
         // must be exactly the countermodels of f.
-        let expected_counter = (1usize << MAX_ATOMS) - brute_count(&f);
+        let expected_counter = (1usize << MAX_ATOMS) - brute_count(f);
         let mut e = Encoder::new();
-        let l = e.lit_for(&f);
+        let l = e.lit_for(f);
         e.solver_mut().add_clause([!l]);
         let atoms: Vec<Atom> = (0..MAX_ATOMS).map(Atom).collect();
         for &a in &atoms {
@@ -87,93 +132,117 @@ proptest! {
         let result = netarch_logic::enumerate::enumerate_models(e, &atoms, &[], 1 << MAX_ATOMS);
         prop_assert!(!result.truncated);
         prop_assert_eq!(result.models.len(), expected_counter, "formula: {}", f);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn maxsat_linear_is_optimal(
-        hard in formula_strategy(),
-        soft_formulas in prop::collection::vec(formula_strategy(), 1..4),
-        weights in prop::collection::vec(1u64..8, 1..4),
-    ) {
-        let soft: Vec<Soft> = soft_formulas
-            .iter()
-            .zip(weights.iter().cycle())
-            .map(|(f, &w)| Soft::new(w, f.clone()))
-            .collect();
-        // Brute-force optimum.
-        let mut best: Option<u64> = None;
-        for bits in 0u32..(1 << MAX_ATOMS) {
-            let assign = |a: Atom| (bits >> a.0) & 1 == 1;
-            if !hard.eval(&assign) {
-                continue;
-            }
-            let cost: u64 = soft
+#[test]
+fn maxsat_linear_is_optimal() {
+    prop::check(
+        &Config::with_cases(192),
+        |rng| {
+            let hard = gen_formula(rng);
+            let soft_formulas = gen_vec(rng, 1..=3, gen_formula);
+            let weights = gen_vec(rng, 1..=3, |r| r.gen_range(1..8u64));
+            (hard, soft_formulas, weights)
+        },
+        |(F(hard), soft_formulas, weights)| {
+            let soft: Vec<Soft> = soft_formulas
                 .iter()
-                .filter(|s| !s.formula.eval(&assign))
-                .map(|s| s.weight)
-                .sum();
-            best = Some(best.map_or(cost, |b: u64| b.min(cost)));
-        }
-        let mut e = Encoder::new();
-        e.assert(&hard);
-        let outcome = netarch_logic::maxsat::minimize(&mut e, &soft, MaxSatAlgorithm::LinearGte);
-        match (best, outcome) {
-            (None, netarch_logic::MaxSatOutcome::HardUnsat) => {}
-            (Some(b), netarch_logic::MaxSatOutcome::Optimal { cost, .. }) => {
-                prop_assert_eq!(cost, b, "hard={} soft={:?}", hard, soft);
+                .zip(weights.iter().cycle())
+                .map(|(F(f), &w)| Soft::new(w.max(1), f.clone()))
+                .collect();
+            // Brute-force optimum.
+            let mut best: Option<u64> = None;
+            for bits in 0u32..(1 << MAX_ATOMS) {
+                let assign = |a: Atom| (bits >> a.0) & 1 == 1;
+                if !hard.eval(&assign) {
+                    continue;
+                }
+                let cost: u64 = soft
+                    .iter()
+                    .filter(|s| !s.formula.eval(&assign))
+                    .map(|s| s.weight)
+                    .sum();
+                best = Some(best.map_or(cost, |b: u64| b.min(cost)));
             }
-            (expected, got) => prop_assert!(false, "expected {:?}, got {:?}", expected, got),
-        }
-    }
-
-    #[test]
-    fn fu_malik_matches_linear_on_uniform_weights(
-        hard in formula_strategy(),
-        soft_formulas in prop::collection::vec(formula_strategy(), 1..4),
-    ) {
-        let soft: Vec<Soft> = soft_formulas
-            .iter()
-            .map(|f| Soft::new(1, f.clone()))
-            .collect();
-        let mut e1 = Encoder::new();
-        e1.assert(&hard);
-        let r1 = netarch_logic::maxsat::minimize(&mut e1, &soft, MaxSatAlgorithm::LinearGte);
-        let mut e2 = Encoder::new();
-        e2.assert(&hard);
-        let r2 = netarch_logic::maxsat::minimize(&mut e2, &soft, MaxSatAlgorithm::FuMalik);
-        match (r1, r2) {
-            (
-                netarch_logic::MaxSatOutcome::Optimal { cost: c1, .. },
-                netarch_logic::MaxSatOutcome::Optimal { cost: c2, .. },
-            ) => prop_assert_eq!(c1, c2, "hard={}", hard),
-            (netarch_logic::MaxSatOutcome::HardUnsat, netarch_logic::MaxSatOutcome::HardUnsat) => {}
-            (x, y) => prop_assert!(false, "mismatch {:?} vs {:?}", x, y),
-        }
-    }
-
-    #[test]
-    fn mus_members_are_all_necessary(
-        formulas in prop::collection::vec(formula_strategy(), 2..6),
-    ) {
-        let mut e = Encoder::new();
-        let mut g = netarch_logic::GroupedAssertions::new();
-        let ids: Vec<_> = formulas
-            .iter()
-            .enumerate()
-            .map(|(i, f)| g.add_group(&mut e, format!("g{i}"), f))
-            .collect();
-        if let Some(mus) = g.find_mus(&mut e, &ids) {
-            // MUS itself must be UNSAT.
-            prop_assert_eq!(g.solve_with_groups(&mut e, &mus), SolveResult::Unsat);
-            // Every proper subset missing one member must be SAT.
-            for drop in &mus {
-                let rest: Vec<_> = mus.iter().copied().filter(|x| x != drop).collect();
-                prop_assert_eq!(
-                    g.solve_with_groups(&mut e, &rest),
-                    SolveResult::Sat,
-                    "MUS not minimal: {:?} removable", drop
-                );
+            let mut e = Encoder::new();
+            e.assert(hard);
+            let outcome = netarch_logic::maxsat::minimize(&mut e, &soft, MaxSatAlgorithm::LinearGte);
+            match (best, outcome) {
+                (None, netarch_logic::MaxSatOutcome::HardUnsat) => {}
+                (Some(b), netarch_logic::MaxSatOutcome::Optimal { cost, .. }) => {
+                    prop_assert_eq!(cost, b, "hard={} soft={:?}", hard, soft);
+                }
+                (expected, got) => {
+                    prop_assert!(false, "expected {:?}, got {:?}", expected, got)
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn fu_malik_matches_linear_on_uniform_weights() {
+    prop::check(
+        &Config::with_cases(192),
+        |rng| (gen_formula(rng), gen_vec(rng, 1..=3, gen_formula)),
+        |(F(hard), soft_formulas)| {
+            let soft: Vec<Soft> = soft_formulas
+                .iter()
+                .map(|F(f)| Soft::new(1, f.clone()))
+                .collect();
+            let mut e1 = Encoder::new();
+            e1.assert(hard);
+            let r1 = netarch_logic::maxsat::minimize(&mut e1, &soft, MaxSatAlgorithm::LinearGte);
+            let mut e2 = Encoder::new();
+            e2.assert(hard);
+            let r2 = netarch_logic::maxsat::minimize(&mut e2, &soft, MaxSatAlgorithm::FuMalik);
+            match (r1, r2) {
+                (
+                    netarch_logic::MaxSatOutcome::Optimal { cost: c1, .. },
+                    netarch_logic::MaxSatOutcome::Optimal { cost: c2, .. },
+                ) => prop_assert_eq!(c1, c2, "hard={}", hard),
+                (
+                    netarch_logic::MaxSatOutcome::HardUnsat,
+                    netarch_logic::MaxSatOutcome::HardUnsat,
+                ) => {}
+                (x, y) => prop_assert!(false, "mismatch {:?} vs {:?}", x, y),
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mus_members_are_all_necessary() {
+    prop::check(
+        &Config::with_cases(192),
+        |rng| gen_vec(rng, 2..=5, gen_formula),
+        |formulas| {
+            let mut e = Encoder::new();
+            let mut g = netarch_logic::GroupedAssertions::new();
+            let ids: Vec<_> = formulas
+                .iter()
+                .enumerate()
+                .map(|(i, F(f))| g.add_group(&mut e, format!("g{i}"), f))
+                .collect();
+            if let Some(mus) = g.find_mus(&mut e, &ids) {
+                // MUS itself must be UNSAT.
+                prop_assert_eq!(g.solve_with_groups(&mut e, &mus), SolveResult::Unsat);
+                // Every proper subset missing one member must be SAT.
+                for drop in &mus {
+                    let rest: Vec<_> = mus.iter().copied().filter(|x| x != drop).collect();
+                    prop_assert_eq!(
+                        g.solve_with_groups(&mut e, &rest),
+                        SolveResult::Sat,
+                        "MUS not minimal: {:?} removable",
+                        drop
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
 }

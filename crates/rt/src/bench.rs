@@ -1,0 +1,168 @@
+//! Warmup+measure benchmarking harness.
+//!
+//! A deliberate subset of criterion's model: each benchmark is warmed
+//! up, then timed over a fixed number of samples, where every sample
+//! runs enough iterations to be meaningfully longer than timer
+//! granularity. The report line shows per-iteration min / median / p95.
+//!
+//! Defaults match the workspace's old criterion config (12 samples,
+//! ~2 s measurement, 500 ms warmup) and can be tuned via environment:
+//!
+//! * `NETARCH_BENCH_SAMPLES` — samples per benchmark
+//! * `NETARCH_BENCH_MEAS_MS` — total measurement budget per benchmark
+//! * `NETARCH_BENCH_WARMUP_MS` — warmup budget per benchmark
+//!
+//! Bench binaries keep `harness = false` and drive a [`Harness`] from
+//! `fn main()`:
+//!
+//! ```no_run
+//! use netarch_rt::bench::{black_box, Harness};
+//!
+//! let mut h = Harness::new("example");
+//! h.bench("sum/1k", || black_box((0..1000u64).sum::<u64>()));
+//! h.finish();
+//! ```
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// A set of benchmarks reported under one heading.
+pub struct Harness {
+    name: String,
+    samples: usize,
+    measurement: Duration,
+    warmup: Duration,
+    ran: usize,
+}
+
+impl Harness {
+    /// Creates a harness with defaults and environment overrides.
+    pub fn new(name: &str) -> Self {
+        let samples = env_usize("NETARCH_BENCH_SAMPLES").unwrap_or(12).max(2);
+        let meas_ms = env_usize("NETARCH_BENCH_MEAS_MS").unwrap_or(2_000);
+        let warm_ms = env_usize("NETARCH_BENCH_WARMUP_MS").unwrap_or(500);
+        println!("benchmark suite: {name}");
+        Harness {
+            name: name.to_string(),
+            samples,
+            measurement: Duration::from_millis(meas_ms as u64),
+            warmup: Duration::from_millis(warm_ms as u64),
+            ran: 0,
+        }
+    }
+
+    /// Runs and reports one benchmark. The closure is one iteration;
+    /// wrap inputs/outputs in [`black_box`] to defeat hoisting.
+    pub fn bench<R>(&mut self, label: &str, mut f: impl FnMut() -> R) {
+        // Warmup: run for the warmup budget, counting iterations to
+        // estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size each sample so the whole measurement fits the budget.
+        let sample_budget = self.measurement.as_secs_f64() / self.samples as f64;
+        let iters = ((sample_budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+
+        let min = per_iter_ns[0];
+        let median = percentile(&per_iter_ns, 50.0);
+        let p95 = percentile(&per_iter_ns, 95.0);
+        println!(
+            "  {label:<44} median {:>10}  p95 {:>10}  min {:>10}  ({} samples x {iters} iters)",
+            fmt_ns(median),
+            fmt_ns(p95),
+            fmt_ns(min),
+            self.samples,
+        );
+        self.ran += 1;
+    }
+
+    /// Prints the closing line. Call once after all benchmarks.
+    pub fn finish(&self) {
+        println!("{}: {} benchmarks done", self.name, self.ran);
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns / 1_000_000_000.0)
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        assert_eq!(percentile(&data, 100.0), 4.0);
+        assert_eq!(percentile(&data, 50.0), 2.5);
+    }
+
+    #[test]
+    fn formats_time_units() {
+        assert_eq!(fmt_ns(12.34), "12.3ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34us");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34ms");
+        assert_eq!(fmt_ns(1.5e9), "1.500s");
+    }
+
+    #[test]
+    fn harness_runs_quickly_with_tiny_budget() {
+        // Direct construction avoids env races with other tests.
+        let mut h = Harness {
+            name: "selftest".into(),
+            samples: 3,
+            measurement: Duration::from_millis(6),
+            warmup: Duration::from_millis(2),
+            ran: 0,
+        };
+        let mut acc = 0u64;
+        h.bench("noop", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        h.finish();
+        assert_eq!(h.ran, 1);
+    }
+}

@@ -1,0 +1,506 @@
+//! Minimal property-based testing harness.
+//!
+//! A property is a generator `Fn(&mut Rng) -> T` plus a predicate
+//! `Fn(&T) -> Result<(), String>`. [`check`] runs the predicate over a
+//! budget of generated cases; on failure it shrinks the input (via the
+//! [`Shrink`] trait) and panics with the minimal counterexample and the
+//! exact case seed needed to replay it.
+//!
+//! Determinism: every run uses a fixed default master seed
+//! ([`DEFAULT_SEED`]), and each case derives its own seed purely from
+//! `(master, case_index)`, so failures are reproducible by rerunning
+//! the same test binary. Environment overrides:
+//!
+//! * `NETARCH_PROP_SEED` — master seed (decimal or `0x` hex)
+//! * `NETARCH_PROP_CASES` — case budget (overrides [`Config::cases`])
+//! * `NETARCH_PROP_CASE_SEED` — replay exactly one case with this seed
+//!
+//! Inside predicates use [`prop_assert!`](crate::prop_assert) /
+//! [`prop_assert_eq!`](crate::prop_assert_eq), which return `Err`
+//! instead of panicking so shrinking can re-run the predicate.
+
+use crate::rng::{splitmix64, Rng};
+use std::fmt::Debug;
+
+/// Master seed used when `NETARCH_PROP_SEED` is unset. Arbitrary but
+/// fixed: CI runs are reproducible by default.
+pub const DEFAULT_SEED: u64 = 0x6E65_7461_7263_6831; // "netarch1"
+
+/// Budget and seeding knobs for a [`check`] run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases to run.
+    pub cases: u32,
+    /// Master seed; per-case seeds derive from it.
+    pub seed: u64,
+    /// Upper bound on shrinking steps (accepted candidates).
+    pub max_shrink_steps: u32,
+}
+
+impl Config {
+    /// `cases` cases with the deterministic default seed and any
+    /// environment overrides applied.
+    pub fn with_cases(cases: u32) -> Self {
+        let mut cfg = Config {
+            cases,
+            seed: DEFAULT_SEED,
+            max_shrink_steps: 2_000,
+        };
+        if let Some(s) = env_u64("NETARCH_PROP_SEED") {
+            cfg.seed = s;
+        }
+        if let Some(c) = env_u64("NETARCH_PROP_CASES") {
+            cfg.cases = c as u32;
+        }
+        cfg
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::with_cases(64)
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name}={raw}: expected a u64"),
+    }
+}
+
+/// Pure per-case seed derivation: mixing the master seed with the case
+/// index through SplitMix64 keeps cases statistically independent.
+fn case_seed(master: u64, case: u32) -> u64 {
+    let mut s = master ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s)
+}
+
+/// Runs `test` over `config.cases` inputs drawn from `gen`.
+///
+/// # Panics
+/// Panics with the shrunk counterexample, the error message, and the
+/// replay seed if any case fails.
+pub fn check<T, G, F>(config: &Config, gen: G, test: F)
+where
+    T: Clone + Debug + Shrink,
+    G: Fn(&mut Rng) -> T,
+    F: Fn(&T) -> Result<(), String>,
+{
+    if let Some(seed) = env_u64("NETARCH_PROP_CASE_SEED") {
+        run_one(seed, 0, config, &gen, &test);
+        return;
+    }
+    for case in 0..config.cases {
+        run_one(case_seed(config.seed, case), case, config, &gen, &test);
+    }
+}
+
+fn run_one<T, G, F>(seed: u64, case: u32, config: &Config, gen: &G, test: &F)
+where
+    T: Clone + Debug + Shrink,
+    G: Fn(&mut Rng) -> T,
+    F: Fn(&T) -> Result<(), String>,
+{
+    let mut rng = Rng::seed_from_u64(seed);
+    let input = gen(&mut rng);
+    if let Err(msg) = test(&input) {
+        let (minimal, minimal_msg, steps) =
+            shrink_failure(input, msg, test, config.max_shrink_steps);
+        panic!(
+            "property failed (case {case} of {}, replay with \
+             NETARCH_PROP_CASE_SEED={seed:#x})\n\
+             minimal input (after {steps} shrink steps): {minimal:#?}\n\
+             error: {minimal_msg}",
+            config.cases,
+        );
+    }
+}
+
+/// Greedy shrink loop: repeatedly replace the failing input with its
+/// first still-failing shrink candidate until none fails or the step
+/// budget runs out.
+fn shrink_failure<T, F>(
+    mut current: T,
+    mut msg: String,
+    test: &F,
+    max_steps: u32,
+) -> (T, String, u32)
+where
+    T: Clone + Debug + Shrink,
+    F: Fn(&T) -> Result<(), String>,
+{
+    let mut steps = 0;
+    'outer: while steps < max_steps {
+        for candidate in current.shrink() {
+            if let Err(e) = test(&candidate) {
+                current = candidate;
+                msg = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, msg, steps)
+}
+
+/// Produces "smaller" variants of a failing input for shrinking.
+///
+/// An empty candidate list (the default) means the value is already
+/// minimal. Candidates should be strictly simpler to guarantee the
+/// greedy loop terminates.
+pub trait Shrink: Sized {
+    /// Smaller candidate values, most aggressive first.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let x = *self;
+                let mut out = Vec::new();
+                if x == 0 {
+                    return out;
+                }
+                out.push(0);
+                if x / 2 != 0 {
+                    out.push(x / 2);
+                }
+                out.push(x - 1);
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let x = *self;
+                if x == 0 {
+                    return Vec::new();
+                }
+                if x == <$t>::MIN {
+                    return vec![0, x / 2, x + 1];
+                }
+                let mut out = vec![0];
+                if x < 0 {
+                    out.push(-x);
+                }
+                out.push(x / 2);
+                out.push(x - x.signum());
+                // Sign-flips count as progress (at most one can occur),
+                // everything else must strictly reduce magnitude.
+                out.retain(|&c| c.abs() < x.abs() || (x < 0 && c > 0));
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_int!(i8, i16, i32, i64, isize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let x = *self;
+        if x == 0.0 {
+            return Vec::new();
+        }
+        let mut out = vec![0.0];
+        if x.abs() >= 1.0 {
+            out.push(x / 2.0);
+            out.push(x.trunc());
+        }
+        out.retain(|&c| c != x);
+        out.dedup();
+        out
+    }
+}
+
+impl Shrink for char {}
+impl Shrink for String {}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Structural shrinks first: drop halves, then single elements.
+        if n > 1 {
+            out.push(self[n / 2..].to_vec());
+            out.push(self[..n / 2].to_vec());
+        }
+        for i in 0..n.min(32) {
+            let mut shorter = self.clone();
+            shorter.remove(i);
+            out.push(shorter);
+        }
+        // Then element-wise shrinks (bounded to keep candidate lists small).
+        for i in 0..n.min(16) {
+            for candidate in self[i].shrink().into_iter().take(3) {
+                let mut next = self.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink + Clone, const N: usize> Shrink for [T; N] {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for i in 0..N {
+            for candidate in self[i].shrink().into_iter().take(3) {
+                let mut next = self.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone> Shrink for (A, B) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink() {
+            out.push((a, self.1.clone()));
+        }
+        for b in self.1.shrink() {
+            out.push((self.0.clone(), b));
+        }
+        out
+    }
+}
+
+impl<A, B, C> Shrink for (A, B, C)
+where
+    A: Shrink + Clone,
+    B: Shrink + Clone,
+    C: Shrink + Clone,
+{
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for a in self.0.shrink() {
+            out.push((a, self.1.clone(), self.2.clone()));
+        }
+        for b in self.1.shrink() {
+            out.push((self.0.clone(), b, self.2.clone()));
+        }
+        for c in self.2.shrink() {
+            out.push((self.0.clone(), self.1.clone(), c));
+        }
+        out
+    }
+}
+
+impl<T: Shrink> Shrink for Box<T> {
+    fn shrink(&self) -> Vec<Self> {
+        (**self).shrink().into_iter().map(Box::new).collect()
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+/// Generates a vector whose length is drawn from `len`, with elements
+/// from `item`.
+pub fn gen_vec<T>(
+    rng: &mut Rng,
+    len: std::ops::RangeInclusive<usize>,
+    mut item: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| item(rng)).collect()
+}
+
+/// Derives [`Shrink`] for a struct by shrinking one field at a time.
+#[macro_export]
+macro_rules! impl_shrink_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::prop::Shrink for $ty {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in
+                        $crate::prop::Shrink::shrink(&self.$field).into_iter().take(4)
+                    {
+                        let mut next = self.clone();
+                        next.$field = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+/// Fails the enclosing property (returns `Err`) if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property if the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut cfg = Config::with_cases(50);
+        cfg.seed = 1;
+        check(
+            &cfg,
+            |rng| rng.gen_range(0..100u32),
+            |&x| {
+                if x < 100 {
+                    Ok(())
+                } else {
+                    Err("out of range".into())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn failing_property_panics_and_shrinks() {
+        let result = std::panic::catch_unwind(|| {
+            let mut cfg = Config::with_cases(200);
+            cfg.seed = 7;
+            check(
+                &cfg,
+                |rng| rng.gen_range(0..1000u32),
+                |&x| {
+                    if x < 17 {
+                        Ok(())
+                    } else {
+                        Err(format!("{x} too big"))
+                    }
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("NETARCH_PROP_CASE_SEED="), "msg: {msg}");
+        // The greedy shrinker must land on the boundary value.
+        assert!(msg.contains("minimal input"), "msg: {msg}");
+        assert!(msg.contains("17"), "should shrink to 17, msg: {msg}");
+    }
+
+    #[test]
+    fn vec_shrink_reaches_minimal_witness() {
+        let result = std::panic::catch_unwind(|| {
+            let mut cfg = Config::with_cases(100);
+            cfg.seed = 3;
+            check(
+                &cfg,
+                |rng| gen_vec(rng, 0..=20, |r| r.gen_range(0..50u32)),
+                |v: &Vec<u32>| {
+                    if v.iter().all(|&x| x < 40) {
+                        Ok(())
+                    } else {
+                        Err("contains big element".into())
+                    }
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        // Minimal counterexample is a single element equal to 40.
+        assert!(msg.contains("40"), "msg: {msg}");
+    }
+
+    #[test]
+    fn int_shrink_candidates_are_smaller() {
+        assert_eq!(17u32.shrink(), vec![0, 8, 16]);
+        assert!(0u32.shrink().is_empty());
+        assert!((-5i32).shrink().contains(&5));
+    }
+
+    #[test]
+    fn deterministic_case_seeds() {
+        assert_eq!(case_seed(1, 0), case_seed(1, 0));
+        assert_ne!(case_seed(1, 0), case_seed(1, 1));
+        assert_ne!(case_seed(1, 0), case_seed(2, 0));
+    }
+}

@@ -5,11 +5,37 @@
 //! satisfiability, returned models must actually satisfy the formula, and
 //! unsat cores must themselves be unsatisfiable subsets.
 
+use netarch_rt::prop::{self, gen_vec, Config};
+use netarch_rt::{prop_assert, prop_assert_eq, Rng};
 use netarch_sat::{dimacs, enumerate, Lit, SolveResult, Solver, SolverConfig, Var};
-use proptest::prelude::*;
 
-/// A clause as signed variable indices (proptest-friendly form).
+/// A clause as signed variable indices (generator-friendly form).
 type RawClause = Vec<(usize, bool)>;
+
+/// A formula: variable count plus clauses over those variables.
+type Formula = (usize, Vec<RawClause>);
+
+/// Draws a random formula: 2–10 variables, up to 40 clauses of 1–4
+/// literals each.
+fn gen_formula(rng: &mut Rng) -> Formula {
+    let num_vars = rng.gen_range(2..=10usize);
+    let clauses = gen_vec(rng, 0..=40, |r| {
+        gen_vec(r, 1..=4, |r| (r.gen_range(0..num_vars), r.gen_bool(0.5)))
+    });
+    (num_vars, clauses)
+}
+
+/// Re-establishes the formula invariant (`var < num_vars`, `num_vars` in
+/// brute-force range) after structure-blind shrinking.
+fn normalize(f: &Formula) -> (usize, Vec<RawClause>) {
+    let num_vars = f.0.clamp(1, 14);
+    let clauses = f
+        .1
+        .iter()
+        .map(|c| c.iter().map(|&(v, pos)| (v % num_vars, pos)).collect())
+        .collect();
+    (num_vars, clauses)
+}
 
 fn build_solver(num_vars: usize, clauses: &[RawClause], config: SolverConfig) -> Solver {
     let mut s = Solver::with_config(config);
@@ -51,21 +77,10 @@ fn model_satisfies(s: &Solver, clauses: &[RawClause]) -> bool {
     })
 }
 
-fn clause_strategy(num_vars: usize) -> impl Strategy<Value = RawClause> {
-    prop::collection::vec((0..num_vars, any::<bool>()), 1..=4)
-}
-
-fn formula_strategy() -> impl Strategy<Value = (usize, Vec<RawClause>)> {
-    (2usize..=10).prop_flat_map(|nv| {
-        prop::collection::vec(clause_strategy(nv), 0..=40).prop_map(move |cs| (nv, cs))
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn agrees_with_brute_force((num_vars, clauses) in formula_strategy()) {
+#[test]
+fn agrees_with_brute_force() {
+    prop::check(&Config::with_cases(256), gen_formula, |f| {
+        let (num_vars, clauses) = normalize(f);
         let mut s = build_solver(num_vars, &clauses, SolverConfig::default());
         let expected = brute_force_sat(num_vars, &clauses);
         match s.solve() {
@@ -73,13 +88,19 @@ proptest! {
                 prop_assert!(expected, "solver said SAT, brute force says UNSAT");
                 prop_assert!(model_satisfies(&s, &clauses), "model does not satisfy formula");
             }
-            SolveResult::Unsat => prop_assert!(!expected, "solver said UNSAT, brute force says SAT"),
+            SolveResult::Unsat => {
+                prop_assert!(!expected, "solver said UNSAT, brute force says SAT")
+            }
             SolveResult::Unknown => prop_assert!(false, "unbounded solve returned Unknown"),
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ablated_configs_agree_with_brute_force((num_vars, clauses) in formula_strategy()) {
+#[test]
+fn ablated_configs_agree_with_brute_force() {
+    prop::check(&Config::with_cases(256), gen_formula, |f| {
+        let (num_vars, clauses) = normalize(f);
         for config in [
             SolverConfig { vsids_enabled: false, ..SolverConfig::default() },
             SolverConfig { restarts_enabled: false, ..SolverConfig::default() },
@@ -94,50 +115,81 @@ proptest! {
                 prop_assert!(model_satisfies(&s, &clauses));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn unsat_core_is_unsat_subset(
-        (num_vars, clauses) in formula_strategy(),
-        assumption_bits in any::<u16>(),
-    ) {
-        let mut s = build_solver(num_vars, &clauses, SolverConfig::default());
-        let assumptions: Vec<Lit> = (0..num_vars)
-            .map(|v| Lit::new(Var::from_index(v), (assumption_bits >> v) & 1 == 1))
-            .collect();
-        if s.solve_with(&assumptions) == SolveResult::Unsat {
-            let core = s.unsat_core().to_vec();
-            // Every core literal must be one of the assumptions.
-            for l in &core {
-                prop_assert!(assumptions.contains(l), "core literal not an assumption");
+#[test]
+fn unsat_core_is_unsat_subset() {
+    prop::check(
+        &Config::with_cases(256),
+        |rng| (gen_formula(rng), rng.gen_range(0..=u16::MAX)),
+        |(f, assumption_bits)| {
+            let (num_vars, clauses) = normalize(f);
+            let mut s = build_solver(num_vars, &clauses, SolverConfig::default());
+            let assumptions: Vec<Lit> = (0..num_vars)
+                .map(|v| Lit::new(Var::from_index(v), (assumption_bits >> v) & 1 == 1))
+                .collect();
+            if s.solve_with(&assumptions) == SolveResult::Unsat {
+                let core = s.unsat_core().to_vec();
+                // Every core literal must be one of the assumptions.
+                for l in &core {
+                    prop_assert!(assumptions.contains(l), "core literal not an assumption");
+                }
+                // The core alone must still be UNSAT.
+                let mut s2 = build_solver(num_vars, &clauses, SolverConfig::default());
+                prop_assert_eq!(
+                    s2.solve_with(&core),
+                    SolveResult::Unsat,
+                    "unsat core is not itself unsatisfiable"
+                );
             }
-            // The core alone must still be UNSAT.
-            let mut s2 = build_solver(num_vars, &clauses, SolverConfig::default());
-            prop_assert_eq!(s2.solve_with(&core), SolveResult::Unsat,
-                "unsat core is not itself unsatisfiable");
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn enumeration_counts_match_brute_force((num_vars, clauses) in formula_strategy()) {
-        prop_assume!(num_vars <= 8);
-        let mut expected = 0usize;
-        for bits in 0u32..(1 << num_vars) {
-            let ok = clauses.iter().all(|clause| {
-                clause.iter().any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos)
+#[test]
+fn enumeration_counts_match_brute_force() {
+    // Variable counts stay <= 8 so full enumeration is cheap.
+    prop::check(
+        &Config::with_cases(256),
+        |rng| {
+            let num_vars = rng.gen_range(2..=8usize);
+            let clauses = gen_vec(rng, 0..=40, |r| {
+                gen_vec(r, 1..=4, |r| (r.gen_range(0..num_vars), r.gen_bool(0.5)))
             });
-            if ok {
-                expected += 1;
+            (num_vars, clauses)
+        },
+        |f| {
+            let (num_vars, clauses) = normalize(f);
+            let num_vars = num_vars.min(8);
+            let clauses: Vec<RawClause> = clauses
+                .iter()
+                .map(|c| c.iter().map(|&(v, pos)| (v % num_vars, pos)).collect())
+                .collect();
+            let mut expected = 0usize;
+            for bits in 0u32..(1 << num_vars) {
+                let ok = clauses.iter().all(|clause| {
+                    clause.iter().any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos)
+                });
+                if ok {
+                    expected += 1;
+                }
             }
-        }
-        let mut s = build_solver(num_vars, &clauses, SolverConfig::default());
-        let (count, truncated) = enumerate::count_models(&mut s, &[], 1 << num_vars);
-        prop_assert!(!truncated);
-        prop_assert_eq!(count, expected);
-    }
+            let mut s = build_solver(num_vars, &clauses, SolverConfig::default());
+            let (count, truncated) = enumerate::count_models(&mut s, &[], 1 << num_vars);
+            prop_assert!(!truncated);
+            prop_assert_eq!(count, expected);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn dimacs_roundtrip_preserves_satisfiability((num_vars, clauses) in formula_strategy()) {
+#[test]
+fn dimacs_roundtrip_preserves_satisfiability() {
+    prop::check(&Config::with_cases(256), gen_formula, |f| {
+        let (num_vars, clauses) = normalize(f);
         let cnf = dimacs::Cnf {
             num_vars,
             clauses: clauses
@@ -151,28 +203,34 @@ proptest! {
         dimacs::load_into(&mut s1, &cnf);
         dimacs::load_into(&mut s2, &reparsed);
         prop_assert_eq!(s1.solve(), s2.solve());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn incremental_equals_monolithic(
-        (num_vars, clauses) in formula_strategy(),
-        split in 0usize..40,
-    ) {
-        // Adding clauses in two batches with a solve in between must agree
-        // with adding them all up front.
-        let split = split.min(clauses.len());
-        let mut incremental = Solver::new();
-        incremental.ensure_vars(num_vars);
-        for c in &clauses[..split] {
-            incremental.add_clause(c.iter().map(|&(v, pos)| Lit::new(Var::from_index(v), pos)));
-        }
-        let _ = incremental.solve();
-        for c in &clauses[split..] {
-            incremental.add_clause(c.iter().map(|&(v, pos)| Lit::new(Var::from_index(v), pos)));
-        }
-        let mut monolithic = build_solver(num_vars, &clauses, SolverConfig::default());
-        prop_assert_eq!(incremental.solve(), monolithic.solve());
-    }
+#[test]
+fn incremental_equals_monolithic() {
+    // Adding clauses in two batches with a solve in between must agree
+    // with adding them all up front.
+    prop::check(
+        &Config::with_cases(256),
+        |rng| (gen_formula(rng), rng.gen_range(0..40usize)),
+        |(f, split)| {
+            let (num_vars, clauses) = normalize(f);
+            let split = (*split).min(clauses.len());
+            let mut incremental = Solver::new();
+            incremental.ensure_vars(num_vars);
+            for c in &clauses[..split] {
+                incremental.add_clause(c.iter().map(|&(v, pos)| Lit::new(Var::from_index(v), pos)));
+            }
+            let _ = incremental.solve();
+            for c in &clauses[split..] {
+                incremental.add_clause(c.iter().map(|&(v, pos)| Lit::new(Var::from_index(v), pos)));
+            }
+            let mut monolithic = build_solver(num_vars, &clauses, SolverConfig::default());
+            prop_assert_eq!(incremental.solve(), monolithic.solve());
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -246,8 +304,7 @@ fn graph_coloring_cycles() {
 fn random_3sat_under_threshold_is_mostly_sat() {
     // At clause/variable ratio 2.0 (well under the ~4.27 threshold),
     // random 3-SAT instances are satisfiable with overwhelming probability.
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(0xA5A5_1234);
+    let mut rng = Rng::seed_from_u64(0xA5A5_1234);
     let num_vars = 60;
     let num_clauses = 120;
     let mut sat_count = 0;
@@ -273,8 +330,7 @@ fn random_3sat_under_threshold_is_mostly_sat() {
 
 #[test]
 fn random_3sat_far_above_threshold_is_unsat() {
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(0x5A5A_4321);
+    let mut rng = Rng::seed_from_u64(0x5A5A_4321);
     let num_vars = 40;
     let num_clauses = 400; // ratio 10: essentially always UNSAT
     let mut s = Solver::new();
@@ -311,8 +367,7 @@ fn long_unsat_run_exercises_reduction_and_stays_correct() {
     // A hard random instance well above the phase transition: thousands
     // of conflicts, forcing learnt-clause reductions (and usually arena
     // compaction) while the UNSAT verdict must stay right.
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut rng = Rng::seed_from_u64(0xC0FFEE);
     let num_vars = 120;
     let num_clauses = 720; // ratio 6
     let mut s = Solver::new();
@@ -341,8 +396,7 @@ fn solver_survives_many_incremental_rounds() {
     // Interleave solving, assumptions, and clause addition for many
     // rounds — the incremental path (trail rewinds, watch maintenance,
     // core extraction) must stay consistent throughout.
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(7_771);
+    let mut rng = Rng::seed_from_u64(7_771);
     let mut s = Solver::new();
     let vars: Vec<Var> = (0..40).map(|_| s.new_var()).collect();
     let mut sat_rounds = 0;
@@ -378,39 +432,40 @@ fn solver_survives_many_incremental_rounds() {
     assert!(sat_rounds > 0, "generator should produce some SAT rounds");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn simplify_preserves_satisfiability_and_models(
-        (num_vars, clauses) in formula_strategy(),
-        split in 0usize..40,
-    ) {
-        let split = split.min(clauses.len());
-        let mut s = Solver::new();
-        s.ensure_vars(num_vars);
-        for c in &clauses[..split] {
-            s.add_clause(c.iter().map(|&(v, pos)| Lit::new(Var::from_index(v), pos)));
-        }
-        let _ = s.solve();
-        let consistent = s.simplify();
-        for c in &clauses[split..] {
-            s.add_clause(c.iter().map(|&(v, pos)| Lit::new(Var::from_index(v), pos)));
-        }
-        let expected = brute_force_sat(num_vars, &clauses);
-        if !consistent {
-            prop_assert!(!expected);
-            return Ok(());
-        }
-        match s.solve() {
-            SolveResult::Sat => {
-                prop_assert!(expected);
-                prop_assert!(model_satisfies(&s, &clauses));
+#[test]
+fn simplify_preserves_satisfiability_and_models() {
+    prop::check(
+        &Config::with_cases(128),
+        |rng| (gen_formula(rng), rng.gen_range(0..40usize)),
+        |(f, split)| {
+            let (num_vars, clauses) = normalize(f);
+            let split = (*split).min(clauses.len());
+            let mut s = Solver::new();
+            s.ensure_vars(num_vars);
+            for c in &clauses[..split] {
+                s.add_clause(c.iter().map(|&(v, pos)| Lit::new(Var::from_index(v), pos)));
             }
-            SolveResult::Unsat => prop_assert!(!expected),
-            SolveResult::Unknown => prop_assert!(false),
-        }
-    }
+            let _ = s.solve();
+            let consistent = s.simplify();
+            for c in &clauses[split..] {
+                s.add_clause(c.iter().map(|&(v, pos)| Lit::new(Var::from_index(v), pos)));
+            }
+            let expected = brute_force_sat(num_vars, &clauses);
+            if !consistent {
+                prop_assert!(!expected);
+                return Ok(());
+            }
+            match s.solve() {
+                SolveResult::Sat => {
+                    prop_assert!(expected);
+                    prop_assert!(model_satisfies(&s, &clauses));
+                }
+                SolveResult::Unsat => prop_assert!(!expected),
+                SolveResult::Unknown => prop_assert!(false),
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, and lint the whole workspace offline.
+# Everything here must pass before a change lands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline --workspace
+
+echo "== test =="
+cargo test -q --offline --workspace
+
+echo "== clippy =="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping lint step"
+fi
+
+echo "== ci: all green =="

@@ -17,6 +17,7 @@
 
 use netarch::core::explain::render_diagnosis;
 use netarch::core::prelude::*;
+use netarch_rt::jobj;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -55,14 +56,14 @@ pub fn run(args: &[&str]) -> Result<String, String> {
     match args {
         ["demo"] => {
             let scenario = netarch::corpus::case_study::scenario();
-            serde_json::to_string_pretty(&scenario).map_err(|e| e.to_string())
+            Ok(netarch_rt::json::to_string_pretty(&scenario))
         }
         ["export-catalog"] => Ok(netarch::corpus::catalog_json()),
         ["check", path] => {
             let mut engine = load_engine(path)?;
             match engine.check().map_err(|e| e.to_string())? {
                 Outcome::Feasible(design) if json => {
-                    serde_json::to_string_pretty(&design).map_err(|e| e.to_string())
+                    Ok(netarch_rt::json::to_string_pretty(&design))
                 }
                 Outcome::Feasible(design) => Ok(format!("FEASIBLE\n{design}")),
                 Outcome::Infeasible(diagnosis) => {
@@ -74,7 +75,7 @@ pub fn run(args: &[&str]) -> Result<String, String> {
             let mut engine = load_engine(path)?;
             match engine.optimize().map_err(|e| e.to_string())? {
                 Ok(result) if json => {
-                    serde_json::to_string_pretty(&result.design).map_err(|e| e.to_string())
+                    Ok(netarch_rt::json::to_string_pretty(&result.design))
                 }
                 Ok(result) => {
                     let mut out = format!("OPTIMAL\n{}", result.design);
@@ -93,13 +94,10 @@ pub fn run(args: &[&str]) -> Result<String, String> {
             let max: u64 = max.parse().map_err(|_| format!("bad fleet bound {max:?}"))?;
             let engine = load_engine(path)?;
             match engine.plan_capacity(max).map_err(|e| e.to_string())? {
-                Ok(plan) if json => {
-                    serde_json::to_string_pretty(&serde_json::json!({
-                        "servers_needed": plan.servers_needed,
-                        "design": plan.design,
-                    }))
-                    .map_err(|e| e.to_string())
-                }
+                Ok(plan) if json => Ok(netarch_rt::json::to_string_pretty(&jobj! {
+                    "servers_needed": plan.servers_needed,
+                    "design": plan.design,
+                })),
                 Ok(plan) => Ok(format!(
                     "SERVERS NEEDED: {}\n{}",
                     plan.servers_needed, plan.design
@@ -144,8 +142,8 @@ pub fn run(args: &[&str]) -> Result<String, String> {
 fn load_engine(path: &str) -> Result<Engine, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {path}: {e}"))?;
-    let scenario: Scenario =
-        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let scenario: Scenario = netarch_rt::json::from_str(&text)
+        .map_err(|e| format!("cannot parse {path}: {e}"))?;
     Engine::new(scenario).map_err(|e| e.to_string())
 }
 

@@ -28,7 +28,7 @@ fn demo_emits_parseable_scenario_json() {
     let (ok, stdout, _) = netarch(&["demo"]);
     assert!(ok);
     let scenario: netarch::core::scenario::Scenario =
-        serde_json::from_str(&stdout).expect("valid scenario JSON");
+        netarch_rt::json::from_str(&stdout).expect("valid scenario JSON");
     assert_eq!(scenario.workloads.len(), 1);
     assert!(scenario.catalog.num_systems() > 50);
 }
@@ -83,7 +83,7 @@ fn export_catalog_roundtrips() {
     let (ok, stdout, _) = netarch(&["export-catalog"]);
     assert!(ok);
     let catalog: netarch::core::catalog::Catalog =
-        serde_json::from_str(&stdout).expect("valid catalog JSON");
+        netarch_rt::json::from_str(&stdout).expect("valid catalog JSON");
     assert!(catalog.num_systems() > 50);
     assert!(catalog.num_hardware() >= 180);
 }
@@ -110,13 +110,13 @@ fn json_flag_emits_machine_readable_designs() {
     let (ok, stdout, stderr) = netarch(&["check", &p, "--json"]);
     assert!(ok, "{stderr}");
     let design: netarch::core::solution::Design =
-        serde_json::from_str(&stdout).expect("valid design JSON");
+        netarch_rt::json::from_str(&stdout).expect("valid design JSON");
     assert!(!design.selections.is_empty());
 
     let (ok, stdout, _) = netarch(&["capacity", &p, "512", "--json"]);
     std::fs::remove_file(&path).ok();
     assert!(ok);
-    let value: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
-    assert_eq!(value["servers_needed"], 44);
+    let value: netarch_rt::Json = netarch_rt::json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(value["servers_needed"].as_u64(), Some(44));
     assert!(value["design"]["hardware"]["Server"].is_string());
 }

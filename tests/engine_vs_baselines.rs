@@ -7,11 +7,10 @@ use netarch::core::baseline::{
 };
 use netarch::core::prelude::*;
 use netarch::corpus::case_study;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use netarch_rt::Rng;
 
 /// Builds a random small scenario over a random sub-catalog.
-fn random_scenario(rng: &mut StdRng) -> Scenario {
+fn random_scenario(rng: &mut Rng) -> Scenario {
     let full = netarch::corpus::full_catalog();
     let mut catalog = Catalog::new();
     // Sample a handful of systems per category (keeping referential
@@ -86,7 +85,9 @@ fn random_scenario(rng: &mut StdRng) -> Scenario {
 
 #[test]
 fn engine_agrees_with_exhaustive_search_on_random_scenarios() {
-    let mut rng = StdRng::seed_from_u64(0xE2E_BA5E);
+    // Seed chosen so the generator yields a healthy feasible/infeasible
+    // mix with enough rounds inside the exhaustive budget.
+    let mut rng = Rng::seed_from_u64(4);
     let mut feasible = 0;
     let mut infeasible = 0;
     let mut skipped = 0;
@@ -146,7 +147,7 @@ fn engine_agrees_with_exhaustive_search_on_random_scenarios() {
         }
     }
     // The generator should produce a healthy mix.
-    assert!(feasible >= 3, "too few feasible rounds: {feasible}");
+    assert!(feasible >= 3, "too few feasible rounds: {feasible} (infeasible {infeasible}, skipped {skipped})");
     assert_eq!(infeasible + feasible + skipped, 25);
     assert!(skipped < 20, "almost every round skipped ({skipped})");
 }

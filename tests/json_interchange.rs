@@ -6,8 +6,8 @@ use netarch::core::prelude::*;
 use netarch::corpus::case_study;
 
 fn roundtrip(scenario: &Scenario) -> Scenario {
-    let json = serde_json::to_string(scenario).expect("serializes");
-    serde_json::from_str(&json).expect("deserializes")
+    let json = netarch_rt::json::to_string(scenario);
+    netarch_rt::json::from_str(&json).expect("deserializes")
 }
 
 #[test]
@@ -75,8 +75,8 @@ fn conditions_with_every_variant_roundtrip() {
         Condition::True,
         Condition::False,
     ]);
-    let json = serde_json::to_string(&condition).unwrap();
-    let back: Condition = serde_json::from_str(&json).unwrap();
+    let json = netarch_rt::json::to_string(&condition);
+    let back: Condition = netarch_rt::json::from_str(&json).unwrap();
     assert_eq!(back, condition);
 }
 
@@ -85,12 +85,12 @@ fn design_json_is_stable_for_tool_consumers() {
     let mut engine = Engine::new(case_study::scenario()).expect("compiles");
     let outcome = engine.check().expect("runs");
     let design = outcome.design().expect("feasible");
-    let json = serde_json::to_value(design).unwrap();
+    let json = netarch_rt::json::to_value(design);
     // The shape external tools rely on (CLI --json consumers).
     assert!(json["selections"].is_object());
     assert!(json["hardware"].is_object());
     assert!(json["total_cost_usd"].is_u64());
     assert!(json["resources"].is_object());
-    let back: Design = serde_json::from_value(json).unwrap();
+    let back: Design = netarch_rt::json::FromJson::from_json(&json).unwrap();
     assert_eq!(&back, design);
 }
