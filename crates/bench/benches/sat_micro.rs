@@ -52,6 +52,16 @@ fn main() {
             assert_eq!(s.solve(), SolveResult::Unsat);
             black_box(s.stats().conflicts)
         });
+        // Same instance with DRAT recording on: the delta between this
+        // pair is the proof-logging overhead (expected: small, and zero
+        // when logging is off — the default path has a single
+        // `Option::is_some` check per derivation site).
+        h.bench(&format!("sat/pigeonhole-proof/{n}"), || {
+            let mut s = pigeonhole_solver(n);
+            s.record_proof();
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            black_box(s.take_proof().map(|p| p.len()))
+        });
     }
     for &(num_vars, ratio, label) in
         &[(150usize, 3.0f64, "easy-sat"), (100, 4.26, "threshold"), (80, 6.0, "unsat")]
@@ -60,6 +70,13 @@ fn main() {
         h.bench(&format!("sat/random3sat/{label}"), || {
             seed += 1;
             let mut s = random_3sat_solver(num_vars, ratio, seed);
+            black_box(s.solve())
+        });
+        let mut seed = 0u64;
+        h.bench(&format!("sat/random3sat-proof/{label}"), || {
+            seed += 1;
+            let mut s = random_3sat_solver(num_vars, ratio, seed);
+            s.record_proof();
             black_box(s.solve())
         });
     }

@@ -169,7 +169,14 @@ fn compile_inner(
         }
     }
 
-    let mut encoder = Encoder::new();
+    // Opt-in paranoia: under NETARCH_VERIFY_PROOFS every verdict the engine
+    // produces is re-validated by the independent DRAT checker (and SAT
+    // models re-evaluated), panicking on any discrepancy. Tests use this to
+    // make a wrong diagnosis loud instead of silently wrong.
+    let mut encoder = Encoder::with_config(netarch_logic::EncodeConfig {
+        verify_proofs: netarch_logic::proofs_requested(),
+        ..netarch_logic::EncodeConfig::default()
+    });
     let server_count = capacity_mode
         .map(|max| netarch_logic::OrderInt::new(&mut encoder, 1, max.max(1)));
     let mut c = Compiler {

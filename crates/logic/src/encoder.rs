@@ -15,6 +15,15 @@ use netarch_sat::{Lit, SolveResult, Solver, Var};
 pub struct EncodeConfig {
     /// Cardinality encoding for top-level (asserted) bounds.
     pub card_encoding: CardEncoding,
+    /// Verified-solving mode: record DRAT proofs, mirror every asserted
+    /// clause, and validate each verdict with the independent checker —
+    /// panicking on any discrepancy. Intended for tests (see
+    /// `NETARCH_VERIFY_PROOFS` / [`crate::verify::proofs_requested`]); it
+    /// is a correctness tripwire, not a production mode.
+    ///
+    /// Clauses injected directly through [`Encoder::solver_mut`] bypass the
+    /// mirror and are not supported while this mode is on.
+    pub verify_proofs: bool,
 }
 
 /// Encodes [`Formula`]s into a CDCL solver via the Tseitin transformation.
@@ -25,6 +34,9 @@ pub struct Encoder {
     config: EncodeConfig,
     aux_vars: usize,
     asserted_clauses: usize,
+    /// Mirror of every asserted clause, kept only in verify mode: the CNF
+    /// the independent proof checker validates verdicts against.
+    cnf_mirror: Vec<Vec<Lit>>,
 }
 
 impl Default for Encoder {
@@ -41,13 +53,18 @@ impl Encoder {
 
     /// Creates an encoder with explicit configuration.
     pub fn with_config(config: EncodeConfig) -> Encoder {
+        let mut solver = Solver::new();
+        if config.verify_proofs {
+            solver.record_proof();
+        }
         Encoder {
-            solver: Solver::new(),
+            solver,
             atom_vars: Vec::new(),
             true_lit: None,
             config,
             aux_vars: 0,
             asserted_clauses: 0,
+            cnf_mirror: Vec::new(),
         }
     }
 
@@ -107,6 +124,9 @@ impl Encoder {
 
     fn add_clause_counted(&mut self, lits: &[Lit]) {
         self.asserted_clauses += 1;
+        if self.config.verify_proofs {
+            self.cnf_mirror.push(lits.to_vec());
+        }
         let _ = self.solver.add_clause(lits.iter().copied());
     }
 
@@ -300,12 +320,35 @@ impl Encoder {
 
     /// Solves the asserted constraints.
     pub fn solve(&mut self) -> SolveResult {
-        self.solver.solve()
+        let result = self.solver.solve();
+        self.verify_outcome(result, &[]);
+        result
     }
 
     /// Solves under assumption literals (e.g. group selectors).
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
-        self.solver.solve_with(assumptions)
+        let result = self.solver.solve_with(assumptions);
+        self.verify_outcome(result, assumptions);
+        result
+    }
+
+    /// In verify mode, every verdict must survive the independent checker:
+    /// SAT models are evaluated against the mirrored CNF and UNSAT verdicts
+    /// replay their DRAT proof. A failure here means the solver stack lied,
+    /// so it panics rather than returning the unreliable verdict.
+    fn verify_outcome(&self, result: SolveResult, assumptions: &[Lit]) {
+        if !self.config.verify_proofs {
+            return;
+        }
+        if let Err(e) = crate::verify::check_outcome(
+            &self.solver,
+            self.solver.num_vars(),
+            &self.cnf_mirror,
+            assumptions,
+            result,
+        ) {
+            panic!("NETARCH_VERIFY_PROOFS: solver verdict failed independent verification: {e}");
+        }
     }
 
     /// Value of `atom` in the latest model; `None` when the atom never

@@ -13,7 +13,10 @@
 //! * order-encoded bounded integers ([`int`]) for capacity planning,
 //! * minimal unsatisfiable subset extraction ([`mus`]) for diagnosis,
 //! * projected model enumeration ([`enumerate`]) for design equivalence
-//!   classes.
+//!   classes,
+//! * solve-then-check verified solving ([`verify`]): SAT models are
+//!   re-evaluated and UNSAT verdicts must carry a DRAT proof the
+//!   independent checker accepts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +30,7 @@ pub mod maxsat;
 pub mod mus;
 pub mod pb;
 pub mod sink;
+pub mod verify;
 
 pub use ast::{Atom, Formula};
 pub use cardinality::CardEncoding;
@@ -35,3 +39,4 @@ pub use int::{Bound, OrderInt};
 pub use maxsat::{MaxSatAlgorithm, MaxSatOutcome, Soft};
 pub use mus::{GroupId, GroupedAssertions};
 pub use sink::{ClauseSink, CollectSink};
+pub use verify::{proofs_requested, verified_solve, Verified, VerifyError};

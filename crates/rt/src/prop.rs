@@ -17,7 +17,10 @@
 //!
 //! Inside predicates use [`prop_assert!`](crate::prop_assert) /
 //! [`prop_assert_eq!`](crate::prop_assert_eq), which return `Err`
-//! instead of panicking so shrinking can re-run the predicate.
+//! instead of panicking so shrinking can re-run the predicate. Panics
+//! inside a predicate (an `assert!`, an `unwrap`, an index out of
+//! bounds) are caught and treated as ordinary failures, so they still
+//! shrink and still report the replay seed.
 
 use crate::rng::{splitmix64, Rng};
 use std::fmt::Debug;
@@ -103,6 +106,29 @@ where
     }
 }
 
+/// Runs the predicate, converting a panic into an `Err` so panicking
+/// predicates flow through the same shrink-and-report path as `Err`
+/// returns — the replay seed is printed either way.
+fn run_test<T, F>(test: &F, input: &T) -> Result<(), String>
+where
+    F: Fn(&T) -> Result<(), String>,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    match catch_unwind(AssertUnwindSafe(|| test(input))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(format!("predicate panicked: {msg}"))
+        }
+    }
+}
+
 fn run_one<T, G, F>(seed: u64, case: u32, config: &Config, gen: &G, test: &F)
 where
     T: Clone + Debug + Shrink,
@@ -111,7 +137,7 @@ where
 {
     let mut rng = Rng::seed_from_u64(seed);
     let input = gen(&mut rng);
-    if let Err(msg) = test(&input) {
+    if let Err(msg) = run_test(test, &input) {
         let (minimal, minimal_msg, steps) =
             shrink_failure(input, msg, test, config.max_shrink_steps);
         panic!(
@@ -140,7 +166,7 @@ where
     let mut steps = 0;
     'outer: while steps < max_steps {
         for candidate in current.shrink() {
-            if let Err(e) = test(&candidate) {
+            if let Err(e) = run_test(test, &candidate) {
                 current = candidate;
                 msg = e;
                 steps += 1;
@@ -466,6 +492,29 @@ mod tests {
         // The greedy shrinker must land on the boundary value.
         assert!(msg.contains("minimal input"), "msg: {msg}");
         assert!(msg.contains("17"), "should shrink to 17, msg: {msg}");
+    }
+
+    #[test]
+    fn panicking_predicate_still_reports_the_replay_seed() {
+        let result = std::panic::catch_unwind(|| {
+            let mut cfg = Config::with_cases(50);
+            cfg.seed = 11;
+            check(
+                &cfg,
+                |rng| rng.gen_range(0..100u32),
+                |&x| {
+                    // A raw assert! (not prop_assert!): panics on failure.
+                    assert!(x < 20, "x={x} escaped the range");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("NETARCH_PROP_CASE_SEED="), "msg: {msg}");
+        assert!(msg.contains("predicate panicked"), "msg: {msg}");
+        // Shrinking re-runs the (still panicking) predicate; the greedy
+        // loop must land on the boundary value.
+        assert!(msg.contains("20"), "should shrink to 20, msg: {msg}");
     }
 
     #[test]

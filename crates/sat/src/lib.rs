@@ -13,6 +13,8 @@
 //! - Luby restarts and LBD/activity-ranked learnt-clause deletion,
 //! - incremental solving under assumptions with unsat-core extraction,
 //! - model enumeration (optionally projected onto a variable subset),
+//! - DRAT proof logging ([`proof`]) with an independent counter-based
+//!   RUP/DRAT checker ([`checker`]) so UNSAT verdicts are certifiable,
 //! - DIMACS CNF I/O,
 //! - per-feature ablation switches in [`SolverConfig`].
 //!
@@ -32,13 +34,17 @@
 #![warn(missing_docs)]
 
 mod clause;
+pub mod checker;
 pub mod dimacs;
 pub mod enumerate;
 mod heap;
 mod lit;
+pub mod proof;
 mod solver;
 mod stats;
 
+pub use checker::{check_refutation, check_refutation_under_assumptions, CheckError, Checker};
 pub use lit::{LBool, Lit, Var};
+pub use proof::{DratProof, ProofSink, ProofStep};
 pub use solver::{SolveResult, Solver, SolverConfig};
 pub use stats::Stats;

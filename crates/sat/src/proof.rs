@@ -1,0 +1,421 @@
+//! DRAT proof logging.
+//!
+//! A solver that answers UNSAT is making a universally-quantified claim —
+//! *no* assignment works — and a bug anywhere in propagation, conflict
+//! analysis, or clause deletion can silently turn that claim into a lie.
+//! Following modern SAT practice (the certified-UNSAT track of the SAT
+//! competitions), the solver can record every clause it *adds* (learns) and
+//! *deletes* as a DRAT proof: a sequence of clause additions, each checkable
+//! by reverse unit propagation (RUP) or the resolution-asymmetric-tautology
+//! (RAT) criterion, plus deletion hints. The independent verifier lives in
+//! [`crate::checker`]; this module defines the proof representation, the
+//! [`ProofSink`] trait the solver logs through, and the standard text and
+//! binary DRAT serialization formats.
+//!
+//! Text DRAT is DIMACS-like: an addition is a clause line (`1 -2 0`), a
+//! deletion is prefixed with `d` (`d 1 -2 0`). Binary DRAT prefixes each
+//! step with `a` (0x61) or `d` (0x64) and encodes each literal as the
+//! variable-length 7-bit integer of `2·|lit| + sign`, zero-terminated.
+
+use crate::lit::Lit;
+use std::fmt::Write as _;
+
+/// One step of a DRAT proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// Addition of a clause claimed to be redundant (RUP/RAT) with respect
+    /// to the formula accumulated so far.
+    Add(Vec<Lit>),
+    /// Deletion of a clause from the accumulated formula.
+    Delete(Vec<Lit>),
+}
+
+impl ProofStep {
+    /// The clause this step adds or deletes.
+    pub fn clause(&self) -> &[Lit] {
+        match self {
+            ProofStep::Add(c) | ProofStep::Delete(c) => c,
+        }
+    }
+
+    /// True for [`ProofStep::Add`].
+    pub fn is_add(&self) -> bool {
+        matches!(self, ProofStep::Add(_))
+    }
+}
+
+/// A consumer of proof events, threaded through the solver's learn,
+/// minimization, and deletion sites.
+///
+/// Implementations may record steps in memory ([`DratProof`]), stream them
+/// to a writer, or compute statistics. Sinks observe *derived* clauses
+/// only: the original problem clauses are the CNF the proof is checked
+/// against, not part of the proof itself.
+pub trait ProofSink {
+    /// A clause was derived (learned, strengthened, or concluded). The
+    /// clause must be redundant with respect to the clauses accumulated so
+    /// far (original CNF plus earlier additions, minus deletions).
+    fn add_clause(&mut self, clause: &[Lit]);
+
+    /// A clause was removed from the solver's working set.
+    fn delete_clause(&mut self, clause: &[Lit]);
+}
+
+/// An in-memory DRAT proof: the default [`ProofSink`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DratProof {
+    steps: Vec<ProofStep>,
+}
+
+/// Errors from parsing serialized DRAT proofs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofParseError {
+    /// A token in a text proof was neither an integer nor `d`.
+    BadToken {
+        /// 1-based line number of the offending token.
+        line: usize,
+        /// The token as read.
+        token: String,
+    },
+    /// A literal's magnitude exceeded the representable range.
+    LiteralOutOfRange {
+        /// The out-of-range value.
+        value: i64,
+    },
+    /// Input ended in the middle of a step (missing terminating `0`).
+    UnterminatedStep,
+    /// A binary proof step began with a byte other than `a`/`d`.
+    BadStepTag {
+        /// The unexpected tag byte.
+        tag: u8,
+    },
+}
+
+impl std::fmt::Display for ProofParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofParseError::BadToken { line, token } => {
+                write!(f, "unexpected proof token {token:?} on line {line}")
+            }
+            ProofParseError::LiteralOutOfRange { value } => {
+                write!(f, "proof literal {value} out of range")
+            }
+            ProofParseError::UnterminatedStep => write!(f, "proof ended inside a step"),
+            ProofParseError::BadStepTag { tag } => {
+                write!(f, "binary proof step tag {tag:#04x} is neither 'a' nor 'd'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProofParseError {}
+
+impl DratProof {
+    /// Creates an empty proof.
+    pub fn new() -> DratProof {
+        DratProof::default()
+    }
+
+    /// The recorded steps, in derivation order.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when no steps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends a step directly (used by parsers and tests; the solver goes
+    /// through the [`ProofSink`] methods).
+    pub fn push(&mut self, step: ProofStep) {
+        self.steps.push(step);
+    }
+
+    /// True when the proof ends in (contains) an empty-clause addition —
+    /// the shape of a complete refutation.
+    pub fn adds_empty_clause(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s, ProofStep::Add(c) if c.is_empty()))
+    }
+
+    /// Number of addition steps.
+    pub fn num_additions(&self) -> usize {
+        self.steps.iter().filter(|s| s.is_add()).count()
+    }
+
+    /// Number of deletion steps.
+    pub fn num_deletions(&self) -> usize {
+        self.steps.len() - self.num_additions()
+    }
+
+    /// Renders the proof in text DRAT format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            if let ProofStep::Delete(_) = step {
+                out.push_str("d ");
+            }
+            for lit in step.clause() {
+                let _ = write!(out, "{} ", lit.to_dimacs());
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Parses a text DRAT proof. Lines starting with `c` are comments;
+    /// steps may span lines, exactly like DIMACS clauses.
+    pub fn parse_text(input: &str) -> Result<DratProof, ProofParseError> {
+        let mut proof = DratProof::new();
+        let mut current: Vec<Lit> = Vec::new();
+        let mut deleting = false;
+        let mut mid_step = false;
+        for (line_index, line) in input.lines().enumerate() {
+            let line_no = line_index + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('c') {
+                continue;
+            }
+            for token in trimmed.split_whitespace() {
+                if token == "d" && !mid_step {
+                    deleting = true;
+                    mid_step = true;
+                    continue;
+                }
+                let value: i64 = token.parse().map_err(|_| ProofParseError::BadToken {
+                    line: line_no,
+                    token: token.to_string(),
+                })?;
+                if value == 0 {
+                    let clause = std::mem::take(&mut current);
+                    proof.push(if deleting {
+                        ProofStep::Delete(clause)
+                    } else {
+                        ProofStep::Add(clause)
+                    });
+                    deleting = false;
+                    mid_step = false;
+                } else {
+                    mid_step = true;
+                    let lit = Lit::from_dimacs(value)
+                        .ok_or(ProofParseError::LiteralOutOfRange { value })?;
+                    current.push(lit);
+                }
+            }
+        }
+        if mid_step {
+            return Err(ProofParseError::UnterminatedStep);
+        }
+        Ok(proof)
+    }
+
+    /// Renders the proof in binary DRAT format.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for step in &self.steps {
+            out.push(if step.is_add() { b'a' } else { b'd' });
+            for lit in step.clause() {
+                push_varint(&mut out, binary_code(*lit));
+            }
+            out.push(0);
+        }
+        out
+    }
+
+    /// Parses a binary DRAT proof.
+    pub fn parse_binary(input: &[u8]) -> Result<DratProof, ProofParseError> {
+        let mut proof = DratProof::new();
+        let mut bytes = input.iter().copied().peekable();
+        while let Some(tag) = bytes.next() {
+            let deleting = match tag {
+                b'a' => false,
+                b'd' => true,
+                other => return Err(ProofParseError::BadStepTag { tag: other }),
+            };
+            let mut clause = Vec::new();
+            loop {
+                let code = read_varint(&mut bytes)?;
+                if code == 0 {
+                    break;
+                }
+                clause.push(lit_from_binary(code)?);
+            }
+            proof.push(if deleting {
+                ProofStep::Delete(clause)
+            } else {
+                ProofStep::Add(clause)
+            });
+        }
+        Ok(proof)
+    }
+}
+
+impl ProofSink for DratProof {
+    fn add_clause(&mut self, clause: &[Lit]) {
+        self.steps.push(ProofStep::Add(clause.to_vec()));
+    }
+
+    fn delete_clause(&mut self, clause: &[Lit]) {
+        self.steps.push(ProofStep::Delete(clause.to_vec()));
+    }
+}
+
+/// The binary-DRAT unsigned mapping: `2·|lit| + (lit < 0)` over DIMACS
+/// numbering, i.e. `(var_index + 1) << 1 | negative`.
+fn binary_code(lit: Lit) -> u64 {
+    let magnitude = (lit.var().index() as u64 + 1) << 1;
+    magnitude | u64::from(lit.is_negative())
+}
+
+fn lit_from_binary(code: u64) -> Result<Lit, ProofParseError> {
+    let magnitude = (code >> 1) as i64;
+    let value = if code & 1 == 1 { -magnitude } else { magnitude };
+    Lit::from_dimacs(value).ok_or(ProofParseError::LiteralOutOfRange { value })
+}
+
+fn push_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(
+    bytes: &mut std::iter::Peekable<impl Iterator<Item = u8>>,
+) -> Result<u64, ProofParseError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = bytes.next().ok_or(ProofParseError::UnterminatedStep)?;
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(ProofParseError::LiteralOutOfRange { value: i64::MAX });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lit(v: i64) -> Lit {
+        Lit::from_dimacs(v).unwrap()
+    }
+
+    #[test]
+    fn sink_records_steps_in_order() {
+        let mut p = DratProof::new();
+        p.add_clause(&[lit(1), lit(-2)]);
+        p.delete_clause(&[lit(3)]);
+        p.add_clause(&[]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.num_additions(), 2);
+        assert_eq!(p.num_deletions(), 1);
+        assert!(p.adds_empty_clause());
+        assert_eq!(p.steps()[0], ProofStep::Add(vec![lit(1), lit(-2)]));
+        assert_eq!(p.steps()[1], ProofStep::Delete(vec![lit(3)]));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut p = DratProof::new();
+        p.add_clause(&[lit(1), lit(-2), lit(3)]);
+        p.delete_clause(&[lit(-1), lit(2)]);
+        p.add_clause(&[lit(-3)]);
+        p.add_clause(&[]);
+        let text = p.to_text();
+        assert!(text.contains("d -1 2 0"));
+        assert_eq!(DratProof::parse_text(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn text_parse_tolerates_comments_and_linebreaks() {
+        let p = DratProof::parse_text("c comment\n1 -2\nc mid-step comment\n3 0\nd 1\n0\n").unwrap();
+        assert_eq!(p.steps()[0], ProofStep::Add(vec![lit(1), lit(-2), lit(3)]));
+        assert_eq!(p.steps()[1], ProofStep::Delete(vec![lit(1)]));
+    }
+
+    #[test]
+    fn text_parse_errors() {
+        assert!(matches!(
+            DratProof::parse_text("1 x 0\n"),
+            Err(ProofParseError::BadToken { .. })
+        ));
+        assert!(matches!(
+            DratProof::parse_text("1 2\n"),
+            Err(ProofParseError::UnterminatedStep)
+        ));
+        assert!(matches!(
+            DratProof::parse_text("9999999999 0\n"),
+            Err(ProofParseError::LiteralOutOfRange { .. })
+        ));
+        // `d` not at the start of a step is a bad token.
+        assert!(matches!(
+            DratProof::parse_text("1 d 2 0\n"),
+            Err(ProofParseError::BadToken { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut p = DratProof::new();
+        p.add_clause(&[lit(1), lit(-2), lit(300)]);
+        p.delete_clause(&[lit(-1)]);
+        p.add_clause(&[]);
+        let bin = p.to_binary();
+        assert_eq!(bin[0], b'a');
+        assert_eq!(DratProof::parse_binary(&bin).unwrap(), p);
+    }
+
+    #[test]
+    fn binary_varint_width() {
+        // DIMACS literal 64 maps to 128, which needs two varint bytes.
+        let big = Var::from_index(63).positive();
+        let mut p = DratProof::new();
+        p.add_clause(&[big]);
+        let bin = p.to_binary();
+        assert_eq!(bin, vec![b'a', 0x80, 0x01, 0x00]);
+        assert_eq!(DratProof::parse_binary(&bin).unwrap(), p);
+    }
+
+    #[test]
+    fn binary_parse_errors() {
+        assert!(matches!(
+            DratProof::parse_binary(&[b'x', 0x02, 0x00]),
+            Err(ProofParseError::BadStepTag { tag: b'x' })
+        ));
+        assert!(matches!(
+            DratProof::parse_binary(&[b'a', 0x02]),
+            Err(ProofParseError::UnterminatedStep)
+        ));
+        assert!(matches!(
+            DratProof::parse_binary(&[b'a', 0x82]),
+            Err(ProofParseError::UnterminatedStep)
+        ));
+    }
+
+    #[test]
+    fn empty_proof_roundtrips_both_ways() {
+        let p = DratProof::new();
+        assert_eq!(DratProof::parse_text(&p.to_text()).unwrap(), p);
+        assert_eq!(DratProof::parse_binary(&p.to_binary()).unwrap(), p);
+        assert!(!p.adds_empty_clause());
+    }
+}

@@ -11,6 +11,7 @@
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
+use crate::proof::{DratProof, ProofSink};
 use crate::stats::Stats;
 
 /// Outcome of a [`Solver::solve`] call.
@@ -113,7 +114,16 @@ pub struct Solver {
     conflict_core: Vec<Lit>,
     /// Conflict budget for bounded solving; `None` = unbounded.
     budget: Option<u64>,
+    /// DRAT proof output, when enabled (see [`Solver::record_proof`]).
+    proof: Option<ProofOut>,
     stats: Stats,
+}
+
+/// Where proof events go: an owned in-memory recorder (retrievable via
+/// [`Solver::recorded_proof`]) or an arbitrary caller-supplied sink.
+enum ProofOut {
+    Recorder(DratProof),
+    Stream(Box<dyn ProofSink>),
 }
 
 impl Default for Solver {
@@ -150,7 +160,68 @@ impl Solver {
             assumptions: Vec::new(),
             conflict_core: Vec::new(),
             budget: None,
+            proof: None,
             stats: Stats::default(),
+        }
+    }
+
+    /// Starts recording a DRAT proof in memory. Every clause the solver
+    /// derives (1UIP learning, minimization, level-0 simplification, the
+    /// assumption-core clause) is logged as an addition, and every clause it
+    /// drops (learnt-clause reduction, `simplify`) as a deletion. Retrieve
+    /// the proof with [`Solver::recorded_proof`] or [`Solver::take_proof`]
+    /// and validate it with [`crate::checker`].
+    ///
+    /// Recording starts from the call onward, so enable it before adding
+    /// clauses; proof logging off costs a single branch per derivation.
+    pub fn record_proof(&mut self) {
+        self.proof = Some(ProofOut::Recorder(DratProof::new()));
+    }
+
+    /// Redirects proof events to an arbitrary [`ProofSink`] instead of the
+    /// in-memory recorder (e.g. a streaming serializer).
+    pub fn set_proof_sink(&mut self, sink: Box<dyn ProofSink>) {
+        self.proof = Some(ProofOut::Stream(sink));
+    }
+
+    /// The proof recorded so far, when [`Solver::record_proof`] is active.
+    pub fn recorded_proof(&self) -> Option<&DratProof> {
+        match &self.proof {
+            Some(ProofOut::Recorder(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Takes ownership of the recorded proof, disabling further logging.
+    pub fn take_proof(&mut self) -> Option<DratProof> {
+        match self.proof.take() {
+            Some(ProofOut::Recorder(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// True while proof logging (recorder or stream) is enabled.
+    pub fn proof_logging_enabled(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    #[inline]
+    fn proof_add(&mut self, clause: &[Lit]) {
+        if let Some(out) = &mut self.proof {
+            match out {
+                ProofOut::Recorder(p) => p.add_clause(clause),
+                ProofOut::Stream(s) => s.add_clause(clause),
+            }
+        }
+    }
+
+    #[inline]
+    fn proof_delete(&mut self, clause: &[Lit]) {
+        if let Some(out) = &mut self.proof {
+            match out {
+                ProofOut::Recorder(p) => p.delete_clause(clause),
+                ProofOut::Stream(s) => s.delete_clause(clause),
+            }
         }
     }
 
@@ -231,19 +302,32 @@ impl Solver {
             }
             i += 1;
         }
+        // A clause that level-0 simplification actually changed is, from the
+        // proof's perspective, a derived clause: log it so the checker can
+        // validate the strengthening (the stripped literals are all
+        // root-falsified, so the simplified clause is RUP).
+        let was_strengthened = simplified.len() != c.len();
         match simplified.len() {
             0 => {
+                self.proof_add(&[]);
                 self.ok = false;
                 false
             }
             1 => {
+                if was_strengthened {
+                    self.proof_add(&simplified);
+                }
                 self.enqueue(simplified[0], ClauseRef::INVALID);
                 if self.propagate().is_some() {
+                    self.proof_add(&[]);
                     self.ok = false;
                 }
                 self.ok
             }
             _ => {
+                if was_strengthened {
+                    self.proof_add(&simplified);
+                }
                 let cref = self.db.add(&simplified, false);
                 self.attach(cref);
                 true
@@ -346,6 +430,7 @@ impl Solver {
         }
         self.backtrack_to(0);
         if self.propagate().is_some() {
+            self.proof_add(&[]);
             self.ok = false;
             return false;
         }
@@ -359,16 +444,25 @@ impl Solver {
             let lits: Vec<Lit> = self.db.lits(cref).to_vec();
             let satisfied = lits.iter().any(|&l| self.lit_value(l) == LBool::True);
             if satisfied {
+                self.proof_delete(&lits);
                 continue;
             }
             let remaining: Vec<Lit> = lits
-                .into_iter()
+                .iter()
+                .copied()
                 .filter(|&l| self.lit_value(l) != LBool::False)
                 .collect();
             debug_assert!(
                 remaining.len() >= 2,
                 "a unit/empty clause at level 0 would have propagated or conflicted"
             );
+            if remaining.len() != lits.len() {
+                // Strengthen-then-drop: the stripped clause is RUP (the
+                // removed literals are root-false), and only after it is in
+                // the proof may the original clause be deleted.
+                self.proof_add(&remaining);
+                self.proof_delete(&lits);
+            }
             survivors.push((remaining, self.db.is_learnt(cref)));
         }
         // Rebuild the database and watches; keep assignments/trail.
@@ -676,10 +770,12 @@ impl Solver {
                 self.stats.conflicts += 1;
                 conflicts_this_restart += 1;
                 if self.decision_level() == 0 {
+                    self.proof_add(&[]);
                     self.ok = false;
                     return SearchOutcome::Unsat;
                 }
                 let (learnt, backtrack_level) = self.analyze(conflict);
+                self.proof_add(&learnt);
                 self.backtrack_to(backtrack_level);
                 let asserting = learnt[0];
                 if learnt.len() == 1 {
@@ -772,6 +868,15 @@ impl Solver {
             self.seen[v] = false;
         }
         self.seen[failing.var().index()] = false;
+        if self.proof.is_some() {
+            // The core clause ¬a₁ ∨ … ∨ ¬aₖ is RUP against the clauses the
+            // refutation traversed (all logged or original), so log it: the
+            // checker validates it like any other derivation, and it is the
+            // artifact `checker::check_refutation_under_assumptions` ties
+            // the reported core to.
+            let core_clause: Vec<Lit> = self.conflict_core.iter().map(|&l| !l).collect();
+            self.proof_add(&core_clause);
+        }
     }
 
     /// Deletes the less useful half of the learnt clauses.
@@ -798,6 +903,10 @@ impl Solver {
         for &cref in &learnt[keep..] {
             if self.db.lbd(cref) <= 2 {
                 continue; // glue clauses are always kept
+            }
+            if self.proof.is_some() {
+                let lits = self.db.lits(cref).to_vec();
+                self.proof_delete(&lits);
             }
             self.detach(cref);
             self.db.delete(cref);

@@ -1,0 +1,175 @@
+//! DIMACS parser robustness: fuzz-style edge cases plus a round-trip
+//! property.
+//!
+//! The parser is the trust boundary for every external instance (and for
+//! the proof-check corpus in CI), so it must be total: every input either
+//! parses to a well-formed `Cnf` or returns a typed `ParseError` — never a
+//! panic, never a silently wrong clause list.
+
+use netarch_rt::prop::{self, gen_vec, Config};
+use netarch_rt::{prop_assert, prop_assert_eq, Rng};
+use netarch_sat::dimacs::{self, Cnf, ParseError};
+use netarch_sat::Lit;
+
+#[test]
+fn comments_and_satlib_trailers_anywhere() {
+    // `c` comments and SATLIB `%` trailers may appear before, between,
+    // and after clauses — even between the literals of one clause.
+    let text = "c head\np cnf 3 2\nc mid\n1 -2\nc split clause\n3 0\n% trailer\n2 0\nc tail\n";
+    let cnf = dimacs::parse(text).unwrap();
+    assert_eq!(cnf.num_vars, 3);
+    assert_eq!(cnf.clauses.len(), 2);
+    assert_eq!(cnf.clauses[0].len(), 3, "comment inside a clause must not split it");
+}
+
+#[test]
+fn malformed_headers_are_rejected_with_the_line_number() {
+    for text in [
+        "p cnf\n1 0\n",          // missing both counts
+        "p cnf 3\n1 0\n",        // missing clause count
+        "p cnf three 2\n1 0\n",  // non-numeric var count
+        "p cnf 3 two\n1 0\n",    // non-numeric clause count
+        "p dnf 3 2\n1 0\n",      // wrong format tag
+        "p cnf -3 2\n1 0\n",     // negative count
+    ] {
+        assert_eq!(
+            dimacs::parse(text),
+            Err(ParseError::BadHeader { line: 1 }),
+            "input {text:?} must be rejected"
+        );
+    }
+    // A later header line reports its own line number.
+    assert_eq!(dimacs::parse("c x\np cnf\n"), Err(ParseError::BadHeader { line: 2 }));
+}
+
+#[test]
+fn whitespace_variations_parse_identically() {
+    let canonical = dimacs::parse("p cnf 3 2\n1 -2 0\n3 0\n").unwrap();
+    for text in [
+        "p cnf 3 2\n  1\t-2   0\n\n\n 3  0 \n",     // tabs, runs, blanks
+        "p cnf 3 2\r\n1 -2 0\r\n3 0\r\n",           // CRLF line endings
+        "p cnf 3 2\n1\n-2\n0\n3\n0\n",              // one token per line
+        "p cnf 3 2\n1 -2 0 3 0\n",                  // everything on one line
+    ] {
+        assert_eq!(dimacs::parse(text).unwrap(), canonical, "input {text:?}");
+    }
+}
+
+#[test]
+fn trailing_and_lone_zeros_are_empty_clauses() {
+    // Every `0` terminates a clause; extra zeros terminate empty ones.
+    let cnf = dimacs::parse("1 0 0\n").unwrap();
+    assert_eq!(cnf.clauses.len(), 2);
+    assert!(cnf.clauses[1].is_empty());
+
+    let cnf = dimacs::parse("p cnf 1 1\n0\n").unwrap();
+    assert_eq!(cnf.clauses, vec![Vec::<Lit>::new()]);
+
+    // "-0" parses as the integer zero, i.e. a clause terminator.
+    let cnf = dimacs::parse("1 -0\n").unwrap();
+    assert_eq!(cnf.clauses.len(), 1);
+    assert_eq!(cnf.clauses[0].len(), 1);
+}
+
+#[test]
+fn bad_tokens_and_out_of_range_literals_are_typed_errors() {
+    assert!(matches!(
+        dimacs::parse("1 x 0\n"),
+        Err(ParseError::BadToken { line: 1, ref token }) if token == "x"
+    ));
+    // Larger than i64: not even parseable as an integer.
+    assert!(matches!(
+        dimacs::parse("99999999999999999999 0\n"),
+        Err(ParseError::BadToken { line: 1, .. })
+    ));
+    // Parseable as i64 but beyond the literal range.
+    assert_eq!(
+        dimacs::parse("c pad\n3000000000 0\n"),
+        Err(ParseError::LiteralOutOfRange { line: 2, value: 3_000_000_000 })
+    );
+    assert!(matches!(
+        dimacs::parse("-3000000000 0\n"),
+        Err(ParseError::LiteralOutOfRange { value: -3_000_000_000, .. })
+    ));
+    // Input ending mid-clause.
+    assert_eq!(dimacs::parse("1 2\n"), Err(ParseError::UnterminatedClause));
+    assert_eq!(dimacs::parse("1 0\n-2"), Err(ParseError::UnterminatedClause));
+}
+
+#[test]
+fn header_vars_and_inferred_vars_reconcile_upward() {
+    // Declared count below the largest literal: inferred wins.
+    assert_eq!(dimacs::parse("p cnf 1 1\n5 0\n").unwrap().num_vars, 5);
+    // Declared count above: declared wins (isolated variables exist).
+    assert_eq!(dimacs::parse("p cnf 9 1\n1 0\n").unwrap().num_vars, 9);
+    // No header at all: inferred from the literals.
+    assert_eq!(dimacs::parse("2 -7 0\n").unwrap().num_vars, 7);
+}
+
+/// A random syntactically valid instance, possibly with empty clauses and
+/// duplicate/opposed literals (the parser must not normalize).
+fn gen_cnf(rng: &mut Rng) -> Vec<Vec<i64>> {
+    let num_vars = rng.gen_range(1..=20i64);
+    gen_vec(rng, 0..=15, |r| {
+        gen_vec(r, 0..=6, |r| {
+            let v = r.gen_range(1..=num_vars);
+            if r.gen_bool(0.5) {
+                v
+            } else {
+                -v
+            }
+        })
+    })
+}
+
+#[test]
+fn write_parse_roundtrip_is_identity() {
+    prop::check(&Config::with_cases(256), gen_cnf, |raw| {
+        let clauses: Vec<Vec<Lit>> = raw
+            .iter()
+            .map(|c| {
+                c.iter()
+                    // Shrinking can drive a literal to 0; nudge it back.
+                    .map(|&v| Lit::from_dimacs(if v == 0 { 1 } else { v }).unwrap())
+                    .collect()
+            })
+            .collect();
+        let num_vars = clauses
+            .iter()
+            .flatten()
+            .map(|l| l.var().index() + 1)
+            .max()
+            .unwrap_or(0);
+        let cnf = Cnf { num_vars, clauses };
+        let text = dimacs::write(&cnf);
+        let reparsed = dimacs::parse(&text).map_err(|e| format!("reparse failed: {e}"))?;
+        prop_assert_eq!(&reparsed, &cnf, "write→parse must be the identity");
+        // And writing again is a fixpoint.
+        prop_assert_eq!(dimacs::write(&reparsed), text);
+        Ok(())
+    });
+}
+
+#[test]
+fn parser_is_total_on_token_soup() {
+    // Random garbage from a DIMACS-flavored alphabet: parse must return
+    // (Ok or Err), never panic, and Ok implies no clause is left open.
+    prop::check(
+        &Config::with_cases(256),
+        |rng| {
+            let tokens = [
+                "p", "cnf", "c", "%", "0", "1", "-1", "2", "-0", "x", "9e9",
+                "\n", " ", "\t", "p cnf 2 1", "--3", "+4", "0x1f",
+            ];
+            gen_vec(rng, 0..=30, |r| r.gen_range(0..tokens.len())).iter().map(|&i| tokens[i]).collect::<Vec<_>>().join(" ")
+        },
+        |soup| {
+            if let Ok(cnf) = dimacs::parse(soup) {
+                let max_var =
+                    cnf.clauses.iter().flatten().map(|l| l.var().index() + 1).max().unwrap_or(0);
+                prop_assert!(cnf.num_vars >= max_var, "num_vars below a used variable");
+            }
+            Ok(())
+        },
+    );
+}

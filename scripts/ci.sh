@@ -17,4 +17,9 @@ else
     echo "clippy not installed; skipping lint step"
 fi
 
+echo "== proof-check =="
+# Solve a seeded UNSAT corpus (500+ instances) with DRAT logging on and
+# replay every proof through the independent checker; any rejection fails.
+cargo run --release --offline -q -p netarch-bench --bin exp_proof_check
+
 echo "== ci: all green =="
