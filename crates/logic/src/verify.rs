@@ -116,10 +116,14 @@ pub fn check_outcome(
 /// True when the `NETARCH_VERIFY_PROOFS` environment variable requests
 /// verified solving (set to anything nonempty other than `0`).
 pub fn proofs_requested() -> bool {
-    match std::env::var("NETARCH_VERIFY_PROOFS") {
-        Ok(v) => !v.is_empty() && v != "0",
-        Err(_) => false,
-    }
+    verify_flag_enabled(std::env::var("NETARCH_VERIFY_PROOFS").ok().as_deref())
+}
+
+/// Interprets a raw `NETARCH_VERIFY_PROOFS` value. Split out so tests can
+/// exercise the parse rules without mutating process-global environment
+/// state (which races with parallel test threads).
+fn verify_flag_enabled(value: Option<&str>) -> bool {
+    matches!(value, Some(v) if !v.is_empty() && v != "0")
 }
 
 #[cfg(test)]
@@ -187,16 +191,13 @@ mod tests {
 
     #[test]
     fn env_gate_parses_conventional_values() {
-        // The variable is read directly; just exercise the parse rules via
-        // a scoped set/unset. Tests that set env vars race in parallel
-        // runs, so this stays the single place touching the variable in
-        // this crate.
-        std::env::remove_var("NETARCH_VERIFY_PROOFS");
-        assert!(!proofs_requested());
-        std::env::set_var("NETARCH_VERIFY_PROOFS", "0");
-        assert!(!proofs_requested());
-        std::env::set_var("NETARCH_VERIFY_PROOFS", "1");
-        assert!(proofs_requested());
-        std::env::remove_var("NETARCH_VERIFY_PROOFS");
+        // Exercised through the pure helper: mutating the real variable
+        // with set_var/remove_var races with parallel test threads.
+        assert!(!verify_flag_enabled(None));
+        assert!(!verify_flag_enabled(Some("")));
+        assert!(!verify_flag_enabled(Some("0")));
+        assert!(verify_flag_enabled(Some("1")));
+        assert!(verify_flag_enabled(Some("true")));
+        assert!(verify_flag_enabled(Some("yes")));
     }
 }

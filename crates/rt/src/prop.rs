@@ -106,6 +106,32 @@ where
     }
 }
 
+thread_local! {
+    /// True while this thread is running a predicate under `catch_unwind`.
+    /// The hook installed by [`install_silencing_hook`] checks it so the
+    /// caught panics (initial failure plus every shrink re-run — easily
+    /// hundreds) don't each dump a message and backtrace to stderr.
+    static SILENCE_CAUGHT_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs, once per process, a panic hook that defers to the previously
+/// installed hook except on threads currently inside [`run_test`]'s
+/// `catch_unwind`. Thread-local gating keeps this safe under cargo's
+/// parallel test threads: panics on other threads still report normally,
+/// and the harness's own failure `panic!` (raised after the flag is
+/// cleared) does too.
+fn install_silencing_hook() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SILENCE_CAUGHT_PANICS.with(|flag| flag.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
 /// Runs the predicate, converting a panic into an `Err` so panicking
 /// predicates flow through the same shrink-and-report path as `Err`
 /// returns — the replay seed is printed either way.
@@ -114,7 +140,11 @@ where
     F: Fn(&T) -> Result<(), String>,
 {
     use std::panic::{catch_unwind, AssertUnwindSafe};
-    match catch_unwind(AssertUnwindSafe(|| test(input))) {
+    install_silencing_hook();
+    let outer = SILENCE_CAUGHT_PANICS.with(|flag| flag.replace(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| test(input)));
+    SILENCE_CAUGHT_PANICS.with(|flag| flag.set(outer));
+    match outcome {
         Ok(result) => result,
         Err(payload) => {
             let msg = if let Some(s) = payload.downcast_ref::<&str>() {

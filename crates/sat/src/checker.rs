@@ -110,6 +110,11 @@ pub struct Checker {
     /// Variable assignments for the persistent (level-0) prefix plus any
     /// temporary RUP probe.
     assigns: Vec<LBool>,
+    /// Trail position of each variable's current assignment (meaningful
+    /// only while the variable is assigned). Lets [`Checker::insert_clause`]
+    /// distinguish trail entries [`Checker::propagate`] has already
+    /// processed (position < `qhead`) from enqueued-but-pending ones.
+    trail_pos: Vec<usize>,
     /// Assignment trail; `root_len` marks the persistent prefix.
     trail: Vec<Lit>,
     root_len: usize,
@@ -135,6 +140,7 @@ impl Checker {
             occurrences: vec![Vec::new(); max_var * 2],
             index: HashMap::new(),
             assigns: vec![LBool::Undef; max_var],
+            trail_pos: vec![0; max_var],
             trail: Vec::new(),
             root_len: 0,
             qhead: 0,
@@ -174,6 +180,7 @@ impl Checker {
         if needed > self.num_vars {
             self.num_vars = needed;
             self.assigns.resize(needed, LBool::Undef);
+            self.trail_pos.resize(needed, 0);
             self.occurrences.resize(needed * 2, Vec::new());
         }
     }
@@ -185,9 +192,17 @@ impl Checker {
             self.ensure_var(lit);
         }
         let id = self.clauses.len();
-        // Initial false count reflects the persistent prefix only: inserts
-        // happen between RUP probes, when the trail is exactly the prefix.
-        let false_count = clause.iter().filter(|&&l| self.value(l) == LBool::False).count();
+        // Initial false count covers only trail entries that propagate()
+        // has already processed: pending entries (position ≥ qhead, e.g. a
+        // unit enqueued by an earlier insert during Checker::new) bump the
+        // counter themselves when the trail drains, so counting them here
+        // would double-count and manufacture spurious units/conflicts.
+        let false_count = clause
+            .iter()
+            .filter(|&&l| {
+                self.value(l) == LBool::False && self.trail_pos[l.var().index()] < self.qhead
+            })
+            .count();
         self.clauses.push(CheckedClause { lits: clause.to_vec(), false_count, active: true });
         for &lit in clause {
             self.occurrences[lit.code()].push(id);
@@ -239,6 +254,7 @@ impl Checker {
             LBool::False => false,
             LBool::Undef => {
                 self.assigns[lit.var().index()] = LBool::from_bool(lit.is_positive());
+                self.trail_pos[lit.var().index()] = self.trail.len();
                 self.trail.push(lit);
                 true
             }
@@ -580,6 +596,39 @@ mod tests {
         let mut checker = Checker::new(2, &f);
         assert!(checker.check_clause(&[lit(1)]));
         assert!(checker.check_clause(&[lit(1), lit(1)]));
+    }
+
+    #[test]
+    fn unit_before_dependent_clause_is_not_a_root_conflict() {
+        // Regression: inserting (¬a) enqueues ¬a with the trail not yet
+        // propagated; a clause containing `a` inserted afterwards must not
+        // count that falsification twice (once at insert, once when the
+        // trail drains) — the double count manufactured a root conflict on
+        // this satisfiable formula.
+        let f = clauses(&[&[-1], &[1, 2]]);
+        let checker = Checker::new(2, &f);
+        assert!(!checker.proved_unsat());
+    }
+
+    #[test]
+    fn empty_proof_rejected_for_satisfiable_unit_formula() {
+        // Companion regression: the phantom root conflict made the checker
+        // certify an empty proof as a refutation of a SAT formula.
+        let f = clauses(&[&[-1], &[1, 2]]);
+        let proof = DratProof::new();
+        assert_eq!(check_refutation(2, &f, &proof), Err(CheckError::NoEmptyClause));
+    }
+
+    #[test]
+    fn unit_chain_inserted_in_order_propagates_correctly() {
+        // ¬a forces b (via a ∨ b) which forces c (via ¬b ∨ c): satisfiable,
+        // with c persistently true — so (c) is trivially RUP while (¬c),
+        // which the formula contradicts, is not derivable by UP.
+        let f = clauses(&[&[-1], &[1, 2], &[-2, 3]]);
+        let mut checker = Checker::new(3, &f);
+        assert!(!checker.proved_unsat());
+        assert!(checker.check_clause(&[lit(3)]));
+        assert!(!checker.check_clause(&[lit(-3)]));
     }
 
     #[test]

@@ -299,7 +299,14 @@ fn read_varint(
     let mut shift = 0u32;
     loop {
         let byte = bytes.next().ok_or(ProofParseError::UnterminatedStep)?;
-        value |= u64::from(byte & 0x7F) << shift;
+        let chunk = u64::from(byte & 0x7F);
+        // The tenth chunk lands at shift 63, where only its low bit fits in
+        // a u64; a wider chunk must be rejected here (shifting would
+        // silently drop its high bits, decoding to a wrong literal).
+        if shift > 57 && chunk >> (64 - shift) != 0 {
+            return Err(ProofParseError::LiteralOutOfRange { value: i64::MAX });
+        }
+        value |= chunk << shift;
         if byte & 0x80 == 0 {
             return Ok(value);
         }
@@ -408,6 +415,28 @@ mod tests {
         assert!(matches!(
             DratProof::parse_binary(&[b'a', 0x82]),
             Err(ProofParseError::UnterminatedStep)
+        ));
+    }
+
+    #[test]
+    fn binary_varint_overflow_is_rejected() {
+        // Nine continuation chunks put the terminating chunk at shift 63,
+        // where only one payload bit fits. A wider terminator must error
+        // instead of silently truncating to a wrong literal.
+        let mut oversized = vec![b'a'];
+        oversized.extend(std::iter::repeat_n(0x80, 9));
+        oversized.push(0x02);
+        assert!(matches!(
+            DratProof::parse_binary(&oversized),
+            Err(ProofParseError::LiteralOutOfRange { .. })
+        ));
+        // Eleven chunks overflow outright regardless of payload.
+        let mut too_long = vec![b'a'];
+        too_long.extend(std::iter::repeat_n(0x80, 10));
+        too_long.push(0x01);
+        assert!(matches!(
+            DratProof::parse_binary(&too_long),
+            Err(ProofParseError::LiteralOutOfRange { .. })
         ));
     }
 
