@@ -38,7 +38,7 @@ fn main() {
     });
 
     h.bench("case_study/enumerate_8_classes", || {
-        let engine = Engine::new(case_study::scenario()).unwrap();
+        let mut engine = Engine::new(case_study::scenario()).unwrap();
         black_box(engine.enumerate_designs(8, false).unwrap().len())
     });
 

@@ -12,7 +12,7 @@ use netarch_corpus::case_study;
 fn main() {
     section("Minimal fleet for the §2.3 case study");
     let scenario = case_study::scenario();
-    let engine = Engine::new(scenario.clone()).expect("compiles");
+    let mut engine = Engine::new(scenario.clone()).expect("compiles");
     let plan = engine.plan_capacity(512).expect("runs").expect("feasible");
     println!("  servers needed: {}", plan.servers_needed);
     println!("{}", plan.design);
@@ -52,7 +52,7 @@ fn main() {
                     .build(),
             );
         }
-        let engine = Engine::new(s).expect("compiles");
+        let mut engine = Engine::new(s).expect("compiles");
         match engine.plan_capacity(4096).expect("runs") {
             Ok(plan) => println!("  {:>14} {:>10}", scale, plan.servers_needed),
             Err(_) => println!("  {:>14} {:>10}", scale, "infeasible"),

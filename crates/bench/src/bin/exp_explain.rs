@@ -25,7 +25,7 @@ fn main() {
             .with_pin(Pin::Require(SystemId::new("SWIFT")))
             .with_pin(Pin::Require(SystemId::new("OVS")))
     };
-    let engine = Engine::new(demo_scenario()).expect("compiles");
+    let mut engine = Engine::new(demo_scenario()).expect("compiles");
     let plan = engine.disambiguate(512).expect("runs");
     println!("{}", render_plan(&plan));
     assert!(plan.classes > 1, "the under-specified scenario must be ambiguous");
@@ -44,7 +44,7 @@ fn main() {
     let answer = first.options.iter().flatten().next().expect("a concrete option");
     println!("  architect answers: {} = {answer}", first.category);
     let narrowed = demo_scenario().with_pin(Pin::Require(answer.clone()));
-    let engine = Engine::new(narrowed).expect("compiles");
+    let mut engine = Engine::new(narrowed).expect("compiles");
     let plan2 = engine.disambiguate(512).expect("runs");
     println!(
         "  classes: {} → {} after one answer",

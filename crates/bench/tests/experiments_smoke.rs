@@ -41,6 +41,11 @@ smoke!(explain, "CARGO_BIN_EXE_exp_explain", "explainability and modularity exte
 smoke!(capacity, "CARGO_BIN_EXE_exp_capacity", "fleet-sizing queries exactly");
 smoke!(measure, "CARGO_BIN_EXE_exp_measure", "measurement-triage workflow");
 smoke!(scaling, "CARGO_BIN_EXE_exp_scaling", "spec growth linear");
+smoke!(
+    incremental,
+    "CARGO_BIN_EXE_exp_incremental",
+    "one solver session serves the whole query stream"
+);
 
 /// The scaling experiment's machine-readable summary must be valid JSON
 /// that parses back through the runtime's own parser.

@@ -44,7 +44,8 @@ pub struct ObjectiveLevel {
     pub softs: Vec<Soft>,
 }
 
-/// Compilation size metrics (experiment E9: linear-growth claim).
+/// Compilation size metrics (experiment E9: linear-growth claim), plus
+/// session-reuse counters filled in by [`crate::query::Engine::stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CompileStats {
     /// Number of named rule groups.
@@ -55,6 +56,15 @@ pub struct CompileStats {
     pub clauses: usize,
     /// Total solver variables (atoms + auxiliaries).
     pub solver_vars: usize,
+    /// Scenario recompilations performed after engine construction. The
+    /// incremental session answers every query on the original compile,
+    /// so this stays 0 (capacity planning with a *changed* fleet bound is
+    /// the one event that re-derives a side compilation).
+    pub recompiles: u64,
+    /// Solver invocations served by the persistent session solver.
+    pub session_solves: u64,
+    /// Per-query activation literals retired back into the session.
+    pub retired_activations: u64,
 }
 
 /// A scenario compiled to SAT, ready for queries.
@@ -206,6 +216,7 @@ fn compile_inner(
         decision_atoms: c.system_atoms.len() + c.hardware_atoms.len(),
         clauses: c.encoder.clause_count(),
         solver_vars: c.encoder.solver().num_vars(),
+        ..CompileStats::default()
     };
     Ok((
         Compiled {

@@ -61,6 +61,13 @@ pub enum CompileError {
     },
     /// The catalog failed referential validation.
     InvalidCatalog(Vec<CatalogError>),
+    /// An objective level's soft-constraint weights overflow `u64` when
+    /// summed, so the optimum is not representable.
+    ObjectiveOverflow,
+    /// The engine reached a state its own invariants rule out (e.g. a
+    /// feasible scenario turned infeasible mid-optimization). Indicates a
+    /// bug in the engine, never in the scenario.
+    Internal(String),
 }
 
 impl fmt::Display for CompileError {
@@ -97,6 +104,12 @@ impl fmt::Display for CompileError {
                 }
                 Ok(())
             }
+            CompileError::ObjectiveOverflow => {
+                write!(f, "objective soft-constraint weights overflow u64 when summed")
+            }
+            CompileError::Internal(context) => {
+                write!(f, "internal engine inconsistency (this is a bug): {context}")
+            }
         }
     }
 }
@@ -122,5 +135,9 @@ mod tests {
             witnesses: vec![SystemId::new("A"), SystemId::new("B")],
         };
         assert!(e.to_string().contains("A, B"));
+        let e = CompileError::ObjectiveOverflow;
+        assert!(e.to_string().contains("overflow"));
+        let e = CompileError::Internal("optimize lost feasibility".into());
+        assert!(e.to_string().contains("bug") && e.to_string().contains("optimize"));
     }
 }

@@ -12,16 +12,29 @@
 //! * **enumerate** — equivalence classes of compliant designs (§6);
 //! * **compare** — rule-of-thumb comparison of two systems in context,
 //!   reporting incomparability honestly (§3.1).
+//!
+//! The engine is an **incremental session**: the scenario is compiled to
+//! SAT exactly once, and every query runs on that one solver under
+//! assumptions. Anything a query would have asserted destructively —
+//! MaxSAT optimum hardening, enumeration blocking clauses — is gated
+//! behind a per-query activation literal that is retired (permanently
+//! falsified) when the query returns, so the gated clauses dissolve while
+//! learned clauses, branching scores, and saved phases carry over to the
+//! next query. No query triggers a recompile.
 
-use crate::compile::{compile, Compiled, CompileStats};
+use crate::compile::{compile, compile_capacity, Compiled, CompiledCapacity, CompileStats};
 use crate::error::CompileError;
 use crate::ordering::Comparison;
 use crate::scenario::Scenario;
 use crate::solution::Design;
 use crate::types::{Dimension, SystemId};
-use netarch_logic::maxsat::{minimize, MaxSatAlgorithm, MaxSatOutcome};
-use netarch_logic::{Formula, Soft};
-use netarch_sat::SolveResult;
+use netarch_logic::maxsat::{compile_softs, minimize_under, MaxSatOutcome};
+use netarch_logic::{CompiledSofts, Formula, Soft};
+use netarch_sat::{Lit, SolveResult};
+
+/// Retired activation literals tolerated before the session compacts its
+/// clause database (dropping root-satisfied gated clauses).
+const GC_EVERY: u32 = 8;
 
 /// A rule implicated in an infeasibility.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -87,21 +100,48 @@ pub struct OptimizedDesign {
     pub levels: Vec<LevelReport>,
 }
 
-/// The reasoning engine over one scenario.
+/// The reasoning engine over one scenario: a persistent incremental
+/// solving session shared by every query.
 pub struct Engine {
     scenario: Scenario,
     compiled: Compiled,
-    /// True once the solver state has been specialized (hardened groups or
-    /// enumeration blocking clauses); queries needing pristine state
-    /// recompile first.
-    poisoned: bool,
+    /// Objective totalizers with display labels, compiled into the session
+    /// on the first `optimize` and reused by every later one.
+    objective_cache: Option<Vec<(String, CompiledSofts)>>,
+    /// The implicit parsimony level, compiled alongside the objectives.
+    parsimony_cache: Option<CompiledSofts>,
+    /// Memoized `optimize` verdict. The scenario is immutable for the
+    /// engine's lifetime and queries are non-destructive, so the
+    /// lexicographic optimum is a session constant: computed on the first
+    /// call, replayed on every later one.
+    optimize_cache: Option<Result<OptimizedDesign, Diagnosis>>,
+    /// Memoized enumerations, keyed by `(limit, include_hardware)` — pure
+    /// for the same reason `optimize` is.
+    enumerate_cache: Vec<((usize, bool), Vec<Design>)>,
+    /// Capacity-mode side compilation, cached per fleet bound; replaced
+    /// (and counted as a recompile) only when the bound changes.
+    capacity_cache: Option<(u64, CompiledCapacity)>,
+    /// Post-construction recompilations (see [`CompileStats::recompiles`]).
+    recompiles: u64,
+    /// Activation literals retired since the last garbage collection.
+    retired_since_gc: u32,
 }
 
 impl Engine {
     /// Compiles a scenario into an engine.
     pub fn new(scenario: Scenario) -> Result<Engine, CompileError> {
         let compiled = compile(&scenario)?;
-        Ok(Engine { scenario, compiled, poisoned: false })
+        Ok(Engine {
+            scenario,
+            compiled,
+            objective_cache: None,
+            parsimony_cache: None,
+            optimize_cache: None,
+            enumerate_cache: Vec::new(),
+            capacity_cache: None,
+            recompiles: 0,
+            retired_since_gc: 0,
+        })
     }
 
     /// The scenario under analysis.
@@ -109,16 +149,57 @@ impl Engine {
         &self.scenario
     }
 
-    /// Compilation size metrics.
+    /// Compilation size metrics plus session-reuse counters.
     pub fn stats(&self) -> CompileStats {
-        self.compiled.stats
+        let solver = self.compiled.encoder.solver().stats();
+        CompileStats {
+            recompiles: self.recompiles,
+            session_solves: solver.solves,
+            retired_activations: solver.retired_activations,
+            ..self.compiled.stats
+        }
     }
 
-    fn refresh(&mut self) -> Result<(), CompileError> {
-        if self.poisoned {
-            self.compiled = compile(&self.scenario)?;
-            self.poisoned = false;
+    /// Retires a query's activation literal, dissolving its gated clauses,
+    /// and periodically compacts the clause database (retired clauses are
+    /// root-satisfied garbage).
+    fn end_query(&mut self, gate: Lit) {
+        self.compiled.encoder.retire(gate);
+        self.retired_since_gc += 1;
+        if self.retired_since_gc >= GC_EVERY {
+            self.compiled.encoder.collect_garbage();
+            self.retired_since_gc = 0;
         }
+    }
+
+    /// Compiles the objective stack (and the implicit parsimony level)
+    /// into the session, once.
+    fn ensure_objective_cache(&mut self) -> Result<(), CompileError> {
+        if self.objective_cache.is_some() {
+            return Ok(());
+        }
+        let levels: Vec<(String, Vec<Soft>)> = self
+            .compiled
+            .objective_levels
+            .iter()
+            .map(|l| (format!("{:?}", l.objective), l.softs.clone()))
+            .collect();
+        let mut cache = Vec::with_capacity(levels.len());
+        for (name, softs) in levels {
+            let cs = compile_softs(&mut self.compiled.encoder, softs)
+                .map_err(|_| CompileError::ObjectiveOverflow)?;
+            cache.push((name, cs));
+        }
+        let parsimony: Vec<Soft> = self
+            .compiled
+            .system_atoms
+            .values()
+            .map(|&a| Soft::new(1, Formula::not(Formula::Atom(a))))
+            .collect();
+        let parsimony = compile_softs(&mut self.compiled.encoder, parsimony)
+            .map_err(|_| CompileError::ObjectiveOverflow)?;
+        self.objective_cache = Some(cache);
+        self.parsimony_cache = Some(parsimony);
         Ok(())
     }
 
@@ -148,7 +229,6 @@ impl Engine {
 
     /// Satisfiability: find any compliant design, or a minimal conflict.
     pub fn check(&mut self) -> Result<Outcome, CompileError> {
-        self.refresh()?;
         let selectors = self.compiled.all_selectors();
         match self.compiled.encoder.solve_with(&selectors) {
             SolveResult::Sat => Ok(Outcome::Feasible(self.extract_design())),
@@ -167,11 +247,25 @@ impl Engine {
     /// Lexicographic optimization over the scenario's objective stack,
     /// with an implicit final parsimony level (prefer fewer systems) so
     /// unconstrained selections don't ride along.
+    ///
+    /// Runs entirely inside the session: every solve assumes the rule
+    /// selectors plus one fresh activation literal, each level's optimum
+    /// is hardened behind that literal (so later levels respect it), and
+    /// the literal is retired on return. Because no query mutates the
+    /// scenario, the verdict is then memoized: repeated `optimize` calls
+    /// replay the first report without touching the solver. A mid-descent
+    /// `HardUnsat` is impossible once the feasibility probe passed, so it
+    /// surfaces as [`CompileError::Internal`] instead of being swallowed
+    /// as an empty diagnosis.
     pub fn optimize(&mut self) -> Result<Result<OptimizedDesign, Diagnosis>, CompileError> {
-        self.refresh()?;
-        // First check feasibility (with usable diagnosis) before hardening.
-        let selectors = self.compiled.all_selectors();
-        if self.compiled.encoder.solve_with(&selectors) != SolveResult::Sat {
+        // The optimum is a session constant (nothing a query does survives
+        // its gate), so replay it once computed.
+        if let Some(cached) = &self.optimize_cache {
+            return Ok(cached.clone());
+        }
+        // First check feasibility (with usable diagnosis).
+        let mut base = self.compiled.all_selectors();
+        if self.compiled.encoder.solve_with(&base) != SolveResult::Sat {
             let ids = self.compiled.groups.ids();
             let mus = self
                 .compiled
@@ -179,45 +273,42 @@ impl Engine {
                 .find_mus(&mut self.compiled.encoder, &ids)
                 .unwrap_or_default();
             let diagnosis = self.diagnosis_from_mus(&mus);
+            self.optimize_cache = Some(Err(diagnosis.clone()));
             return Ok(Err(diagnosis));
         }
-        // Harden all rule groups, then optimize level by level.
-        self.poisoned = true;
-        for sel in selectors {
-            netarch_logic::ClauseSink::add_clause(&mut self.compiled.encoder, &[sel]);
-        }
+        self.ensure_objective_cache()?;
+        let gate = self.compiled.encoder.new_selector();
         let mut levels = Vec::new();
-        let level_softs: Vec<(String, Vec<Soft>)> = self
-            .compiled
-            .objective_levels
-            .iter()
-            .map(|l| (format!("{:?}", l.objective), l.softs.clone()))
-            .collect();
-        for (name, softs) in level_softs {
-            match minimize(&mut self.compiled.encoder, &softs, MaxSatAlgorithm::LinearGte) {
+        // Each completed level's hardened bound references its (dormant by
+        // default) totalizer, so its activation literal joins the base
+        // assumptions for every later level.
+        let cache = self.objective_cache.as_ref().expect("built above");
+        for (name, softs) in cache {
+            match minimize_under(&mut self.compiled.encoder, softs, &base, gate) {
                 MaxSatOutcome::Optimal { cost, .. } => {
-                    levels.push(LevelReport { objective: name, penalty: cost });
+                    levels.push(LevelReport { objective: name.clone(), penalty: cost });
+                    base.push(softs.activation());
                 }
-                MaxSatOutcome::HardUnsat => {
-                    // Cannot happen: feasibility was established above and
-                    // hardening preserves it; treat defensively.
-                    return Ok(Err(Diagnosis::default()));
+                other => {
+                    self.compiled.encoder.retire(gate);
+                    return Err(internal_level_error(name, &other));
                 }
             }
         }
         // Parsimony: prefer designs without gratuitous selections.
-        let parsimony: Vec<Soft> = self
-            .compiled
-            .system_atoms
-            .values()
-            .map(|&a| Soft::new(1, Formula::not(Formula::Atom(a))))
-            .collect();
-        match minimize(&mut self.compiled.encoder, &parsimony, MaxSatAlgorithm::LinearGte) {
+        let parsimony = self.parsimony_cache.as_ref().expect("built above");
+        match minimize_under(&mut self.compiled.encoder, parsimony, &base, gate) {
             MaxSatOutcome::Optimal { .. } => {}
-            MaxSatOutcome::HardUnsat => return Ok(Err(Diagnosis::default())),
+            other => {
+                self.compiled.encoder.retire(gate);
+                return Err(internal_level_error("parsimony", &other));
+            }
         }
         let design = self.extract_design();
-        Ok(Ok(OptimizedDesign { design, levels }))
+        self.end_query(gate);
+        let report = OptimizedDesign { design, levels };
+        self.optimize_cache = Some(Ok(report.clone()));
+        Ok(Ok(report))
     }
 
     /// Enumerates up to `limit` compliant designs, projected onto system
@@ -225,57 +316,59 @@ impl Engine {
     /// returned design is a distinct equivalence class under the chosen
     /// projection (§6), extracted from a *representative full model* — so
     /// even system-projected classes come back with a concrete,
-    /// constraint-satisfying hardware assignment.
+    /// constraint-satisfying hardware assignment. Enumeration runs on the
+    /// session solver with gate-dissolved blocking clauses, so it never
+    /// recompiles and later queries see the full model space again; like
+    /// `optimize`, a repeated query with the same `limit` and projection
+    /// replays the memoized classes.
     pub fn enumerate_designs(
-        &self,
+        &mut self,
         limit: usize,
         include_hardware: bool,
     ) -> Result<Vec<Design>, CompileError> {
-        // Fresh compile: enumeration permanently blocks models.
-        let mut compiled = compile(&self.scenario)?;
-        for sel in compiled.all_selectors() {
-            netarch_logic::ClauseSink::add_clause(&mut compiled.encoder, &[sel]);
+        if limit == 0 {
+            return Ok(Vec::new());
         }
-        let atoms = compiled.decision_atoms(include_hardware);
+        if let Some((_, cached)) = self
+            .enumerate_cache
+            .iter()
+            .find(|(key, _)| *key == (limit, include_hardware))
+        {
+            return Ok(cached.clone());
+        }
+        // Session enumeration: every blocking clause is gated behind a
+        // per-query activation literal, so retiring it afterwards hands
+        // the unblocked model space back to the next query.
+        let mut assumptions = self.compiled.all_selectors();
+        let gate = self.compiled.encoder.new_selector();
+        assumptions.push(gate);
+        let atoms = self.compiled.decision_atoms(include_hardware);
+        let atom_lits: Vec<Lit> = atoms
+            .iter()
+            .map(|&a| self.compiled.encoder.atom_lit(a))
+            .collect();
         let mut designs = Vec::new();
         while designs.len() < limit {
-            if compiled.encoder.solve() != netarch_sat::SolveResult::Sat {
+            if self.compiled.encoder.solve_with(&assumptions) != SolveResult::Sat {
                 break;
             }
-            // Extract the design from the full model.
-            designs.push(Design::from_model(
-                &self.scenario,
-                |id| {
-                    compiled
-                        .system_atoms
-                        .get(id)
-                        .and_then(|&a| compiled.encoder.atom_value(a))
-                        .unwrap_or(false)
-                },
-                |id| {
-                    compiled
-                        .hardware_atoms
-                        .get(id)
-                        .and_then(|&a| compiled.encoder.atom_value(a))
-                        .unwrap_or(false)
-                },
-            ));
-            // Block this *projected* assignment so the next model is a new
+            // Extract the design from the full model, then block this
+            // *projected* assignment so the next model is a new
             // equivalence class.
-            let blocking: Vec<netarch_sat::Lit> = atoms
-                .iter()
-                .map(|&a| {
-                    let value = compiled.encoder.atom_value(a).unwrap_or(false);
-                    let lit = compiled.encoder.atom_lit(a);
-                    if value {
-                        !lit
-                    } else {
-                        lit
-                    }
-                })
-                .collect();
-            netarch_logic::ClauseSink::add_clause(&mut compiled.encoder, &blocking);
+            designs.push(self.extract_design());
+            let mut blocking: Vec<Lit> = Vec::with_capacity(atom_lits.len() + 1);
+            blocking.push(!gate);
+            blocking.extend(atoms.iter().zip(&atom_lits).map(|(&a, &lit)| {
+                if self.compiled.encoder.atom_value(a).unwrap_or(false) {
+                    !lit
+                } else {
+                    lit
+                }
+            }));
+            netarch_logic::ClauseSink::add_clause(&mut self.compiled.encoder, &blocking);
         }
+        self.end_query(gate);
+        self.enumerate_cache.push(((limit, include_hardware), designs.clone()));
         Ok(designs)
     }
 
@@ -283,7 +376,6 @@ impl Engine {
     /// rules are suspended). Primarily for verifying diagnoses: a minimal
     /// conflict is UNSAT as a subset, and SAT once any member is dropped.
     pub fn check_rule_subset(&mut self, labels: &[&str]) -> Result<bool, CompileError> {
-        self.refresh()?;
         let ids = self.compiled.groups.ids();
         let selectors: Vec<netarch_sat::Lit> = ids
             .into_iter()
@@ -297,7 +389,7 @@ impl Engine {
     /// the compliant design unique (§6's "minimal-effort ordering for the
     /// architect to provide"). Examines up to `limit` equivalence classes.
     pub fn disambiguate(
-        &self,
+        &mut self,
         limit: usize,
     ) -> Result<crate::disambiguate::Disambiguation, CompileError> {
         let designs = self.enumerate_designs(limit, false)?;
@@ -395,12 +487,23 @@ impl Engine {
     /// are priced at the scenario's fixed `num_servers` — the query
     /// answers *size*, with cost reported afterwards.
     pub fn plan_capacity(
-        &self,
+        &mut self,
         max_servers: u64,
     ) -> Result<Result<CapacityPlan, Diagnosis>, CompileError> {
-        let cc = crate::compile::compile_capacity(&self.scenario, max_servers)?;
-        let mut compiled = cc.compiled;
-        let n = cc.server_count;
+        // The capacity query itself is purely assumption-based, so its
+        // side compilation is a reusable session too — cached until the
+        // fleet bound changes.
+        let cached = matches!(&self.capacity_cache, Some((m, _)) if *m == max_servers);
+        if !cached {
+            if self.capacity_cache.is_some() {
+                self.recompiles += 1;
+            }
+            let cc = compile_capacity(&self.scenario, max_servers)?;
+            self.capacity_cache = Some((max_servers, cc));
+        }
+        let (_, cc) = self.capacity_cache.as_mut().expect("ensured above");
+        let compiled = &mut cc.compiled;
+        let n = &cc.server_count;
         let selectors = compiled.all_selectors();
         if compiled.encoder.solve_with(&selectors) != SolveResult::Sat {
             let ids = compiled.groups.ids();
@@ -408,12 +511,12 @@ impl Engine {
                 .groups
                 .find_mus(&mut compiled.encoder, &ids)
                 .unwrap_or_default();
-            return Ok(Err(diagnosis_from(&compiled, &mus)));
+            return Ok(Err(diagnosis_from(compiled, &mus)));
         }
         let read_n = |compiled: &Compiled, n: &netarch_logic::OrderInt| {
             n.value(&|l| compiled.encoder.solver().model_lit_value(l))
         };
-        let mut best = read_n(&compiled, &n);
+        let mut best = read_n(compiled, n);
         let mut lo = n.lo();
         while lo < best {
             let mid = lo + (best - lo) / 2;
@@ -424,7 +527,7 @@ impl Engine {
                 netarch_logic::Bound::AlwaysTrue => break,
             }
             match compiled.encoder.solve_with(&assumptions) {
-                SolveResult::Sat => best = read_n(&compiled, &n).min(mid),
+                SolveResult::Sat => best = read_n(compiled, n).min(mid),
                 SolveResult::Unsat | SolveResult::Unknown => lo = mid + 1,
             }
         }
@@ -480,6 +583,20 @@ pub struct CapacityPlan {
     pub servers_needed: u64,
     /// A compliant design at that fleet size.
     pub design: Design,
+}
+
+/// Maps an impossible mid-optimization MaxSAT outcome to a typed error.
+/// `optimize` establishes feasibility before descending and activation
+/// gating never removes models from the base theory, so a hard-UNSAT
+/// level can only mean an engine bug — report it as such instead of
+/// swallowing it as an empty diagnosis.
+fn internal_level_error(level: &str, outcome: &MaxSatOutcome) -> CompileError {
+    match outcome {
+        MaxSatOutcome::WeightOverflow => CompileError::ObjectiveOverflow,
+        _ => CompileError::Internal(format!(
+            "objective level {level} became infeasible after the feasibility probe"
+        )),
+    }
 }
 
 fn diagnosis_from(compiled: &Compiled, mus: &[netarch_logic::GroupId]) -> Diagnosis {
@@ -683,7 +800,8 @@ mod tests {
         let scenario = test_scenario().with_objective(Objective::MinimizeCost);
         let mut engine = Engine::new(scenario).unwrap();
         let _ = engine.optimize().unwrap();
-        // Poisoned state must be refreshed transparently.
+        // The optimize gate is retired on return, so the session answers
+        // later queries over the full model space.
         let outcome = engine.check().unwrap();
         assert!(outcome.design().is_some());
         let again = engine.optimize().unwrap().expect("feasible");
@@ -697,7 +815,7 @@ mod tests {
     fn enumerate_designs_lists_equivalence_classes() {
         let mut scenario = test_scenario();
         scenario.roles.insert(Category::LoadBalancer, RoleRule::Forbidden);
-        let engine = Engine::new(scenario).unwrap();
+        let mut engine = Engine::new(scenario).unwrap();
         // Projected on systems only: SIMON or PINGMESH (ECMP forbidden).
         let designs = engine.enumerate_designs(16, false).unwrap();
         assert_eq!(designs.len(), 2, "{designs:?}");
@@ -831,7 +949,7 @@ mod tests {
                 num_servers: 1, // irrelevant: capacity mode varies it
                 ..Inventory::default()
             });
-        let engine = Engine::new(scenario).unwrap();
+        let mut engine = Engine::new(scenario).unwrap();
         let plan = engine.plan_capacity(64).unwrap().expect("feasible");
         // 200 workload + 40 system = 240 cores; 32/server → 8 servers.
         assert_eq!(plan.servers_needed, 8);
@@ -861,7 +979,7 @@ mod tests {
                 num_servers: 1,
                 ..Inventory::default()
             });
-        let engine = Engine::new(scenario).unwrap();
+        let mut engine = Engine::new(scenario).unwrap();
         // 1000 cores need 500 tiny servers; cap the fleet at 100 → infeasible.
         let result = engine.plan_capacity(100).unwrap();
         let diagnosis = result.unwrap_err();
@@ -910,5 +1028,135 @@ mod tests {
         assert_eq!(stats.decision_atoms, 5); // 3 systems + 2 NICs
         assert!(stats.clauses > 0);
         assert!(stats.solver_vars >= stats.decision_atoms);
+        assert_eq!(stats.recompiles, 0);
+        assert_eq!(stats.session_solves, 0); // no query ran yet
+    }
+
+    #[test]
+    fn session_answers_interleaved_queries_without_recompiling() {
+        let scenario = test_scenario().with_objective(Objective::MinimizeCost);
+        let mut engine = Engine::new(scenario).unwrap();
+        assert!(engine.check().unwrap().design().is_some());
+        let opt1 = engine.optimize().unwrap().expect("feasible");
+        let classes = engine.enumerate_designs(16, false).unwrap();
+        assert!(classes.len() >= 2, "{classes:?}");
+        assert!(engine.check().unwrap().design().is_some());
+        // The optimum is stable across the interleaving: the enumeration
+        // gate was retired, so no blocking clause constrains this solve.
+        let opt2 = engine.optimize().unwrap().expect("feasible");
+        assert_eq!(
+            opt1.design.selections, opt2.design.selections,
+            "interleaved queries perturbed the optimize answer"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.recompiles, 0, "session must never recompile");
+        assert!(stats.session_solves > 0);
+        // 1 optimize + 1 enumerate; the second optimize is memoized.
+        assert!(stats.retired_activations >= 2);
+    }
+
+    #[test]
+    fn unsat_subset_query_leaves_no_stale_model() {
+        // Regression: the solver used to keep the last SAT model visible
+        // after an UNSAT solve, so a hypothetical extraction resurrected a
+        // stale design. SAT probe first (model populated), contradictory
+        // subset next (UNSAT), then extraction must see no assignment.
+        let scenario = test_scenario()
+            .with_pin(Pin::Require(SystemId::new("SIMON")))
+            .with_pin(Pin::Forbid(SystemId::new("SIMON")));
+        let mut engine = Engine::new(scenario).unwrap();
+        assert!(engine.check_rule_subset(&["pin:require:SIMON"]).unwrap());
+        assert!(!engine
+            .check_rule_subset(&["pin:require:SIMON", "pin:forbid:SIMON"])
+            .unwrap());
+        let design = engine.extract_design();
+        assert!(
+            design.systems().is_empty() && design.hardware.is_empty(),
+            "stale model leaked through an UNSAT solve: {design:?}"
+        );
+    }
+
+    #[test]
+    fn enumerate_zero_limit_short_circuits() {
+        let mut engine = Engine::new(test_scenario()).unwrap();
+        let designs = engine.enumerate_designs(0, true).unwrap();
+        assert!(designs.is_empty());
+        let stats = engine.stats();
+        assert_eq!(stats.recompiles, 0);
+        assert_eq!(stats.session_solves, 0, "limit 0 must not touch the solver");
+    }
+
+    #[test]
+    fn repeated_optimize_and_enumerate_replay_memoized_answers() {
+        // Queries are pure within a session (the scenario never changes and
+        // every gate is retired), so identical repeats must not re-solve.
+        let mut engine = Engine::new(test_scenario()).unwrap();
+        let o1 = engine.optimize().unwrap().expect("feasible");
+        let d1 = engine.enumerate_designs(3, false).unwrap();
+        let solves = engine.stats().session_solves;
+        let o2 = engine.optimize().unwrap().expect("feasible");
+        let d2 = engine.enumerate_designs(3, false).unwrap();
+        assert_eq!(o1.design.selections, o2.design.selections);
+        assert_eq!(d1.len(), d2.len());
+        assert_eq!(
+            engine.stats().session_solves,
+            solves,
+            "identical repeat queries must replay memoized session answers"
+        );
+        // A different projection is a different query and solves afresh.
+        engine.enumerate_designs(3, true).unwrap();
+        assert!(engine.stats().session_solves > solves);
+    }
+
+    #[test]
+    fn impossible_maxsat_outcomes_map_to_typed_errors() {
+        // Regression: `optimize` used to swallow a mid-descent HardUnsat
+        // as `Ok(Err(Diagnosis::default()))` — indistinguishable from a
+        // real (but unexplained) infeasibility. The mapping is now typed.
+        match internal_level_error("MinimizeCost", &MaxSatOutcome::HardUnsat) {
+            CompileError::Internal(context) => assert!(context.contains("MinimizeCost")),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        assert_eq!(
+            internal_level_error("x", &MaxSatOutcome::WeightOverflow),
+            CompileError::ObjectiveOverflow
+        );
+    }
+
+    #[test]
+    fn capacity_sessions_are_cached_per_fleet_bound() {
+        use crate::condition::AmountExpr;
+        use crate::types::Resource;
+        let mut catalog = Catalog::new();
+        catalog
+            .add_system(
+                SystemSpec::builder("MONITOR", Category::Monitoring)
+                    .solves("monitoring")
+                    .consumes(Resource::Cores, AmountExpr::constant(40))
+                    .build(),
+            )
+            .unwrap();
+        catalog
+            .add_hardware(
+                HardwareSpec::builder("SRV32", HardwareKind::Server)
+                    .numeric("cores", 32.0)
+                    .build(),
+            )
+            .unwrap();
+        let scenario = Scenario::new(catalog)
+            .with_workload(Workload::builder("app").needs("monitoring").peak_cores(200).build())
+            .with_inventory(Inventory {
+                server_candidates: vec![HardwareId::new("SRV32")],
+                num_servers: 1,
+                ..Inventory::default()
+            });
+        let mut engine = Engine::new(scenario).unwrap();
+        let p1 = engine.plan_capacity(64).unwrap().expect("feasible");
+        let p2 = engine.plan_capacity(64).unwrap().expect("feasible");
+        assert_eq!(p1.servers_needed, p2.servers_needed);
+        assert_eq!(engine.stats().recompiles, 0, "same bound reuses the session");
+        let p3 = engine.plan_capacity(32).unwrap().expect("feasible");
+        assert_eq!(p3.servers_needed, 8);
+        assert_eq!(engine.stats().recompiles, 1, "changed bound re-derives once");
     }
 }

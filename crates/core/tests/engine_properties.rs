@@ -256,7 +256,7 @@ fn optimize_agrees_with_check_on_feasibility() {
 fn enumerated_designs_are_distinct_and_valid() {
     prop::check(&Config::with_cases(96), gen_seed, |seed| {
         let scenario = build_scenario(seed);
-        let engine = Engine::new(scenario.clone()).expect("compiles");
+        let mut engine = Engine::new(scenario.clone()).expect("compiles");
         let designs = engine.enumerate_designs(12, false).expect("runs");
         let mut fingerprints = std::collections::BTreeSet::new();
         for d in &designs {
@@ -274,7 +274,7 @@ fn cheapest_enumerated_design_is_never_cheaper_than_optimum() {
     prop::check(&Config::with_cases(96), gen_seed, |seed| {
         let mut scenario = build_scenario(seed);
         scenario.objectives = vec![Objective::MinimizeCost];
-        let engine = Engine::new(scenario.clone()).expect("compiles");
+        let mut engine = Engine::new(scenario.clone()).expect("compiles");
         let designs = engine.enumerate_designs(64, true).expect("runs");
         if designs.len() >= 64 {
             return Ok(()); // truncated: the sample may miss the optimum

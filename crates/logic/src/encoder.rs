@@ -34,6 +34,9 @@ pub struct Encoder {
     config: EncodeConfig,
     aux_vars: usize,
     asserted_clauses: usize,
+    /// Active clause gate (see [`Encoder::gated_scope`]): while set, every
+    /// asserted clause is weakened with the gate's negation.
+    clause_gate: Option<Lit>,
     /// Mirror of every asserted clause, kept only in verify mode: the CNF
     /// the independent proof checker validates verdicts against.
     cnf_mirror: Vec<Vec<Lit>>,
@@ -64,6 +67,7 @@ impl Encoder {
             config,
             aux_vars: 0,
             asserted_clauses: 0,
+            clause_gate: None,
             cnf_mirror: Vec::new(),
         }
     }
@@ -115,7 +119,9 @@ impl Encoder {
             Some(l) => l,
             None => {
                 let l = self.solver.new_var().positive();
-                self.add_clause_counted(&[l]);
+                // The defining unit is global truth: it must hold even when
+                // allocated inside a gated scope, so it bypasses the gate.
+                self.add_clause_raw(&[l]);
                 self.true_lit = Some(l);
                 l
             }
@@ -123,6 +129,18 @@ impl Encoder {
     }
 
     fn add_clause_counted(&mut self, lits: &[Lit]) {
+        if let Some(gate) = self.clause_gate {
+            if !lits.contains(&!gate) {
+                let mut gated = Vec::with_capacity(lits.len() + 1);
+                gated.push(!gate);
+                gated.extend_from_slice(lits);
+                return self.add_clause_raw(&gated);
+            }
+        }
+        self.add_clause_raw(lits);
+    }
+
+    fn add_clause_raw(&mut self, lits: &[Lit]) {
         self.asserted_clauses += 1;
         if self.config.verify_proofs {
             self.cnf_mirror.push(lits.to_vec());
@@ -211,10 +229,52 @@ impl Encoder {
         }
     }
 
+    /// Runs `f` with every asserted clause weakened by `!gate`, so the
+    /// whole block of constraints is dormant unless `gate` is assumed (or
+    /// asserted) true. Dormant clauses never drive propagation — the
+    /// watched `!gate` literal stays unfalsified — which is what lets a
+    /// persistent session carry e.g. an objective totalizer without taxing
+    /// queries that do not use it.
+    ///
+    /// Tseitin definitions created *inside* the scope are gated too: any
+    /// literal first defined here is only constrained while `gate` holds,
+    /// so it must not be referenced by ungated clauses added later.
+    /// (Definitions that already existed are reused untouched, and
+    /// [`Encoder::true_lit`] always allocates ungated.)
+    pub fn gated_scope<R>(&mut self, gate: Lit, f: impl FnOnce(&mut Encoder) -> R) -> R {
+        let previous = self.clause_gate.replace(gate);
+        let result = f(self);
+        self.clause_gate = previous;
+        result
+    }
+
     /// Allocates a fresh selector literal for assertion grouping.
     pub fn new_selector(&mut self) -> Lit {
         self.aux_vars += 1;
         self.solver.new_var().positive()
+    }
+
+    /// Permanently retires a selector/activation literal by asserting its
+    /// negation. Every clause gated on it is satisfied forever and becomes
+    /// solver garbage (reclaim with [`Encoder::collect_garbage`]). Routed
+    /// through the counted path so the verify-mode CNF mirror and the
+    /// clause count stay consistent with the solver.
+    pub fn retire(&mut self, selector: Lit) {
+        self.asserted_clauses += 1;
+        if self.config.verify_proofs {
+            self.cnf_mirror.push(vec![!selector]);
+        }
+        let _ = self.solver.retire(selector);
+    }
+
+    /// Runs the solver's level-0 simplification (see
+    /// [`netarch_sat::Solver::simplify`]), reclaiming clauses dissolved by
+    /// retired activation literals. The CNF mirror is untouched: removed
+    /// clauses are root-satisfied, so any later model still satisfies them
+    /// and UNSAT proofs log the deletions themselves. Returns `false` when
+    /// the instance is known unsatisfiable.
+    pub fn collect_garbage(&mut self) -> bool {
+        self.solver.simplify()
     }
 
     /// Returns a literal equivalent to `formula` (full Tseitin, both
@@ -539,5 +599,54 @@ mod tests {
         e.assert(&Formula::iff(a(0), Formula::and([a(1), a(2)])));
         assert!(e.clause_count() > 0);
         assert!(e.aux_var_count() > 0);
+    }
+
+    #[test]
+    fn gated_scope_constraints_are_dormant_until_assumed() {
+        let mut e = Encoder::new();
+        e.assert(&Formula::or([a(0), a(1)]));
+        let gate = e.new_selector();
+        e.gated_scope(gate, |e| e.assert(&Formula::not(a(0))));
+        // Without the gate the scope's constraint is dormant.
+        let a0 = e.atom_lit(Atom(0));
+        assert_eq!(e.solve_with(&[a0]), SolveResult::Sat);
+        // Assuming the gate switches it on.
+        assert_eq!(e.solve_with(&[gate, a0]), SolveResult::Unsat);
+        assert_eq!(e.solve_with(&[gate]), SolveResult::Sat);
+        assert_eq!(e.atom_value(Atom(1)), Some(true));
+        // The scope ended: later assertions are hard again.
+        e.assert(&Formula::not(a(1)));
+        let a1 = e.atom_lit(Atom(1));
+        assert_eq!(e.solve_with(&[a1]), SolveResult::Unsat);
+        assert_eq!(e.solve(), SolveResult::Sat);
+        assert_eq!(e.atom_value(Atom(0)), Some(true));
+    }
+
+    #[test]
+    fn gated_scopes_nest_and_restore() {
+        let mut e = Encoder::new();
+        let outer = e.new_selector();
+        let inner = e.new_selector();
+        e.gated_scope(outer, |e| {
+            e.assert(&Formula::not(a(0)));
+            e.gated_scope(inner, |e| e.assert(&Formula::not(a(1))));
+            e.assert(&Formula::not(a(2)));
+        });
+        let lits: Vec<Lit> = (0..3).map(|i| e.atom_lit(Atom(i))).collect();
+        // Inner gate controls only a1; outer controls a0 and a2.
+        assert_eq!(e.solve_with(&[inner, lits[0], lits[2]]), SolveResult::Sat);
+        assert_eq!(e.solve_with(&[inner, lits[1]]), SolveResult::Unsat);
+        assert_eq!(e.solve_with(&[outer, lits[1]]), SolveResult::Sat);
+        assert_eq!(e.solve_with(&[outer, lits[0]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn true_lit_allocated_inside_a_gated_scope_stays_global() {
+        let mut e = Encoder::new();
+        let gate = e.new_selector();
+        let t = e.gated_scope(gate, |e| e.true_lit());
+        // The defining unit bypassed the gate: ¬t is contradictory even
+        // though the gate is never assumed.
+        assert_eq!(e.solve_with(&[!t]), SolveResult::Unsat);
     }
 }

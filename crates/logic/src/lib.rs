@@ -36,7 +36,7 @@ pub use ast::{Atom, Formula};
 pub use cardinality::CardEncoding;
 pub use encoder::{EncodeConfig, Encoder};
 pub use int::{Bound, OrderInt};
-pub use maxsat::{MaxSatAlgorithm, MaxSatOutcome, Soft};
+pub use maxsat::{CompiledSofts, MaxSatAlgorithm, MaxSatOutcome, Soft, WeightOverflow};
 pub use mus::{GroupId, GroupedAssertions};
 pub use sink::{ClauseSink, CollectSink};
 pub use verify::{proofs_requested, verified_solve, Verified, VerifyError};

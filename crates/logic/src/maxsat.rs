@@ -62,6 +62,14 @@ pub enum MaxSatOutcome {
     },
     /// The hard constraints alone are unsatisfiable.
     HardUnsat,
+    /// The soft weights sum past `u64::MAX`; proceeding would silently
+    /// corrupt every cost bound, so the optimization is refused.
+    WeightOverflow,
+}
+
+/// Sum of the soft weights, or `None` when it overflows `u64`.
+fn checked_total(soft: &[Soft]) -> Option<u64> {
+    soft.iter().try_fold(0u64, |acc, s| acc.checked_add(s.weight))
 }
 
 /// Minimizes the total weight of violated soft constraints, leaving the
@@ -72,6 +80,9 @@ pub fn minimize(
     soft: &[Soft],
     algorithm: MaxSatAlgorithm,
 ) -> MaxSatOutcome {
+    if checked_total(soft).is_none() {
+        return MaxSatOutcome::WeightOverflow;
+    }
     let uniform = soft
         .windows(2)
         .all(|w| w[0].weight == w[1].weight);
@@ -79,6 +90,153 @@ pub fn minimize(
         MaxSatAlgorithm::FuMalik if uniform && !soft.is_empty() => fu_malik(encoder, soft),
         _ => linear_gte(encoder, soft),
     }
+}
+
+/// A soft-constraint objective compiled once for reuse across queries.
+///
+/// The violation literals and the generalized-totalizer outputs are encoded
+/// a single time; every subsequent [`minimize_under`] call performs only
+/// assumption-based descent plus activation-gated hardening, so repeated
+/// optimization of the same objective adds no permanent clauses and reuses
+/// everything the solver has learned.
+pub struct CompiledSofts {
+    softs: Vec<Soft>,
+    /// Totalizer outputs `(sum, lit)`: `lit` is forced true whenever the
+    /// violated weight reaches `sum`.
+    outputs: Vec<(u64, Lit)>,
+    /// Long-lived activation literal gating the whole totalizer. Assumed
+    /// by every solve that needs the objective circuitry; left unassumed
+    /// otherwise, so the totalizer clauses are dormant and cost nothing
+    /// on queries that never mention the objective.
+    activation: Lit,
+}
+
+impl CompiledSofts {
+    /// The soft constraints this objective minimizes.
+    pub fn softs(&self) -> &[Soft] {
+        &self.softs
+    }
+
+    /// The activation literal that switches this objective's totalizer on.
+    /// Assume it in any solve that must respect clauses referencing the
+    /// totalizer outputs (e.g. a later lexicographic level solving under a
+    /// hardened bound from this one).
+    pub fn activation(&self) -> Lit {
+        self.activation
+    }
+}
+
+/// Soft weights summed past `u64::MAX` — see [`MaxSatOutcome::WeightOverflow`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightOverflow;
+
+impl std::fmt::Display for WeightOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "soft-constraint weights overflow u64 when summed")
+    }
+}
+
+/// Encodes the violation totalizer for `softs` once, for repeated
+/// [`minimize_under`] calls. Fails when the weights overflow `u64`.
+pub fn compile_softs(
+    encoder: &mut Encoder,
+    softs: Vec<Soft>,
+) -> Result<CompiledSofts, WeightOverflow> {
+    let total = checked_total(&softs).ok_or(WeightOverflow)?;
+    // The whole totalizer is gated behind one long-lived activation
+    // literal, so a persistent session only pays for the objective
+    // circuitry in solves that assume it.
+    let activation = encoder.new_selector();
+    let outputs = encoder.gated_scope(activation, |e| {
+        // Violation literal per soft constraint: v_i ⇔ ¬formula_i.
+        let terms: Vec<PbTerm> = softs
+            .iter()
+            .map(|s| {
+                let l = e.lit_for(&s.formula);
+                PbTerm::new(s.weight, !l)
+            })
+            .collect();
+        gte_outputs(e, &terms, total).outputs
+    });
+    Ok(CompiledSofts { softs, outputs, activation })
+}
+
+/// Minimizes a compiled objective inside an incremental session.
+///
+/// All solves run under `base ∪ {gate, activation}`, and the optimum is
+/// hardened with `gate`-gated clauses only — so when the caller retires
+/// `gate` the bound dissolves, the totalizer goes dormant again, and the
+/// session solver is back to exactly the base theory, with its learned
+/// clauses and heuristic state intact. On return the solver holds a model
+/// that is optimal under `base`.
+///
+/// A `gate`-gated hardened bound references this objective's totalizer
+/// outputs, so a caller that keeps solving under `gate` after this call
+/// (e.g. the next lexicographic level) must also keep assuming
+/// [`CompiledSofts::activation`] or the bound is vacuous.
+pub fn minimize_under(
+    encoder: &mut Encoder,
+    compiled: &CompiledSofts,
+    base: &[Lit],
+    gate: Lit,
+) -> MaxSatOutcome {
+    let mut context: Vec<Lit> = Vec::with_capacity(base.len() + 2);
+    context.extend_from_slice(base);
+    context.push(gate);
+    context.push(compiled.activation);
+    if encoder.solve_with(&context) != SolveResult::Sat {
+        return MaxSatOutcome::HardUnsat;
+    }
+    if compiled.softs.is_empty() {
+        return MaxSatOutcome::Optimal { cost: 0, violated: Vec::new() };
+    }
+    let mut best_cost = model_cost(encoder, &compiled.softs);
+    let mut best_violated = violated_indices(encoder, &compiled.softs);
+
+    // Binary-search descent over the achievable cost values (the GTE's
+    // output sums plus zero). Invariant: `best_cost` is achievable, and
+    // every candidate below index `lo` is proven unachievable.
+    let mut candidates: Vec<u64> = Vec::with_capacity(compiled.outputs.len() + 1);
+    candidates.push(0);
+    candidates.extend(compiled.outputs.iter().map(|&(s, _)| s));
+    let mut lo = 0usize;
+    while best_cost > 0 {
+        let hi = candidates.partition_point(|&c| c < best_cost);
+        if lo >= hi {
+            break; // nothing achievable below best_cost
+        }
+        let mid = (lo + hi) / 2;
+        let target = candidates[mid];
+        let mut assumptions = context.clone();
+        assumptions.extend(
+            compiled
+                .outputs
+                .iter()
+                .filter(|&&(s, _)| s > target)
+                .map(|&(_, l)| !l),
+        );
+        match encoder.solve_with(&assumptions) {
+            SolveResult::Sat => {
+                let cost = model_cost(encoder, &compiled.softs);
+                debug_assert!(cost <= target, "model violates assumed bound");
+                best_cost = cost.min(target);
+                best_violated = violated_indices(encoder, &compiled.softs);
+            }
+            SolveResult::Unsat | SolveResult::Unknown => {
+                lo = mid + 1;
+            }
+        }
+    }
+
+    // Harden the optimum behind the gate and restore an optimal model.
+    for &(s, l) in &compiled.outputs {
+        if s > best_cost {
+            ClauseSink::add_clause(encoder, &[!gate, !l]);
+        }
+    }
+    let restored = encoder.solve_with(&context);
+    debug_assert_eq!(restored, SolveResult::Sat);
+    MaxSatOutcome::Optimal { cost: best_cost, violated: best_violated }
 }
 
 /// Reports which soft constraints the current model violates.
@@ -97,6 +255,10 @@ fn model_cost(encoder: &Encoder, soft: &[Soft]) -> u64 {
         .sum()
 }
 
+/// Destructive linear descent: compiles the totalizer in place and hardens
+/// the optimum permanently. The gate is the always-true literal, so the
+/// gated hardening clauses in [`minimize_under`] strip to permanent units
+/// at level 0 — identical behavior to a dedicated ungated implementation.
 fn linear_gte(encoder: &mut Encoder, soft: &[Soft]) -> MaxSatOutcome {
     if encoder.solve() != SolveResult::Sat {
         return MaxSatOutcome::HardUnsat;
@@ -104,68 +266,12 @@ fn linear_gte(encoder: &mut Encoder, soft: &[Soft]) -> MaxSatOutcome {
     if soft.is_empty() {
         return MaxSatOutcome::Optimal { cost: 0, violated: Vec::new() };
     }
-    // Violation literal per soft constraint: v_i ⇔ ¬formula_i.
-    let terms: Vec<PbTerm> = soft
-        .iter()
-        .map(|s| {
-            let l = encoder.lit_for(&s.formula);
-            PbTerm::new(s.weight, !l)
-        })
-        .collect();
-    let total: u64 = terms.iter().map(|t| t.weight).sum();
-    let node = gte_outputs(encoder, &terms, total);
-
-    let mut best_cost = {
-        // Re-solve: the totalizer introduced fresh clauses.
-        if encoder.solve() != SolveResult::Sat {
-            return MaxSatOutcome::HardUnsat;
-        }
-        model_cost(encoder, soft)
+    let compiled = match compile_softs(encoder, soft.to_vec()) {
+        Ok(c) => c,
+        Err(WeightOverflow) => return MaxSatOutcome::WeightOverflow,
     };
-    let mut best_violated = violated_indices(encoder, soft);
-
-    // Binary-search descent over the achievable cost values (the GTE's
-    // output sums plus zero). Invariant: `best_cost` is achievable, and
-    // every candidate below index `lo` is proven unachievable.
-    let mut candidates: Vec<u64> = Vec::with_capacity(node.outputs.len() + 1);
-    candidates.push(0);
-    candidates.extend(node.outputs.iter().map(|&(s, _)| s));
-    let mut lo = 0usize;
-    while best_cost > 0 {
-        let hi = candidates.partition_point(|&c| c < best_cost);
-        if lo >= hi {
-            break; // nothing achievable below best_cost
-        }
-        let mid = (lo + hi) / 2;
-        let target = candidates[mid];
-        let assumptions: Vec<Lit> = node
-            .outputs
-            .iter()
-            .filter(|&&(s, _)| s > target)
-            .map(|&(_, l)| !l)
-            .collect();
-        match encoder.solve_with(&assumptions) {
-            SolveResult::Sat => {
-                let cost = model_cost(encoder, soft);
-                debug_assert!(cost <= target, "model violates assumed bound");
-                best_cost = cost.min(target);
-                best_violated = violated_indices(encoder, soft);
-            }
-            SolveResult::Unsat | SolveResult::Unknown => {
-                lo = mid + 1;
-            }
-        }
-    }
-
-    // Harden the optimum and restore an optimal model.
-    for &(s, l) in &node.outputs {
-        if s > best_cost {
-            ClauseSink::add_clause(encoder, &[!l]);
-        }
-    }
-    let restored = encoder.solve();
-    debug_assert_eq!(restored, SolveResult::Sat);
-    MaxSatOutcome::Optimal { cost: best_cost, violated: best_violated }
+    let gate = encoder.true_lit();
+    minimize_under(encoder, &compiled, &[], gate)
 }
 
 /// Classic Fu-Malik for uniform weights.
@@ -246,7 +352,8 @@ fn fu_malik(encoder: &mut Encoder, soft: &[Soft]) -> MaxSatOutcome {
 }
 
 /// Lexicographic multi-level minimization: minimizes each level in order,
-/// hardening its optimum before moving on. Returns per-level outcomes.
+/// hardening its optimum before moving on. Returns per-level outcomes, or
+/// `None` when any level fails to optimize (hard-UNSAT or weight overflow).
 pub fn minimize_lex(
     encoder: &mut Encoder,
     levels: &[Vec<Soft>],
@@ -255,7 +362,7 @@ pub fn minimize_lex(
     let mut outcomes = Vec::with_capacity(levels.len());
     for level in levels {
         let outcome = minimize(encoder, level, algorithm);
-        if outcome == MaxSatOutcome::HardUnsat {
+        if !matches!(outcome, MaxSatOutcome::Optimal { .. }) {
             return None;
         }
         outcomes.push(outcome);
@@ -430,6 +537,111 @@ mod tests {
         assert_eq!(outcomes[0], MaxSatOutcome::Optimal { cost: 0, violated: vec![] });
         assert_eq!(e.atom_value(Atom(1)), Some(true));
         assert_eq!(e.atom_value(Atom(0)), Some(false));
+    }
+
+    #[test]
+    fn overflowing_weights_are_refused_not_wrapped() {
+        // u64::MAX + 2 wraps to 1 with unchecked summation, which would
+        // silently truncate the totalizer. Both algorithms must refuse.
+        for alg in [MaxSatAlgorithm::LinearGte, MaxSatAlgorithm::FuMalik] {
+            let mut e = Encoder::new();
+            e.assert(&Formula::or([a(0), a(1)]));
+            let soft = softs(&[(u64::MAX, a(0)), (2, a(1))]);
+            assert_eq!(minimize(&mut e, &soft, alg), MaxSatOutcome::WeightOverflow, "{alg:?}");
+        }
+        // minimize_lex reports the failure by aborting.
+        let mut e = Encoder::new();
+        e.assert(&a(0));
+        let levels = vec![softs(&[(u64::MAX, a(0)), (1, a(1))])];
+        assert!(minimize_lex(&mut e, &levels, MaxSatAlgorithm::LinearGte).is_none());
+    }
+
+    #[test]
+    fn weights_at_the_u64_boundary_still_optimize() {
+        // Total is exactly u64::MAX: no overflow, and the cheap soft breaks.
+        let mut e = Encoder::new();
+        e.assert(&Formula::xor(a(0), a(1)));
+        let soft = softs(&[(u64::MAX - 1, a(0)), (1, a(1))]);
+        match minimize(&mut e, &soft, MaxSatAlgorithm::LinearGte) {
+            MaxSatOutcome::Optimal { cost, violated } => {
+                assert_eq!(cost, 1);
+                assert_eq!(violated, vec![1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gated_minimize_reuses_one_totalizer_across_queries() {
+        // Compile the objective once; two gated optimize "queries" over the
+        // same session must agree, and retiring each gate must release its
+        // hardened bound (the session stays exactly the base theory).
+        let mut e = Encoder::new();
+        e.assert(&Formula::xor(a(0), a(1)));
+        let compiled =
+            compile_softs(&mut e, softs(&[(2, a(0)), (1, a(1))])).expect("no overflow");
+        let clauses_after_compile = e.clause_count();
+        for _ in 0..2 {
+            let gate = e.new_selector();
+            match minimize_under(&mut e, &compiled, &[], gate) {
+                MaxSatOutcome::Optimal { cost, violated } => {
+                    assert_eq!(cost, 1);
+                    assert_eq!(violated, vec![1]);
+                    assert_eq!(e.atom_value(Atom(0)), Some(true));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            e.retire(gate);
+        }
+        // Only gated hardening + retirement units were added — no second
+        // totalizer. With 2 outputs above cost 1, that is ≤ 3 clauses/query.
+        assert!(e.clause_count() - clauses_after_compile <= 6);
+        // After retirement the base theory is unconstrained by old optima:
+        // the expensive assignment (a1, cost 2) is reachable again.
+        let a1 = e.atom_lit(Atom(1));
+        assert_eq!(e.solve_with(&[a1]), netarch_sat::SolveResult::Sat);
+        assert_eq!(e.atom_value(Atom(0)), Some(false));
+    }
+
+    #[test]
+    fn gated_minimize_respects_base_assumptions() {
+        // Base context forces a0 false; under xor the optimum flips to
+        // violating the heavier soft. A later query without that base sees
+        // the unconstrained optimum again.
+        let mut e = Encoder::new();
+        e.assert(&Formula::xor(a(0), a(1)));
+        let sel = e.new_selector();
+        e.assert_under(sel, &Formula::not(a(0)));
+        let compiled =
+            compile_softs(&mut e, softs(&[(2, a(0)), (1, a(1))])).expect("no overflow");
+        let g1 = e.new_selector();
+        match minimize_under(&mut e, &compiled, &[sel], g1) {
+            MaxSatOutcome::Optimal { cost, violated } => {
+                assert_eq!(cost, 2);
+                assert_eq!(violated, vec![0]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        e.retire(g1);
+        let g2 = e.new_selector();
+        match minimize_under(&mut e, &compiled, &[], g2) {
+            MaxSatOutcome::Optimal { cost, .. } => assert_eq!(cost, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gated_minimize_reports_hard_unsat_under_base() {
+        let mut e = Encoder::new();
+        let sel = e.new_selector();
+        e.assert_under(sel, &a(0));
+        e.assert_under(sel, &Formula::not(a(0)));
+        let compiled = compile_softs(&mut e, softs(&[(1, a(1))])).expect("no overflow");
+        let gate = e.new_selector();
+        assert_eq!(
+            minimize_under(&mut e, &compiled, &[sel], gate),
+            MaxSatOutcome::HardUnsat
+        );
     }
 
     #[test]

@@ -110,6 +110,10 @@ pub struct Solver {
     seen: Vec<bool>,
     /// False once the clause set is unsatisfiable at level 0.
     ok: bool,
+    /// Snapshot of the full assignment taken when a solve returns
+    /// [`SolveResult::Sat`]; cleared on every non-SAT outcome so stale
+    /// models can never be read after an UNSAT or budget-exhausted solve.
+    model: Vec<LBool>,
     assumptions: Vec<Lit>,
     conflict_core: Vec<Lit>,
     /// Conflict budget for bounded solving; `None` = unbounded.
@@ -157,6 +161,7 @@ impl Solver {
             polarity: Vec::new(),
             seen: Vec::new(),
             ok: true,
+            model: Vec::new(),
             assumptions: Vec::new(),
             conflict_core: Vec::new(),
             budget: None,
@@ -347,6 +352,10 @@ impl Solver {
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.conflict_core.clear();
         if !self.ok {
+            // Even the short-circuit path must invalidate the model: a
+            // caller that ignores the UNSAT result must not be able to read
+            // the satisfying assignment of an earlier solve.
+            self.model.clear();
             return SolveResult::Unsat;
         }
         for l in assumptions {
@@ -373,11 +382,17 @@ impl Solver {
             restart_num += 1;
             match self.search(restart_limit, &mut max_learnt, budget_start) {
                 SearchOutcome::Sat => {
-                    let result = SolveResult::Sat;
-                    self.backtrack_keep_model();
-                    return result;
+                    // Snapshot the full assignment before rewinding the
+                    // trail; the model stays readable until the next solve
+                    // while the search structures return to the root level,
+                    // keeping the solver immediately reusable.
+                    self.model.clear();
+                    self.model.extend_from_slice(&self.assigns);
+                    self.backtrack_to(0);
+                    return SolveResult::Sat;
                 }
                 SearchOutcome::Unsat => {
+                    self.model.clear();
                     self.backtrack_to(0);
                     return SolveResult::Unsat;
                 }
@@ -386,6 +401,7 @@ impl Solver {
                     self.backtrack_to(0);
                 }
                 SearchOutcome::BudgetExhausted => {
+                    self.model.clear();
                     self.backtrack_to(0);
                     return SolveResult::Unknown;
                 }
@@ -393,11 +409,14 @@ impl Solver {
         }
     }
 
-    /// Value of `var` in the most recent satisfying model.
+    /// Value of `var` in the model of the most recent solve.
     ///
-    /// Only meaningful immediately after a [`SolveResult::Sat`] outcome.
+    /// Returns `None` for every variable unless the most recent solve
+    /// returned [`SolveResult::Sat`]: the model snapshot is cleared on
+    /// UNSAT and budget-exhausted outcomes, so a stale assignment from an
+    /// earlier SAT solve can never leak through.
     pub fn model_value(&self, var: Var) -> Option<bool> {
-        self.assigns.get(var.index()).and_then(|v| v.to_bool())
+        self.model.get(var.index()).and_then(|v| v.to_bool())
     }
 
     /// Value of a literal in the most recent satisfying model.
@@ -415,6 +434,20 @@ impl Solver {
     /// Returns true while the clause set is not yet known unsatisfiable.
     pub fn is_consistent(&self) -> bool {
         self.ok
+    }
+
+    /// Permanently retires an activation literal by asserting `!lit` as a
+    /// root-level unit. Every clause gated on `lit` (i.e. containing `!lit`)
+    /// becomes root-satisfied garbage that the next [`Solver::simplify`]
+    /// call reclaims. This is the "query teardown" half of the incremental
+    /// session protocol: destructive constraints are added as `lit`-gated
+    /// clauses, activated by assuming `lit`, and dissolved here — leaving
+    /// learnt clauses, activity scores, and saved phases intact.
+    ///
+    /// Returns `false` when the solver is already known unsatisfiable.
+    pub fn retire(&mut self, lit: Lit) -> bool {
+        self.stats.retired_activations += 1;
+        self.add_clause([!lit])
     }
 
     /// Level-0 simplification: removes clauses satisfied by root-level
@@ -445,6 +478,7 @@ impl Solver {
             let satisfied = lits.iter().any(|&l| self.lit_value(l) == LBool::True);
             if satisfied {
                 self.proof_delete(&lits);
+                self.stats.garbage_collected_clauses += 1;
                 continue;
             }
             let remaining: Vec<Lit> = lits
@@ -731,15 +765,6 @@ impl Solver {
         self.trail.truncate(bound);
         self.trail_lim.truncate(target_level as usize);
         self.qhead = bound.min(self.qhead);
-    }
-
-    /// After SAT: keep assignments readable as the model but reset the
-    /// search structures so the solver stays usable incrementally. The
-    /// assignment vector is left intact; it is cleared lazily by the next
-    /// `solve_with` via `backtrack_to(0)`.
-    fn backtrack_keep_model(&mut self) {
-        // Intentionally empty: assignments stay readable; the next solve
-        // rewinds the trail. Kept as a named hook for clarity.
     }
 
     fn pick_decision(&mut self) -> Option<Lit> {
@@ -1086,10 +1111,10 @@ mod tests {
         for row in &p {
             s.add_clause(row.clone());
         }
-        for hole in 0..n - 1 {
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    s.add_clause([!p[i][hole], !p[j][hole]]);
+        for (i, pi) in p.iter().enumerate() {
+            for pj in &p[i + 1..] {
+                for (&a, &b) in pi.iter().zip(pj) {
+                    s.add_clause([!a, !b]);
                 }
             }
         }
@@ -1097,6 +1122,84 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.set_conflict_budget(None);
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_is_cleared_after_unsat_solve() {
+        // Regression: a SAT solve followed by an UNSAT one must not leave
+        // the old model readable through `model_value`.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(v[0].var()).is_some());
+        assert_eq!(s.solve_with(&[!v[0], !v[1]]), SolveResult::Unsat);
+        assert_eq!(s.model_value(v[0].var()), None);
+        assert_eq!(s.model_value(v[1].var()), None);
+        assert_eq!(s.model_lit_value(v[0]), None);
+    }
+
+    #[test]
+    fn model_is_cleared_on_budget_exhaustion_and_inconsistency() {
+        // Budget-exhausted (Unknown) and already-inconsistent short-circuit
+        // solves must also invalidate the model.
+        let n = 8;
+        let mut s = Solver::new();
+        let free = s.new_var();
+        s.add_clause([free.positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(free), Some(true));
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var().positive()).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.clone());
+        }
+        for (i, pi) in p.iter().enumerate() {
+            for pj in &p[i + 1..] {
+                for (&a, &b) in pi.iter().zip(pj) {
+                    s.add_clause([!a, !b]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.model_value(free), None);
+
+        // A solver driven to root inconsistency after a SAT solve takes the
+        // `!self.ok` short-circuit on the next solve; the stale model must
+        // be cleared there too.
+        let mut t = Solver::new();
+        let x = t.new_var();
+        t.add_clause([x.positive()]);
+        assert_eq!(t.solve(), SolveResult::Sat);
+        assert_eq!(t.model_value(x), Some(true));
+        assert!(!t.add_clause([!x.positive()]));
+        assert_eq!(t.solve(), SolveResult::Unsat);
+        assert_eq!(t.model_value(x), None);
+    }
+
+    #[test]
+    fn retire_dissolves_gated_clauses() {
+        // Clauses gated on an activation literal bind only while the
+        // activation is assumed; retirement makes them garbage that
+        // `simplify` reclaims, without touching ungated clauses.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        let act = s.new_var().positive();
+        s.add_clause([v[0], v[1]]); // ungated
+        s.add_clause([!act, !v[0]]); // gated: act -> !v0
+        s.add_clause([!act, !v[1]]); // gated: act -> !v1
+        assert_eq!(s.solve_with(&[act]), SolveResult::Unsat);
+        assert!(s.retire(act));
+        assert_eq!(s.stats().retired_activations, 1);
+        // The gated constraints no longer bind.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let live_before = s.num_clauses();
+        assert!(s.simplify());
+        assert!(s.stats().garbage_collected_clauses >= 2);
+        assert!(s.num_clauses() < live_before);
+        assert_eq!(s.solve(), SolveResult::Sat);
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub struct Stats {
     pub reductions: u64,
     /// Learnt clauses deleted by reductions.
     pub deleted_clauses: u64,
+    /// Activation literals permanently retired via [`crate::Solver::retire`].
+    pub retired_activations: u64,
+    /// Root-satisfied clauses reclaimed by [`crate::Solver::simplify`]
+    /// (mostly retired activation-gated clauses in incremental sessions).
+    pub garbage_collected_clauses: u64,
 }
 
 impl fmt::Display for Stats {
@@ -32,7 +37,7 @@ impl fmt::Display for Stats {
         write!(
             f,
             "solves={} decisions={} propagations={} conflicts={} restarts={} \
-             learnt={} deleted={} minimized_lits={}",
+             learnt={} deleted={} minimized_lits={} retired={} gc={}",
             self.solves,
             self.decisions,
             self.propagations,
@@ -41,6 +46,8 @@ impl fmt::Display for Stats {
             self.learnt_clauses,
             self.deleted_clauses,
             self.minimized_literals,
+            self.retired_activations,
+            self.garbage_collected_clauses,
         )
     }
 }

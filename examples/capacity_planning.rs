@@ -9,7 +9,7 @@ use netarch::corpus::case_study;
 fn main() {
     println!("=== How many servers does the §2.3 case study need? ===\n");
     let scenario = case_study::scenario();
-    let engine = Engine::new(scenario.clone()).expect("compiles");
+    let mut engine = Engine::new(scenario.clone()).expect("compiles");
     let plan = engine.plan_capacity(512).expect("runs").expect("feasible");
     println!(
         "provisioned: {} servers;   actually needed: {}\n",
@@ -27,7 +27,7 @@ fn main() {
             .needs("load_balancing")
             .build(),
     );
-    let engine = Engine::new(doubled).expect("compiles");
+    let mut engine = Engine::new(doubled).expect("compiles");
     let plan2 = engine.plan_capacity(512).expect("runs").expect("feasible");
     println!(
         "servers: {} → {} (+{})\n",
@@ -46,7 +46,7 @@ fn main() {
         .with_role(Category::Custom("memory-pooling".into()), RoleRule::Forbidden)
         .with_pin(Pin::Require(SystemId::new("SWIFT")))
         .with_pin(Pin::Require(SystemId::new("OVS")));
-    let engine = Engine::new(ambiguous).expect("compiles");
+    let mut engine = Engine::new(ambiguous).expect("compiles");
     let plan = engine.disambiguate(256).expect("runs");
     print!("{}", render_plan(&plan));
 }

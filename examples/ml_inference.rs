@@ -51,7 +51,7 @@ fn main() {
     }
 
     println!("\n=== Step 3: equivalence classes of compliant designs (§6) ===\n");
-    let engine = Engine::new(case_study::scenario()).expect("compiles");
+    let mut engine = Engine::new(case_study::scenario()).expect("compiles");
     let designs = engine.enumerate_designs(5, false).expect("enumeration runs");
     println!(
         "First {} equivalence classes (projected on system choices):\n",

@@ -13,13 +13,23 @@ cargo test -q --offline --workspace
 echo "== clippy =="
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --offline --workspace --all-targets -- -D warnings
+elif [ "${CI:-0}" = "1" ]; then
+    # On CI a missing linter is a broken toolchain, not an optional step:
+    # silently skipping here once let warnings land unreviewed.
+    echo "error: CI=1 but cargo clippy is not installed" >&2
+    exit 1
 else
-    echo "clippy not installed; skipping lint step"
+    echo "WARNING: clippy not installed; lint step SKIPPED (set CI=1 to make this fatal)" >&2
 fi
 
 echo "== proof-check =="
 # Solve a seeded UNSAT corpus (500+ instances) with DRAT logging on and
 # replay every proof through the independent checker; any rejection fails.
 cargo run --release --offline -q -p netarch-bench --bin exp_proof_check
+
+echo "== incremental-session smoke =="
+# The 50-query differential workload: session answers must match
+# recompile-per-query answers, with zero recompiles and a ≥3× speedup.
+cargo run --release --offline -q -p netarch-bench --bin exp_incremental
 
 echo "== ci: all green =="

@@ -92,7 +92,7 @@ pub fn run(args: &[&str]) -> Result<String, String> {
         }
         ["capacity", path, max] => {
             let max: u64 = max.parse().map_err(|_| format!("bad fleet bound {max:?}"))?;
-            let engine = load_engine(path)?;
+            let mut engine = load_engine(path)?;
             match engine.plan_capacity(max).map_err(|e| e.to_string())? {
                 Ok(plan) if json => Ok(netarch_rt::json::to_string_pretty(&jobj! {
                     "servers_needed": plan.servers_needed,
@@ -107,7 +107,7 @@ pub fn run(args: &[&str]) -> Result<String, String> {
         }
         ["enumerate", path, limit] => {
             let limit: usize = limit.parse().map_err(|_| format!("bad limit {limit:?}"))?;
-            let engine = load_engine(path)?;
+            let mut engine = load_engine(path)?;
             let designs = engine
                 .enumerate_designs(limit, false)
                 .map_err(|e| e.to_string())?;
@@ -120,7 +120,7 @@ pub fn run(args: &[&str]) -> Result<String, String> {
             Ok(out)
         }
         ["questions", path] => {
-            let engine = load_engine(path)?;
+            let mut engine = load_engine(path)?;
             let plan = engine.disambiguate(256).map_err(|e| e.to_string())?;
             Ok(netarch::core::disambiguate::render_plan(&plan))
         }

@@ -11,7 +11,7 @@ use netarch::extract::Prompt;
 #[test]
 fn capacity_plan_is_minimal_and_valid_on_the_case_study() {
     let scenario = case_study::scenario();
-    let engine = Engine::new(scenario.clone()).expect("compiles");
+    let mut engine = Engine::new(scenario.clone()).expect("compiles");
     let plan = engine.plan_capacity(512).expect("runs").expect("feasible");
     assert!(plan.servers_needed >= 44, "2813 cores / 64 per server ≥ 44");
     assert!(plan.servers_needed <= scenario.inventory.num_servers);
@@ -33,7 +33,7 @@ fn capacity_plan_matches_fixed_size_feasibility_boundary() {
     // Cross-check the variable-count encoding against the fixed-count
     // encoding at several sizes around the optimum.
     let scenario = case_study::scenario();
-    let engine = Engine::new(scenario.clone()).expect("compiles");
+    let mut engine = Engine::new(scenario.clone()).expect("compiles");
     let plan = engine.plan_capacity(512).expect("runs").expect("feasible");
     for delta in [-2i64, -1, 0, 1, 5] {
         let size = plan.servers_needed as i64 + delta;
@@ -67,7 +67,7 @@ fn disambiguation_plan_questions_actually_disambiguate() {
             .with_pin(Pin::Require(SystemId::new("SWIFT")))
             .with_pin(Pin::Require(SystemId::new("OVS")))
     };
-    let engine = Engine::new(base()).expect("compiles");
+    let mut engine = Engine::new(base()).expect("compiles");
     let plan = engine.disambiguate(256).expect("runs");
     assert!(!plan.truncated, "demo space must enumerate fully");
     assert!(plan.classes > 1);
@@ -75,7 +75,7 @@ fn disambiguation_plan_questions_actually_disambiguate() {
     let mut total_after: usize = 0;
     for option in first.options.iter().flatten() {
         let narrowed = base().with_pin(Pin::Require(option.clone()));
-        let engine = Engine::new(narrowed).expect("compiles");
+        let mut engine = Engine::new(narrowed).expect("compiles");
         let sub = engine.disambiguate(256).expect("runs");
         assert!(
             sub.classes < plan.classes,
