@@ -65,6 +65,9 @@ pub struct CompileStats {
     pub session_solves: u64,
     /// Per-query activation literals retired back into the session.
     pub retired_activations: u64,
+    /// Decisive one-shot solves dispatched to the parallel portfolio
+    /// backend (0 under the default sequential backend).
+    pub portfolio_solves: u64,
 }
 
 /// A scenario compiled to SAT, ready for queries.
@@ -143,7 +146,17 @@ pub fn compile_capacity(
     scenario: &Scenario,
     max_servers: u64,
 ) -> Result<CompiledCapacity, CompileError> {
-    let mut out = compile_inner(scenario, Some(max_servers.max(1)))?;
+    compile_capacity_with_backend(scenario, max_servers, netarch_logic::backend_from_env())
+}
+
+/// [`compile_capacity`] with an explicit solve backend instead of the
+/// `NETARCH_THREADS`-derived default.
+pub fn compile_capacity_with_backend(
+    scenario: &Scenario,
+    max_servers: u64,
+    backend: netarch_logic::SolveBackend,
+) -> Result<CompiledCapacity, CompileError> {
+    let mut out = compile_inner(scenario, Some(max_servers.max(1)), backend)?;
     let server_count = out
         .1
         .take()
@@ -152,14 +165,27 @@ pub fn compile_capacity(
 }
 
 /// Compiles a scenario. Validates the catalog, inventory references, and
-/// preference order first.
+/// preference order first. The solve backend for decisive one-shot queries
+/// comes from the environment (`NETARCH_THREADS`); use
+/// [`compile_with_backend`] to pin it explicitly.
 pub fn compile(scenario: &Scenario) -> Result<Compiled, CompileError> {
-    Ok(compile_inner(scenario, None)?.0)
+    compile_with_backend(scenario, netarch_logic::backend_from_env())
+}
+
+/// [`compile`] with an explicit solve backend. Engine tests use this to
+/// exercise the portfolio without mutating process-global environment
+/// variables (which races with parallel test threads).
+pub fn compile_with_backend(
+    scenario: &Scenario,
+    backend: netarch_logic::SolveBackend,
+) -> Result<Compiled, CompileError> {
+    Ok(compile_inner(scenario, None, backend)?.0)
 }
 
 fn compile_inner(
     scenario: &Scenario,
     capacity_mode: Option<u64>,
+    backend: netarch_logic::SolveBackend,
 ) -> Result<(Compiled, Option<netarch_logic::OrderInt>), CompileError> {
     let catalog_errors = scenario.catalog.validate();
     if !catalog_errors.is_empty() {
@@ -185,6 +211,7 @@ fn compile_inner(
     // make a wrong diagnosis loud instead of silently wrong.
     let mut encoder = Encoder::with_config(netarch_logic::EncodeConfig {
         verify_proofs: netarch_logic::proofs_requested(),
+        backend,
         ..netarch_logic::EncodeConfig::default()
     });
     let server_count = capacity_mode

@@ -22,7 +22,9 @@
 //! learned clauses, branching scores, and saved phases carry over to the
 //! next query. No query triggers a recompile.
 
-use crate::compile::{compile, compile_capacity, Compiled, CompiledCapacity, CompileStats};
+use crate::compile::{
+    compile_capacity_with_backend, compile_with_backend, Compiled, CompiledCapacity, CompileStats,
+};
 use crate::error::CompileError;
 use crate::ordering::Comparison;
 use crate::scenario::Scenario;
@@ -125,12 +127,27 @@ pub struct Engine {
     recompiles: u64,
     /// Activation literals retired since the last garbage collection.
     retired_since_gc: u32,
+    /// Backend for decisive one-shot probes (optimize feasibility probe,
+    /// capacity binary search). Core/MUS-bearing solves always stay on the
+    /// sequential session solver regardless of this setting.
+    backend: netarch_logic::SolveBackend,
 }
 
 impl Engine {
-    /// Compiles a scenario into an engine.
+    /// Compiles a scenario into an engine. The solve backend for decisive
+    /// one-shot probes follows `NETARCH_THREADS` (see
+    /// [`netarch_logic::backend_from_env`]); use [`Engine::with_backend`]
+    /// to pin it explicitly.
     pub fn new(scenario: Scenario) -> Result<Engine, CompileError> {
-        let compiled = compile(&scenario)?;
+        Engine::with_backend(scenario, netarch_logic::backend_from_env())
+    }
+
+    /// Compiles a scenario into an engine with an explicit solve backend.
+    pub fn with_backend(
+        scenario: Scenario,
+        backend: netarch_logic::SolveBackend,
+    ) -> Result<Engine, CompileError> {
+        let compiled = compile_with_backend(&scenario, backend.clone())?;
         Ok(Engine {
             scenario,
             compiled,
@@ -141,6 +158,7 @@ impl Engine {
             capacity_cache: None,
             recompiles: 0,
             retired_since_gc: 0,
+            backend,
         })
     }
 
@@ -152,10 +170,16 @@ impl Engine {
     /// Compilation size metrics plus session-reuse counters.
     pub fn stats(&self) -> CompileStats {
         let solver = self.compiled.encoder.solver().stats();
+        let portfolio_solves = self.compiled.encoder.portfolio_solve_count()
+            + self
+                .capacity_cache
+                .as_ref()
+                .map_or(0, |(_, cc)| cc.compiled.encoder.portfolio_solve_count());
         CompileStats {
             recompiles: self.recompiles,
             session_solves: solver.solves,
             retired_activations: solver.retired_activations,
+            portfolio_solves,
             ..self.compiled.stats
         }
     }
@@ -263,9 +287,12 @@ impl Engine {
         if let Some(cached) = &self.optimize_cache {
             return Ok(cached.clone());
         }
-        // First check feasibility (with usable diagnosis).
+        // First check feasibility (with usable diagnosis). This decisive
+        // one-shot probe is the expensive verdict the portfolio backend is
+        // for; the MUS extraction below needs unsat cores and stays on the
+        // sequential session solver.
         let mut base = self.compiled.all_selectors();
-        if self.compiled.encoder.solve_with(&base) != SolveResult::Sat {
+        if self.compiled.encoder.solve_with_backend(&base) != SolveResult::Sat {
             let ids = self.compiled.groups.ids();
             let mus = self
                 .compiled
@@ -498,14 +525,15 @@ impl Engine {
             if self.capacity_cache.is_some() {
                 self.recompiles += 1;
             }
-            let cc = compile_capacity(&self.scenario, max_servers)?;
+            let cc =
+                compile_capacity_with_backend(&self.scenario, max_servers, self.backend.clone())?;
             self.capacity_cache = Some((max_servers, cc));
         }
         let (_, cc) = self.capacity_cache.as_mut().expect("ensured above");
         let compiled = &mut cc.compiled;
         let n = &cc.server_count;
         let selectors = compiled.all_selectors();
-        if compiled.encoder.solve_with(&selectors) != SolveResult::Sat {
+        if compiled.encoder.solve_with_backend(&selectors) != SolveResult::Sat {
             let ids = compiled.groups.ids();
             let mus = compiled
                 .groups
@@ -514,7 +542,9 @@ impl Engine {
             return Ok(Err(diagnosis_from(compiled, &mus)));
         }
         let read_n = |compiled: &Compiled, n: &netarch_logic::OrderInt| {
-            n.value(&|l| compiled.encoder.solver().model_lit_value(l))
+            // Route through the encoder so a portfolio winner's adopted
+            // model is visible, not just the session solver's own.
+            n.value(&|l| compiled.encoder.model_lit_value(l))
         };
         let mut best = read_n(compiled, n);
         let mut lo = n.lo();
@@ -526,7 +556,7 @@ impl Engine {
                 netarch_logic::Bound::AlwaysFalse => {}
                 netarch_logic::Bound::AlwaysTrue => break,
             }
-            match compiled.encoder.solve_with(&assumptions) {
+            match compiled.encoder.solve_with_backend(&assumptions) {
                 SolveResult::Sat => best = read_n(compiled, n).min(mid),
                 SolveResult::Unsat | SolveResult::Unknown => lo = mid + 1,
             }
@@ -536,7 +566,7 @@ impl Engine {
         if let netarch_logic::Bound::Lit(q) = n.ge_const(best + 1) {
             assumptions.push(!q);
         }
-        let restored = compiled.encoder.solve_with(&assumptions);
+        let restored = compiled.encoder.solve_with_backend(&assumptions);
         debug_assert_eq!(restored, SolveResult::Sat);
         // Extract the design against a scenario sized at the optimum.
         let mut sized = self.scenario.clone();

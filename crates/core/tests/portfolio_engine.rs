@@ -1,0 +1,186 @@
+//! Engine-level differential tests for the parallel portfolio backend.
+//!
+//! The same scenarios are compiled twice — once on the default sequential
+//! session backend, once with an explicit 2-worker portfolio — and every
+//! query verdict must agree. Backends are pinned via
+//! [`Engine::with_backend`] rather than `NETARCH_THREADS` so the tests
+//! never mutate process-global environment state (which races with
+//! parallel test threads).
+
+use netarch_core::prelude::*;
+use netarch_core::query::OptimizedDesign;
+use netarch_logic::{PortfolioOptions, SolveBackend};
+
+fn portfolio_backend(num_threads: usize) -> SolveBackend {
+    SolveBackend::Portfolio(PortfolioOptions {
+        num_threads,
+        deterministic: true, // reproducible CI: fixed winner arbitration
+        ..PortfolioOptions::default()
+    })
+}
+
+/// Two monitoring systems (one needs a NIC feature), two NIC models, one
+/// load balancer — the same shape as the engine's unit-test scenario.
+fn monitoring_scenario() -> Scenario {
+    let mut catalog = Catalog::new();
+    catalog
+        .add_system(
+            SystemSpec::builder("SIMON", Category::Monitoring)
+                .solves("detect_queue_length")
+                .requires("needs-nic-timestamps", Condition::nics_have("NIC_TIMESTAMPS"))
+                .cost(400)
+                .build(),
+        )
+        .unwrap();
+    catalog
+        .add_system(
+            SystemSpec::builder("PINGMESH", Category::Monitoring)
+                .solves("detect_queue_length")
+                .cost(100)
+                .build(),
+        )
+        .unwrap();
+    catalog
+        .add_system(
+            SystemSpec::builder("ECMP", Category::LoadBalancer).solves("load_balancing").build(),
+        )
+        .unwrap();
+    catalog
+        .add_ordering(OrderingEdge::strict("SIMON", "PINGMESH", Dimension::MonitoringQuality))
+        .unwrap();
+    catalog
+        .add_hardware(
+            HardwareSpec::builder("NIC_TS", HardwareKind::Nic)
+                .feature("NIC_TIMESTAMPS")
+                .cost(900)
+                .build(),
+        )
+        .unwrap();
+    catalog
+        .add_hardware(HardwareSpec::builder("NIC_PLAIN", HardwareKind::Nic).cost(300).build())
+        .unwrap();
+    Scenario::new(catalog)
+        .with_workload(Workload::builder("app").needs("detect_queue_length").build())
+        .with_role(Category::Monitoring, RoleRule::Required)
+        .with_inventory(Inventory {
+            nic_candidates: vec![HardwareId::new("NIC_TS"), HardwareId::new("NIC_PLAIN")],
+            num_servers: 4,
+            ..Inventory::default()
+        })
+}
+
+fn capacity_scenario(peak_cores: u64) -> Scenario {
+    let mut catalog = Catalog::new();
+    catalog
+        .add_system(
+            SystemSpec::builder("MONITOR", Category::Monitoring)
+                .solves("monitoring")
+                .consumes(Resource::Cores, AmountExpr::constant(40))
+                .build(),
+        )
+        .unwrap();
+    catalog
+        .add_hardware(
+            HardwareSpec::builder("SRV32", HardwareKind::Server)
+                .numeric("cores", 32.0)
+                .cost(5_000)
+                .build(),
+        )
+        .unwrap();
+    Scenario::new(catalog)
+        .with_workload(Workload::builder("app").needs("monitoring").peak_cores(peak_cores).build())
+        .with_inventory(Inventory {
+            server_candidates: vec![HardwareId::new("SRV32")],
+            num_servers: 1,
+            ..Inventory::default()
+        })
+}
+
+fn optimize_with(
+    scenario: Scenario,
+    backend: SolveBackend,
+) -> Result<OptimizedDesign, Diagnosis> {
+    let mut engine = Engine::with_backend(scenario, backend).unwrap();
+    engine.optimize().unwrap()
+}
+
+#[test]
+fn optimize_agrees_across_backends() {
+    for objective in [
+        Objective::MinimizeCost,
+        Objective::MaximizeDimension(Dimension::MonitoringQuality),
+    ] {
+        let scenario = monitoring_scenario().with_objective(objective);
+        let seq = optimize_with(scenario.clone(), SolveBackend::Sequential).expect("feasible");
+        let par = optimize_with(scenario, portfolio_backend(2)).expect("feasible");
+        assert_eq!(seq.design.selections, par.design.selections);
+        assert_eq!(seq.design.hardware, par.design.hardware);
+        assert_eq!(seq.levels, par.levels, "per-level penalties must agree");
+    }
+}
+
+#[test]
+fn infeasibility_diagnosis_agrees_across_backends() {
+    let scenario = monitoring_scenario()
+        .with_pin(Pin::Require(SystemId::new("SIMON")))
+        .with_pin(Pin::Forbid(SystemId::new("SIMON")))
+        .with_objective(Objective::MinimizeCost);
+    let seq = optimize_with(scenario.clone(), SolveBackend::Sequential).expect_err("infeasible");
+    let par = optimize_with(scenario, portfolio_backend(2)).expect_err("infeasible");
+    let labels = |d: &Diagnosis| {
+        let mut l: Vec<String> = d.conflicts.iter().map(|c| c.label.clone()).collect();
+        l.sort();
+        l
+    };
+    assert_eq!(labels(&seq), labels(&par));
+}
+
+#[test]
+fn capacity_plans_agree_across_backends() {
+    for peak in [100, 200, 500] {
+        let mut seq_engine =
+            Engine::with_backend(capacity_scenario(peak), SolveBackend::Sequential).unwrap();
+        let mut par_engine =
+            Engine::with_backend(capacity_scenario(peak), portfolio_backend(2)).unwrap();
+        let seq = seq_engine.plan_capacity(64).unwrap().expect("feasible");
+        let par = par_engine.plan_capacity(64).unwrap().expect("feasible");
+        assert_eq!(seq.servers_needed, par.servers_needed, "peak_cores={peak}");
+        assert_eq!(seq.design.selections, par.design.selections);
+        // The portfolio engine actually used the portfolio for its probes.
+        assert!(par_engine.stats().portfolio_solves > 0);
+        assert_eq!(seq_engine.stats().portfolio_solves, 0);
+    }
+}
+
+#[test]
+fn racing_portfolio_agrees_too() {
+    // Non-deterministic (racing, clause-sharing) mode: verdicts and
+    // design-level answers are still unique optima, so they must agree
+    // even though the winning worker varies.
+    let backend = SolveBackend::Portfolio(PortfolioOptions {
+        num_threads: 2,
+        deterministic: false,
+        ..PortfolioOptions::default()
+    });
+    let scenario = monitoring_scenario().with_objective(Objective::MinimizeCost);
+    let seq = optimize_with(scenario.clone(), SolveBackend::Sequential).expect("feasible");
+    let par = optimize_with(scenario, backend).expect("feasible");
+    assert_eq!(seq.design.selections, par.design.selections);
+    assert_eq!(seq.levels, par.levels);
+}
+
+#[test]
+fn session_queries_survive_portfolio_probes() {
+    // Interleave queries on one portfolio-backed engine: the session
+    // solver still owns cores, enumeration, and memoization.
+    let scenario = monitoring_scenario().with_objective(Objective::MinimizeCost);
+    let mut engine = Engine::with_backend(scenario, portfolio_backend(2)).unwrap();
+    assert!(engine.check().unwrap().design().is_some());
+    let opt1 = engine.optimize().unwrap().expect("feasible");
+    let classes = engine.enumerate_designs(16, false).unwrap();
+    assert!(classes.len() >= 2, "{classes:?}");
+    let opt2 = engine.optimize().unwrap().expect("feasible");
+    assert_eq!(opt1.design.selections, opt2.design.selections);
+    assert_eq!(engine.stats().recompiles, 0, "portfolio probes must not recompile");
+    assert!(engine.stats().portfolio_solves > 0);
+}

@@ -1,0 +1,145 @@
+//! Solve-backend selection: sequential session solver vs parallel portfolio.
+//!
+//! The incremental session solver is the default — it carries learned
+//! clauses, heuristic state, and activation-literal bookkeeping across
+//! queries, which a freshly-spawned portfolio cannot. The portfolio backend
+//! is worth its setup cost only on expensive *one-shot* verdicts (optimize
+//! descent probes, capacity binary-search probes), where the engine routes
+//! through [`Encoder::solve_with_backend`](crate::Encoder::solve_with_backend)
+//! while everything core/MUS-bearing stays sequential.
+//!
+//! The `NETARCH_THREADS` environment variable selects the backend globally:
+//! unset, empty, `0`, or `1` mean sequential; `N ≥ 2` means an N-worker
+//! portfolio (see [`threads_requested`]).
+
+use netarch_sat::{PortfolioConfig, SolverConfig};
+
+/// Which solver executes a query's decisive solve calls.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum SolveBackend {
+    /// The encoder's own incremental session solver.
+    #[default]
+    Sequential,
+    /// A diversified parallel portfolio (fresh workers per solve).
+    Portfolio(PortfolioOptions),
+}
+
+impl SolveBackend {
+    /// True for the portfolio variant.
+    pub fn is_portfolio(&self) -> bool {
+        matches!(self, SolveBackend::Portfolio(_))
+    }
+
+    /// A portfolio backend with `num_threads` workers and default options.
+    pub fn portfolio(num_threads: usize) -> SolveBackend {
+        SolveBackend::Portfolio(PortfolioOptions {
+            num_threads,
+            ..PortfolioOptions::default()
+        })
+    }
+}
+
+/// Portfolio tuning exposed at the logic layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortfolioOptions {
+    /// Worker count (≥ 1; 1 degenerates to a sequential-equivalent worker).
+    pub num_threads: usize,
+    /// Export filter: learnt clauses with LBD above this stay private.
+    pub lbd_threshold: u32,
+    /// Deterministic arbitration (no cancellation, no sharing) for
+    /// reproducible runs; see `netarch_sat::portfolio`.
+    pub deterministic: bool,
+    /// Diversification seed threaded into every worker's RNG.
+    pub seed: u64,
+}
+
+impl Default for PortfolioOptions {
+    fn default() -> PortfolioOptions {
+        PortfolioOptions {
+            num_threads: 4,
+            lbd_threshold: 4,
+            deterministic: false,
+            seed: 0,
+        }
+    }
+}
+
+impl PortfolioOptions {
+    /// Lowers these options into a `netarch_sat` portfolio configuration.
+    /// `verify_proofs` disables sharing inside the portfolio and makes every
+    /// worker log a DRAT proof.
+    pub fn to_portfolio_config(&self, verify_proofs: bool) -> PortfolioConfig {
+        PortfolioConfig {
+            num_threads: self.num_threads,
+            base: SolverConfig::default(),
+            lbd_threshold: self.lbd_threshold,
+            deterministic: self.deterministic,
+            verify_proofs,
+            seed: self.seed,
+            conflict_budget: None,
+        }
+    }
+}
+
+/// Thread count requested via the `NETARCH_THREADS` environment variable,
+/// or `None` when unset/invalid (which callers treat as sequential).
+pub fn threads_requested() -> Option<usize> {
+    parse_threads(std::env::var("NETARCH_THREADS").ok().as_deref())
+}
+
+/// The backend selected by the environment: a portfolio when
+/// `NETARCH_THREADS` requests two or more workers, sequential otherwise.
+pub fn backend_from_env() -> SolveBackend {
+    match threads_requested() {
+        Some(n) if n >= 2 => SolveBackend::portfolio(n),
+        _ => SolveBackend::Sequential,
+    }
+}
+
+/// Interprets a raw `NETARCH_THREADS` value. Split out (like the
+/// `NETARCH_VERIFY_PROOFS` parser) so tests can exercise the rules without
+/// mutating process-global environment state, which races with parallel
+/// test threads.
+fn parse_threads(value: Option<&str>) -> Option<usize> {
+    let v = value?.trim();
+    if v.is_empty() {
+        return None;
+    }
+    match v.parse::<usize>() {
+        Ok(0) => None,
+        Ok(n) => Some(n.min(64)),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_parse_rules() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("1")), Some(1));
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 2 ")), Some(2));
+        assert_eq!(parse_threads(Some("lots")), None);
+        assert_eq!(parse_threads(Some("-3")), None);
+        // Absurd requests are clamped, not honored.
+        assert_eq!(parse_threads(Some("100000")), Some(64));
+    }
+
+    #[test]
+    fn backend_construction() {
+        assert!(!SolveBackend::Sequential.is_portfolio());
+        let b = SolveBackend::portfolio(2);
+        assert!(b.is_portfolio());
+        if let SolveBackend::Portfolio(opts) = &b {
+            assert_eq!(opts.num_threads, 2);
+            let cfg = opts.to_portfolio_config(true);
+            assert_eq!(cfg.num_threads, 2);
+            assert!(cfg.verify_proofs);
+        }
+    }
+}

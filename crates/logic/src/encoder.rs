@@ -6,9 +6,10 @@
 //! layer attributes conflicts back to named architecture rules.
 
 use crate::ast::{Atom, Formula};
+use crate::backend::{PortfolioOptions, SolveBackend};
 use crate::cardinality::{self, CardEncoding};
 use crate::sink::ClauseSink;
-use netarch_sat::{Lit, SolveResult, Solver, Var};
+use netarch_sat::{Lit, Portfolio, SolveResult, Solver, Var};
 
 /// Encoder configuration.
 #[derive(Clone, Debug, Default)]
@@ -24,6 +25,12 @@ pub struct EncodeConfig {
     /// Clauses injected directly through [`Encoder::solver_mut`] bypass the
     /// mirror and are not supported while this mode is on.
     pub verify_proofs: bool,
+    /// Backend for [`Encoder::solve_with_backend`]: sequential session
+    /// solving (default) or a parallel portfolio for expensive one-shot
+    /// verdicts. Like verify mode, the portfolio backend mirrors every
+    /// asserted clause (the workers need the CNF), so clauses injected
+    /// through [`Encoder::solver_mut`] are unsupported while it is on.
+    pub backend: SolveBackend,
 }
 
 /// Encodes [`Formula`]s into a CDCL solver via the Tseitin transformation.
@@ -37,9 +44,16 @@ pub struct Encoder {
     /// Active clause gate (see [`Encoder::gated_scope`]): while set, every
     /// asserted clause is weakened with the gate's negation.
     clause_gate: Option<Lit>,
-    /// Mirror of every asserted clause, kept only in verify mode: the CNF
-    /// the independent proof checker validates verdicts against.
+    /// Mirror of every asserted clause, kept in verify mode (the CNF the
+    /// independent proof checker validates verdicts against) and in
+    /// portfolio mode (the CNF handed to the portfolio workers).
     cnf_mirror: Vec<Vec<Lit>>,
+    /// Model adopted from a winning portfolio worker; read by
+    /// [`Encoder::atom_value`]/[`Encoder::model_lit_value`] in preference to
+    /// the session solver's model, and cleared by every sequential solve.
+    model_override: Option<Vec<Option<bool>>>,
+    /// Number of solves routed to the portfolio backend.
+    portfolio_solves: u64,
 }
 
 impl Default for Encoder {
@@ -69,7 +83,15 @@ impl Encoder {
             asserted_clauses: 0,
             clause_gate: None,
             cnf_mirror: Vec::new(),
+            model_override: None,
+            portfolio_solves: 0,
         }
+    }
+
+    /// True when asserted clauses must be mirrored (verify mode needs the
+    /// CNF for the checker; portfolio mode hands it to the workers).
+    fn mirror_enabled(&self) -> bool {
+        self.config.verify_proofs || self.config.backend.is_portfolio()
     }
 
     /// Access to the underlying solver (model reads, enumeration).
@@ -142,7 +164,7 @@ impl Encoder {
 
     fn add_clause_raw(&mut self, lits: &[Lit]) {
         self.asserted_clauses += 1;
-        if self.config.verify_proofs {
+        if self.mirror_enabled() {
             self.cnf_mirror.push(lits.to_vec());
         }
         let _ = self.solver.add_clause(lits.iter().copied());
@@ -261,7 +283,7 @@ impl Encoder {
     /// clause count stay consistent with the solver.
     pub fn retire(&mut self, selector: Lit) {
         self.asserted_clauses += 1;
-        if self.config.verify_proofs {
+        if self.mirror_enabled() {
             self.cnf_mirror.push(vec![!selector]);
         }
         let _ = self.solver.retire(selector);
@@ -380,6 +402,7 @@ impl Encoder {
 
     /// Solves the asserted constraints.
     pub fn solve(&mut self) -> SolveResult {
+        self.model_override = None;
         let result = self.solver.solve();
         self.verify_outcome(result, &[]);
         result
@@ -387,9 +410,59 @@ impl Encoder {
 
     /// Solves under assumption literals (e.g. group selectors).
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.model_override = None;
         let result = self.solver.solve_with(assumptions);
         self.verify_outcome(result, assumptions);
         result
+    }
+
+    /// Solves through the configured [`SolveBackend`]: sequentially on the
+    /// session solver, or by racing a diversified portfolio over the
+    /// mirrored CNF. A portfolio SAT verdict installs the winner's model as
+    /// an override, so [`Encoder::atom_value`] and
+    /// [`Encoder::model_lit_value`] read it transparently; any subsequent
+    /// sequential solve clears the override.
+    ///
+    /// Portfolio verdicts do not update the session solver's unsat core —
+    /// callers that need cores or MUS extraction must use
+    /// [`Encoder::solve_with`].
+    pub fn solve_with_backend(&mut self, assumptions: &[Lit]) -> SolveResult {
+        match &self.config.backend {
+            SolveBackend::Sequential => self.solve_with(assumptions),
+            SolveBackend::Portfolio(opts) => {
+                let opts = opts.clone();
+                self.solve_portfolio(&opts, assumptions)
+            }
+        }
+    }
+
+    /// Number of solves routed to the portfolio backend so far.
+    pub fn portfolio_solve_count(&self) -> u64 {
+        self.portfolio_solves
+    }
+
+    fn solve_portfolio(&mut self, opts: &PortfolioOptions, assumptions: &[Lit]) -> SolveResult {
+        self.model_override = None;
+        self.portfolio_solves += 1;
+        let portfolio = Portfolio::new(opts.to_portfolio_config(self.config.verify_proofs));
+        let out = portfolio.solve(self.solver.num_vars(), &self.cnf_mirror, assumptions);
+        if self.config.verify_proofs {
+            if let Err(e) = crate::verify::check_portfolio_outcome(
+                self.solver.num_vars(),
+                &self.cnf_mirror,
+                assumptions,
+                &out,
+            ) {
+                panic!(
+                    "NETARCH_VERIFY_PROOFS: portfolio verdict failed independent \
+                     verification: {e}"
+                );
+            }
+        }
+        if out.result == SolveResult::Sat {
+            self.model_override = out.model;
+        }
+        out.result
     }
 
     /// In verify mode, every verdict must survive the independent checker:
@@ -412,10 +485,25 @@ impl Encoder {
     }
 
     /// Value of `atom` in the latest model; `None` when the atom never
-    /// reached the solver or is unassigned.
+    /// reached the solver or is unassigned. Reads the portfolio winner's
+    /// model when one is installed (see [`Encoder::solve_with_backend`]).
     pub fn atom_value(&self, atom: Atom) -> Option<bool> {
         let v = (*self.atom_vars.get(atom.index())?)?;
-        self.solver.model_value(v)
+        self.model_lit_value(v.positive())
+    }
+
+    /// Value of a literal in the latest model, honoring a portfolio model
+    /// override when present. Use this instead of going through
+    /// [`Encoder::solver`] for reads that must see portfolio results.
+    pub fn model_lit_value(&self, lit: Lit) -> Option<bool> {
+        match &self.model_override {
+            Some(m) => m
+                .get(lit.var().index())
+                .copied()
+                .flatten()
+                .map(|b| if lit.is_positive() { b } else { !b }),
+            None => self.solver.model_lit_value(lit),
+        }
     }
 
     /// Evaluates `formula` under the latest model (unmapped atoms count as

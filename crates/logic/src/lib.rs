@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod backend;
 pub mod cardinality;
 pub mod encoder;
 pub mod enumerate;
@@ -33,6 +34,7 @@ pub mod sink;
 pub mod verify;
 
 pub use ast::{Atom, Formula};
+pub use backend::{backend_from_env, threads_requested, PortfolioOptions, SolveBackend};
 pub use cardinality::CardEncoding;
 pub use encoder::{EncodeConfig, Encoder};
 pub use int::{Bound, OrderInt};

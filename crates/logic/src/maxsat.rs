@@ -184,7 +184,10 @@ pub fn minimize_under(
     context.extend_from_slice(base);
     context.push(gate);
     context.push(compiled.activation);
-    if encoder.solve_with(&context) != SolveResult::Sat {
+    // Decisive one-shot probes route through the configured backend (the
+    // portfolio pays off exactly here); core/MUS-bearing paths elsewhere
+    // stay on the sequential session solver.
+    if encoder.solve_with_backend(&context) != SolveResult::Sat {
         return MaxSatOutcome::HardUnsat;
     }
     if compiled.softs.is_empty() {
@@ -215,7 +218,7 @@ pub fn minimize_under(
                 .filter(|&&(s, _)| s > target)
                 .map(|&(_, l)| !l),
         );
-        match encoder.solve_with(&assumptions) {
+        match encoder.solve_with_backend(&assumptions) {
             SolveResult::Sat => {
                 let cost = model_cost(encoder, &compiled.softs);
                 debug_assert!(cost <= target, "model violates assumed bound");
@@ -234,7 +237,7 @@ pub fn minimize_under(
             ClauseSink::add_clause(encoder, &[!gate, !l]);
         }
     }
-    let restored = encoder.solve_with(&context);
+    let restored = encoder.solve_with_backend(&context);
     debug_assert_eq!(restored, SolveResult::Sat);
     MaxSatOutcome::Optimal { cost: best_cost, violated: best_violated }
 }

@@ -1,0 +1,481 @@
+//! Parallel portfolio solving.
+//!
+//! Runs N diversified [`Solver`] instances on the same formula in worker
+//! threads (`std::thread` only, per the workspace's zero-dependency policy)
+//! under a first-winner-cancels protocol: the first worker to reach a
+//! decisive verdict claims the winner slot and raises a shared atomic
+//! interrupt flag, which every other worker polls once per search-loop
+//! iteration. Workers share learnt clauses through an LBD-filtered pool —
+//! only "glue" clauses at or below [`PortfolioConfig::lbd_threshold`] are
+//! exported, and imports happen at restart boundaries where the importing
+//! solver's trail is at the root level.
+//!
+//! Two cross-cutting modes trade raw speed for stronger guarantees:
+//!
+//! - **Deterministic mode** (`deterministic: true`): no interrupt flag, no
+//!   clause sharing; every worker runs to completion and the winner is the
+//!   lowest-index worker with a decisive verdict. Two runs with the same
+//!   seed produce identical verdicts, models, and per-worker [`Stats`] —
+//!   there is no wall-clock or ambient-entropy dependence anywhere in the
+//!   arbitration. This is the mode CI uses.
+//! - **Proof mode** (`verify_proofs: true`): every worker records a DRAT
+//!   proof, and clause sharing is disabled — a clause learnt by another
+//!   worker is not derivable from the local proof log, so importing it
+//!   would make the winner's proof unreplayable. The winning UNSAT verdict
+//!   carries its checker-validatable proof in [`PortfolioResult::proof`].
+//!
+//! Worker 0 always runs the *unmodified* base configuration, so a 1-thread
+//! portfolio is search-identical to the sequential solver — the property
+//! the differential test suite is built on.
+
+use crate::lit::{Lit, Var};
+use crate::proof::DratProof;
+use crate::solver::{ClauseExchange, SolveResult, Solver, SolverConfig};
+use crate::stats::Stats;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Upper bound on pooled clauses; exports are refused beyond it so a
+/// pathological run cannot grow the pool without bound.
+const POOL_CAP: usize = 100_000;
+
+/// Portfolio-level configuration.
+#[derive(Clone, Debug)]
+pub struct PortfolioConfig {
+    /// Worker thread count (clamped to at least 1).
+    pub num_threads: usize,
+    /// Base solver configuration; worker 0 runs it unmodified and workers
+    /// 1..N run seeded variations of it (see [`diversified_config`]).
+    pub base: SolverConfig,
+    /// Export filter: only learnt clauses with LBD at or below this value
+    /// enter the shared pool ("glue" clauses).
+    pub lbd_threshold: u32,
+    /// Deterministic mode: no cancellation, no sharing, lowest-index
+    /// decisive worker wins. Reproducible run-to-run; used by CI.
+    pub deterministic: bool,
+    /// Proof mode: every worker logs a DRAT proof and sharing is disabled;
+    /// UNSAT results carry the winner's proof.
+    pub verify_proofs: bool,
+    /// Seed mixed into each worker's `random_seed` for diversification.
+    pub seed: u64,
+    /// Optional per-worker conflict budget (workers that exhaust it report
+    /// `Unknown`, and a portfolio where nobody is decisive reports
+    /// `Unknown`).
+    pub conflict_budget: Option<u64>,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> PortfolioConfig {
+        PortfolioConfig {
+            num_threads: 4,
+            base: SolverConfig::default(),
+            lbd_threshold: 4,
+            deterministic: false,
+            verify_proofs: false,
+            seed: 0,
+            conflict_budget: None,
+        }
+    }
+}
+
+/// Aggregated statistics for one portfolio solve.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PortfolioStats {
+    /// Per-worker solver statistics, indexed by worker.
+    pub workers: Vec<Stats>,
+    /// Clauses published into the shared pool across all workers.
+    pub pool_published: u64,
+}
+
+/// Outcome of a [`Portfolio::solve`] call.
+#[derive(Clone, Debug)]
+pub struct PortfolioResult {
+    /// The portfolio verdict (decisive if any worker was decisive).
+    pub result: SolveResult,
+    /// Index of the winning worker, when one was decisive.
+    pub winner: Option<usize>,
+    /// Full model (indexed by variable) from the winning SAT worker.
+    pub model: Option<Vec<Option<bool>>>,
+    /// Unsat core (subset of the assumptions) from the winning UNSAT worker.
+    pub core: Vec<Lit>,
+    /// The winner's DRAT proof, present on UNSAT when
+    /// [`PortfolioConfig::verify_proofs`] was set.
+    pub proof: Option<DratProof>,
+    /// Per-worker and pool statistics.
+    pub stats: PortfolioStats,
+}
+
+/// Derives worker `i`'s solver configuration from the base.
+///
+/// Worker 0 is always the base unmodified (sequential equivalence); later
+/// workers vary saved-phase polarity, VSIDS decay, restart cadence, and
+/// seeded random tie-breaking. Workers ≥ 4 cycle the variations with fresh
+/// seeds. All randomness flows from `seed` — nothing here reads the clock
+/// or ambient entropy.
+pub fn diversified_config(base: &SolverConfig, worker: usize, seed: u64) -> SolverConfig {
+    let mut c = base.clone();
+    if worker == 0 {
+        return c;
+    }
+    c.random_seed = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(worker as u64);
+    match worker % 4 {
+        1 => {
+            // Opposite phase corner: starts "all true" where the base
+            // starts "all false".
+            c.default_polarity = !base.default_polarity;
+        }
+        2 => {
+            // Aggressive forgetting + rapid restarts + light randomness.
+            c.var_decay = 0.85;
+            c.restart_base = 50;
+            c.random_decision_freq = 0.01;
+        }
+        3 => {
+            // Slow decay + long restarts + opposite phase + more noise.
+            c.var_decay = 0.99;
+            c.restart_base = 300;
+            c.default_polarity = !base.default_polarity;
+            c.random_decision_freq = 0.05;
+        }
+        _ => {
+            // worker % 4 == 0 (worker ≥ 4): base search shape, but seeded
+            // random tie-breaking makes it explore differently.
+            c.random_decision_freq = 0.02;
+        }
+    }
+    c
+}
+
+/// The shared learnt-clause pool: an append-only log of `(origin, clause,
+/// lbd)` entries behind a mutex. Each worker holds a [`PoolHandle`] with a
+/// private read cursor, so imports are "everything published since my last
+/// restart, minus my own contributions".
+struct SharedPool {
+    entries: Mutex<Vec<(usize, Vec<Lit>, u32)>>,
+}
+
+struct PoolHandle {
+    pool: Arc<SharedPool>,
+    worker: usize,
+    cursor: usize,
+    lbd_threshold: u32,
+}
+
+impl ClauseExchange for PoolHandle {
+    fn export(&mut self, lits: &[Lit], lbd: u32) -> bool {
+        if lbd > self.lbd_threshold {
+            return false;
+        }
+        let mut entries = self.pool.entries.lock().unwrap();
+        if entries.len() >= POOL_CAP {
+            return false;
+        }
+        entries.push((self.worker, lits.to_vec(), lbd));
+        true
+    }
+
+    fn import(&mut self, buf: &mut Vec<(Vec<Lit>, u32)>) {
+        let entries = self.pool.entries.lock().unwrap();
+        while self.cursor < entries.len() {
+            let (origin, lits, lbd) = &entries[self.cursor];
+            self.cursor += 1;
+            if *origin != self.worker {
+                buf.push((lits.clone(), *lbd));
+            }
+        }
+    }
+}
+
+/// What one worker brings back from its solve.
+struct WorkerOutcome {
+    result: SolveResult,
+    model: Option<Vec<Option<bool>>>,
+    core: Vec<Lit>,
+    proof: Option<DratProof>,
+    stats: Stats,
+}
+
+/// A parallel portfolio over one formula. See the [module docs](self).
+///
+/// # Example
+/// ```
+/// use netarch_sat::{Portfolio, PortfolioConfig, SolveResult, Solver};
+/// let mut s = Solver::new();
+/// let a = s.new_var().positive();
+/// let b = s.new_var().positive();
+/// let portfolio = Portfolio::new(PortfolioConfig { num_threads: 2, ..Default::default() });
+/// let out = portfolio.solve(2, &[vec![a, b], vec![!a]], &[]);
+/// assert_eq!(out.result, SolveResult::Sat);
+/// assert_eq!(out.model.unwrap()[b.var().index()], Some(true));
+/// ```
+pub struct Portfolio {
+    config: PortfolioConfig,
+}
+
+impl Portfolio {
+    /// Creates a portfolio with the given configuration.
+    pub fn new(config: PortfolioConfig) -> Portfolio {
+        Portfolio { config }
+    }
+
+    /// The configuration this portfolio runs.
+    pub fn config(&self) -> &PortfolioConfig {
+        &self.config
+    }
+
+    /// Solves the formula `clauses` over `num_vars` variables under
+    /// `assumptions`, racing the diversified workers.
+    ///
+    /// In racing mode (the default) the first decisive worker claims the
+    /// winner slot and interrupts the rest; in deterministic mode all
+    /// workers run to completion and the lowest-index decisive worker wins.
+    pub fn solve(
+        &self,
+        num_vars: usize,
+        clauses: &[Vec<Lit>],
+        assumptions: &[Lit],
+    ) -> PortfolioResult {
+        let n = self.config.num_threads.max(1);
+        let sharing = n > 1 && !self.config.deterministic && !self.config.verify_proofs;
+        let pool = Arc::new(SharedPool {
+            entries: Mutex::new(Vec::new()),
+        });
+        let interrupt = Arc::new(AtomicBool::new(false));
+        // Winner slot: claimed exactly once, by the first decisive worker
+        // (racing mode only).
+        let winner_claim: Mutex<Option<usize>> = Mutex::new(None);
+
+        let mut outcomes: Vec<Option<WorkerOutcome>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            outcomes.push(None);
+        }
+
+        thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for worker in 0..n {
+                let worker_config = diversified_config(&self.config.base, worker, self.config.seed);
+                let pool = Arc::clone(&pool);
+                let interrupt = Arc::clone(&interrupt);
+                let winner_claim = &winner_claim;
+                let config = &self.config;
+                handles.push(scope.spawn(move || {
+                    let mut solver = Solver::with_config(worker_config);
+                    if config.verify_proofs {
+                        solver.record_proof();
+                    }
+                    solver.ensure_vars(num_vars);
+                    for clause in clauses {
+                        if !solver.add_clause(clause.iter().copied()) {
+                            break;
+                        }
+                    }
+                    solver.set_conflict_budget(config.conflict_budget);
+                    if !config.deterministic {
+                        solver.set_interrupt(Arc::clone(&interrupt));
+                    }
+                    if sharing {
+                        solver.set_exchange(Box::new(PoolHandle {
+                            pool,
+                            worker,
+                            cursor: 0,
+                            lbd_threshold: config.lbd_threshold,
+                        }));
+                    }
+                    let result = solver.solve_with(assumptions);
+                    let decisive = matches!(result, SolveResult::Sat | SolveResult::Unsat);
+                    if decisive && !config.deterministic {
+                        let mut claim = winner_claim.lock().unwrap();
+                        if claim.is_none() {
+                            *claim = Some(worker);
+                            interrupt.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    let model = if result == SolveResult::Sat {
+                        Some(
+                            (0..num_vars)
+                                .map(|i| solver.model_value(Var::from_index(i)))
+                                .collect(),
+                        )
+                    } else {
+                        None
+                    };
+                    let proof = if result == SolveResult::Unsat && config.verify_proofs {
+                        solver.take_proof()
+                    } else {
+                        None
+                    };
+                    WorkerOutcome {
+                        result,
+                        model,
+                        core: solver.unsat_core().to_vec(),
+                        proof,
+                        stats: *solver.stats(),
+                    }
+                }));
+            }
+            for (worker, handle) in handles.into_iter().enumerate() {
+                outcomes[worker] = handle.join().ok();
+            }
+        });
+
+        let mut outcomes: Vec<WorkerOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("portfolio worker panicked"))
+            .collect();
+
+        // Arbitration. Racing mode honors the claim made inside the worker
+        // threads; deterministic mode picks the lowest-index decisive
+        // worker, a rule with no timing dependence.
+        let winner = if self.config.deterministic {
+            outcomes
+                .iter()
+                .position(|o| matches!(o.result, SolveResult::Sat | SolveResult::Unsat))
+        } else {
+            let claimed = *winner_claim.lock().unwrap();
+            claimed.or_else(|| {
+                // Every worker was interrupted or budget-bounded before the
+                // claim, or a decisive worker raced the claim lock; fall
+                // back to any decisive outcome.
+                outcomes
+                    .iter()
+                    .position(|o| matches!(o.result, SolveResult::Sat | SolveResult::Unsat))
+            })
+        };
+
+        let pool_published = pool.entries.lock().unwrap().len() as u64;
+        let stats = PortfolioStats {
+            workers: outcomes.iter().map(|o| o.stats).collect(),
+            pool_published,
+        };
+
+        match winner {
+            Some(w) => {
+                let o = &mut outcomes[w];
+                PortfolioResult {
+                    result: o.result,
+                    winner: Some(w),
+                    model: o.model.take(),
+                    core: std::mem::take(&mut o.core),
+                    proof: o.proof.take(),
+                    stats,
+                }
+            }
+            None => PortfolioResult {
+                result: SolveResult::Unknown,
+                winner: None,
+                model: None,
+                core: Vec::new(),
+                proof: None,
+                stats,
+            },
+        }
+    }
+}
+
+/// Count of workers in `stats` whose solve ended via interruption.
+pub fn interrupted_workers(stats: &PortfolioStats) -> usize {
+    stats
+        .workers
+        .iter()
+        .filter(|s| s.interrupts > 0)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted_sat(num_vars: usize) -> Vec<Vec<Lit>> {
+        // Every clause contains at least one positive literal, so the
+        // all-true assignment satisfies the formula.
+        let mut clauses = Vec::new();
+        for i in 0..num_vars {
+            let a = Lit::new(Var::from_index(i), true);
+            let b = Lit::new(Var::from_index((i + 1) % num_vars), false);
+            clauses.push(vec![a, b]);
+        }
+        clauses
+    }
+
+    fn pigeonhole(n: usize) -> (usize, Vec<Vec<Lit>>) {
+        let holes = n - 1;
+        let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+        let mut clauses = Vec::new();
+        for p in 0..n {
+            clauses.push((0..holes).map(|h| var(p, h).positive()).collect());
+        }
+        for h in 0..holes {
+            for p1 in 0..n {
+                for p2 in (p1 + 1)..n {
+                    clauses.push(vec![var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        (n * holes, clauses)
+    }
+
+    #[test]
+    fn portfolio_sat_and_model() {
+        let clauses = planted_sat(20);
+        for threads in [1, 2, 4] {
+            let p = Portfolio::new(PortfolioConfig {
+                num_threads: threads,
+                ..Default::default()
+            });
+            let out = p.solve(20, &clauses, &[]);
+            assert_eq!(out.result, SolveResult::Sat);
+            let model = out.model.expect("SAT verdict must carry a model");
+            for clause in &clauses {
+                assert!(clause.iter().any(|l| {
+                    model[l.var().index()].map(|b| b == l.is_positive()) == Some(true)
+                }));
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_unsat_pigeonhole() {
+        let (nv, clauses) = pigeonhole(6);
+        for threads in [1, 2, 4] {
+            let p = Portfolio::new(PortfolioConfig {
+                num_threads: threads,
+                ..Default::default()
+            });
+            let out = p.solve(nv, &clauses, &[]);
+            assert_eq!(out.result, SolveResult::Unsat);
+        }
+    }
+
+    #[test]
+    fn worker_zero_is_base_config() {
+        let base = SolverConfig::default();
+        let w0 = diversified_config(&base, 0, 42);
+        assert_eq!(w0.random_seed, base.random_seed);
+        assert_eq!(w0.default_polarity, base.default_polarity);
+        assert_eq!(w0.random_decision_freq, base.random_decision_freq);
+        // Later workers actually differ.
+        let w1 = diversified_config(&base, 1, 42);
+        assert_ne!(w1.default_polarity, base.default_polarity);
+    }
+
+    #[test]
+    fn unsat_core_respects_assumptions() {
+        let nv = 3;
+        let v = |i: usize| Var::from_index(i).positive();
+        let clauses = vec![vec![!v(0), !v(1)]];
+        let p = Portfolio::new(PortfolioConfig {
+            num_threads: 2,
+            deterministic: true,
+            ..Default::default()
+        });
+        let out = p.solve(nv, &clauses, &[v(0), v(1), v(2)]);
+        assert_eq!(out.result, SolveResult::Unsat);
+        assert!(!out.core.is_empty());
+        for l in &out.core {
+            assert!([v(0), v(1), v(2)].contains(l));
+        }
+    }
+}

@@ -30,6 +30,14 @@ pub struct Stats {
     /// Root-satisfied clauses reclaimed by [`crate::Solver::simplify`]
     /// (mostly retired activation-gated clauses in incremental sessions).
     pub garbage_collected_clauses: u64,
+    /// Learnt clauses accepted by the portfolio exchange on export.
+    pub exported_clauses: u64,
+    /// Foreign clauses integrated from the portfolio exchange.
+    pub imported_clauses: u64,
+    /// Solves that ended early because the interrupt flag was observed.
+    pub interrupts: u64,
+    /// Decisions taken by the seeded random policy instead of VSIDS.
+    pub random_decisions: u64,
 }
 
 impl fmt::Display for Stats {
@@ -37,7 +45,8 @@ impl fmt::Display for Stats {
         write!(
             f,
             "solves={} decisions={} propagations={} conflicts={} restarts={} \
-             learnt={} deleted={} minimized_lits={} retired={} gc={}",
+             learnt={} deleted={} minimized_lits={} retired={} gc={} \
+             exported={} imported={} interrupts={} random_decisions={}",
             self.solves,
             self.decisions,
             self.propagations,
@@ -48,6 +57,10 @@ impl fmt::Display for Stats {
             self.minimized_literals,
             self.retired_activations,
             self.garbage_collected_clauses,
+            self.exported_clauses,
+            self.imported_clauses,
+            self.interrupts,
+            self.random_decisions,
         )
     }
 }

@@ -1,0 +1,171 @@
+//! Cancellation semantics: the interrupt flag is observed within a bounded
+//! number of conflicts, and statistics stay consistent afterwards.
+//!
+//! The flag is polled as the *first* statement of every search-loop
+//! iteration, which yields two testable bounds with no timing dependence:
+//!
+//! - a flag raised before `solve_with` is observed before the first
+//!   conflict (zero extra work);
+//! - a flag raised while the solver processes conflict N (injected here
+//!   through a [`ClauseExchange`] that trips after N exports) stops the
+//!   search within one further conflict.
+
+use netarch_sat::{ClauseExchange, Lit, Portfolio, PortfolioConfig, SolveResult, Solver, Var};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn pigeonhole(n: usize) -> (usize, Vec<Vec<Lit>>) {
+    let holes = n - 1;
+    let var = |p: usize, h: usize| Var::from_index(p * holes + h);
+    let mut clauses = Vec::new();
+    for p in 0..n {
+        clauses.push((0..holes).map(|h| var(p, h).positive()).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..n {
+            for p2 in (p1 + 1)..n {
+                clauses.push(vec![var(p1, h).negative(), var(p2, h).negative()]);
+            }
+        }
+    }
+    (n * holes, clauses)
+}
+
+fn hard_solver() -> Solver {
+    let (nv, clauses) = pigeonhole(7);
+    let mut s = Solver::new();
+    s.ensure_vars(nv);
+    for c in &clauses {
+        s.add_clause(c.iter().copied());
+    }
+    s
+}
+
+#[test]
+fn preset_flag_stops_before_any_conflict() {
+    let mut s = hard_solver();
+    let flag = Arc::new(AtomicBool::new(true));
+    s.set_interrupt(Arc::clone(&flag));
+    let result = s.solve();
+    assert_eq!(result, SolveResult::Unknown);
+    assert!(s.last_interrupted());
+    let stats = s.stats();
+    assert_eq!(stats.interrupts, 1);
+    assert_eq!(stats.conflicts, 0, "a pre-set flag must cost zero conflicts");
+    assert!(
+        s.model_value(Var::from_index(0)).is_none(),
+        "an interrupted solve must not leave a partial model visible"
+    );
+}
+
+/// An exchange that raises the interrupt flag after `trip_after` learnt
+/// clauses, recording how many export calls it saw in total. Because the
+/// solver exports at most one clause per conflict and polls the flag at
+/// the top of every iteration, no further exports may arrive after the
+/// flag trips.
+struct TripWire {
+    flag: Arc<AtomicBool>,
+    exports_seen: Arc<AtomicU64>,
+    trip_after: u64,
+}
+
+impl ClauseExchange for TripWire {
+    fn export(&mut self, _lits: &[Lit], _lbd: u32) -> bool {
+        let seen = self.exports_seen.fetch_add(1, Ordering::Relaxed) + 1;
+        if seen == self.trip_after {
+            self.flag.store(true, Ordering::Relaxed);
+        }
+        false
+    }
+
+    fn import(&mut self, _buf: &mut Vec<(Vec<Lit>, u32)>) {}
+}
+
+#[test]
+fn mid_search_flag_observed_within_one_conflict() {
+    const TRIP_AFTER: u64 = 10;
+    let mut s = hard_solver();
+    let flag = Arc::new(AtomicBool::new(false));
+    let exports_seen = Arc::new(AtomicU64::new(0));
+    s.set_interrupt(Arc::clone(&flag));
+    s.set_exchange(Box::new(TripWire {
+        flag: Arc::clone(&flag),
+        exports_seen: Arc::clone(&exports_seen),
+        trip_after: TRIP_AFTER,
+    }));
+    let result = s.solve();
+    assert_eq!(result, SolveResult::Unknown, "pigeonhole(7) cannot finish in 10 conflicts");
+    assert!(s.last_interrupted());
+    let stats = s.stats();
+    assert_eq!(stats.interrupts, 1);
+    assert_eq!(
+        exports_seen.load(Ordering::Relaxed),
+        TRIP_AFTER,
+        "no conflict may be processed after the flag was raised"
+    );
+    // Every learnt clause passed through the trip wire, so the conflict
+    // count is pinned to the trip point (+1 tolerates an in-flight
+    // conflict at the moment the flag went up).
+    assert!(
+        stats.conflicts >= TRIP_AFTER && stats.conflicts <= TRIP_AFTER + 1,
+        "interrupt observed {} conflicts after the flag, bound is 1",
+        stats.conflicts.saturating_sub(TRIP_AFTER)
+    );
+}
+
+#[test]
+fn interrupted_solver_remains_usable() {
+    // An interrupt is a pause, not a poison: clearing the flag and
+    // re-solving must produce the real verdict with consistent counters.
+    let (nv, clauses) = pigeonhole(5);
+    let mut s = Solver::new();
+    s.ensure_vars(nv);
+    for c in &clauses {
+        s.add_clause(c.iter().copied());
+    }
+    let flag = Arc::new(AtomicBool::new(true));
+    s.set_interrupt(Arc::clone(&flag));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    let interrupted_stats = *s.stats();
+    s.clear_interrupt();
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    assert!(!s.last_interrupted());
+    let final_stats = s.stats();
+    assert_eq!(final_stats.interrupts, interrupted_stats.interrupts);
+    assert!(final_stats.conflicts > interrupted_stats.conflicts);
+}
+
+#[test]
+fn portfolio_with_zero_budget_reports_unknown() {
+    // When nobody is decisive (every worker exhausts its conflict budget),
+    // the portfolio must admit Unknown instead of inventing a winner.
+    let (nv, clauses) = pigeonhole(6);
+    let out = Portfolio::new(PortfolioConfig {
+        num_threads: 2,
+        conflict_budget: Some(1),
+        ..Default::default()
+    })
+    .solve(nv, &clauses, &[]);
+    assert_eq!(out.result, SolveResult::Unknown);
+    assert_eq!(out.winner, None);
+    assert!(out.model.is_none());
+    assert!(out.core.is_empty());
+}
+
+#[test]
+fn racing_portfolio_keeps_worker_stats_consistent() {
+    // After a race, every worker's statistics must still be well-formed:
+    // interrupted workers report Unknown-compatible counters, and the
+    // winner's verdict is decisive.
+    let (nv, clauses) = pigeonhole(6);
+    let out = Portfolio::new(PortfolioConfig { num_threads: 4, ..Default::default() })
+        .solve(nv, &clauses, &[]);
+    assert_eq!(out.result, SolveResult::Unsat);
+    let w = out.winner.expect("decisive verdict has a winner");
+    assert!(w < 4);
+    assert_eq!(out.stats.workers.len(), 4);
+    for stats in &out.stats.workers {
+        assert!(stats.interrupts <= 1, "one solve call polls one flag");
+        assert!(stats.exported_clauses <= stats.conflicts);
+    }
+}

@@ -1,0 +1,103 @@
+//! Reproducibility of the portfolio's deterministic mode.
+//!
+//! Deterministic mode removes every timing dependence: no cancellation, no
+//! clause sharing, and the winner is the lowest-index decisive worker. Two
+//! runs with the same seed must therefore produce identical verdicts,
+//! winners, models, cores, and — the strictest check — bit-identical
+//! per-worker [`netarch_sat::Stats`]. Any wall-clock or ambient-entropy
+//! leak into the search or the arbitration shows up here as a diff.
+
+use netarch_rt::Rng;
+use netarch_sat::{Lit, Portfolio, PortfolioConfig, SolveResult, Var};
+
+fn gen_formula(rng: &mut Rng) -> (usize, Vec<Vec<Lit>>, Vec<Lit>) {
+    let num_vars = rng.gen_range(4..=14usize);
+    let num_clauses = rng.gen_range(4..=60usize);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            (0..rng.gen_range(1..=3usize))
+                .map(|_| {
+                    Lit::new(Var::from_index(rng.gen_range(0..num_vars)), rng.gen_bool(0.5))
+                })
+                .collect()
+        })
+        .collect();
+    let assumptions = if rng.gen_bool(0.4) {
+        vec![Lit::new(Var::from_index(rng.gen_range(0..num_vars)), rng.gen_bool(0.5))]
+    } else {
+        Vec::new()
+    };
+    (num_vars, clauses, assumptions)
+}
+
+#[test]
+fn deterministic_mode_is_run_to_run_identical() {
+    let mut rng = Rng::seed_from_u64(0xD37E_4513);
+    for case in 0..40 {
+        let (num_vars, clauses, assumptions) = gen_formula(&mut rng);
+        let config = PortfolioConfig {
+            num_threads: 4,
+            deterministic: true,
+            seed: 0xC0FFEE ^ case,
+            ..Default::default()
+        };
+        let a = Portfolio::new(config.clone()).solve(num_vars, &clauses, &assumptions);
+        let b = Portfolio::new(config).solve(num_vars, &clauses, &assumptions);
+        assert_eq!(a.result, b.result, "case {case}: verdict drifted between runs");
+        assert_eq!(a.winner, b.winner, "case {case}: arbitration drifted between runs");
+        assert_eq!(a.model, b.model, "case {case}: model drifted between runs");
+        assert_eq!(a.core, b.core, "case {case}: core drifted between runs");
+        assert_eq!(
+            a.stats, b.stats,
+            "case {case}: per-worker statistics drifted — something in the \
+             search depends on wall clock or ambient randomness"
+        );
+        // Deterministic mode never shares and never interrupts.
+        assert_eq!(a.stats.pool_published, 0);
+        for w in &a.stats.workers {
+            assert_eq!(w.interrupts, 0);
+            assert_eq!(w.imported_clauses, 0);
+        }
+    }
+}
+
+#[test]
+fn deterministic_winner_is_lowest_index_decisive() {
+    // Without a conflict budget every worker is decisive, so the winner is
+    // always worker 0 — regardless of which diversified worker would have
+    // finished first on the wall clock.
+    let mut rng = Rng::seed_from_u64(0x10DEC);
+    for _ in 0..20 {
+        let (num_vars, clauses, assumptions) = gen_formula(&mut rng);
+        let out = Portfolio::new(PortfolioConfig {
+            num_threads: 3,
+            deterministic: true,
+            ..Default::default()
+        })
+        .solve(num_vars, &clauses, &assumptions);
+        assert!(matches!(out.result, SolveResult::Sat | SolveResult::Unsat));
+        assert_eq!(out.winner, Some(0));
+    }
+}
+
+#[test]
+fn different_seeds_still_agree_on_verdicts() {
+    // The seed changes the search trajectory, never the answer.
+    let mut rng = Rng::seed_from_u64(0x5EED_5EED);
+    for _ in 0..25 {
+        let (num_vars, clauses, assumptions) = gen_formula(&mut rng);
+        let verdict = |seed: u64| {
+            Portfolio::new(PortfolioConfig {
+                num_threads: 2,
+                deterministic: true,
+                seed,
+                ..Default::default()
+            })
+            .solve(num_vars, &clauses, &assumptions)
+            .result
+        };
+        let r1 = verdict(1);
+        let r2 = verdict(0xFFFF_FFFF);
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Differential stress sweep: portfolio vs sequential solver.
+//!
+//! Over 220 seeded random formulas (a mix of SAT and UNSAT, roughly half
+//! solved under assumptions), the racing portfolio at 1, 2, and 4 threads
+//! must agree with the sequential solver's verdict. Every SAT verdict's
+//! model must satisfy the formula and the assumptions; every UNSAT
+//! verdict's core must be a subset of the assumptions that is itself
+//! unsatisfiable (checked by re-solving under the core alone).
+//!
+//! All randomness is seeded — running the sweep twice explores the same
+//! 220 formulas.
+
+use netarch_rt::Rng;
+use netarch_sat::{Lit, Portfolio, PortfolioConfig, SolveResult, Solver, Var};
+
+const CASES: usize = 220;
+
+struct Case {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    assumptions: Vec<Lit>,
+}
+
+fn gen_case(rng: &mut Rng) -> Case {
+    let num_vars = rng.gen_range(3..=12usize);
+    let num_clauses = rng.gen_range(2..=55usize);
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let len = rng.gen_range(1..=3usize);
+        let clause: Vec<Lit> = (0..len)
+            .map(|_| Lit::new(Var::from_index(rng.gen_range(0..num_vars)), rng.gen_bool(0.5)))
+            .collect();
+        clauses.push(clause);
+    }
+    let assumptions = if rng.gen_bool(0.5) {
+        let n = rng.gen_range(1..=3usize);
+        let mut lits: Vec<Lit> = (0..n)
+            .map(|_| Lit::new(Var::from_index(rng.gen_range(0..num_vars)), rng.gen_bool(0.5)))
+            .collect();
+        // A variable assumed in both phases is trivially conflicting input;
+        // keep one phase per variable so cores stay meaningful.
+        lits.sort_by_key(|l| l.var().index());
+        lits.dedup_by_key(|l| l.var().index());
+        lits
+    } else {
+        Vec::new()
+    };
+    Case { num_vars, clauses, assumptions }
+}
+
+fn sequential_verdict(case: &Case) -> (SolveResult, Solver) {
+    let mut s = Solver::new();
+    s.ensure_vars(case.num_vars);
+    for c in &case.clauses {
+        s.add_clause(c.iter().copied());
+    }
+    let r = s.solve_with(&case.assumptions);
+    (r, s)
+}
+
+fn model_satisfies(model: &[Option<bool>], clauses: &[Vec<Lit>], assumptions: &[Lit]) -> bool {
+    let lit_true =
+        |l: &Lit| model.get(l.var().index()).copied().flatten() == Some(l.is_positive());
+    clauses.iter().all(|c| c.iter().any(lit_true)) && assumptions.iter().all(lit_true)
+}
+
+/// Re-solves the formula with the reported core as the only assumptions;
+/// a sound core keeps it UNSAT.
+fn core_is_sound(case: &Case, core: &[Lit]) -> bool {
+    if !core.iter().all(|l| case.assumptions.contains(l)) {
+        return false;
+    }
+    let mut s = Solver::new();
+    s.ensure_vars(case.num_vars);
+    for c in &case.clauses {
+        s.add_clause(c.iter().copied());
+    }
+    s.solve_with(core) == SolveResult::Unsat
+}
+
+#[test]
+fn portfolio_agrees_with_sequential_across_seeds() {
+    let mut rng = Rng::seed_from_u64(0x5EED_D1FF);
+    let mut sat = 0usize;
+    let mut unsat = 0usize;
+    for case_idx in 0..CASES {
+        let case = gen_case(&mut rng);
+        let (expected, _) = sequential_verdict(&case);
+        match expected {
+            SolveResult::Sat => sat += 1,
+            SolveResult::Unsat => unsat += 1,
+            SolveResult::Unknown => panic!("sequential solver must be decisive"),
+        }
+        for threads in [1usize, 2, 4] {
+            let portfolio = Portfolio::new(PortfolioConfig {
+                num_threads: threads,
+                seed: case_idx as u64,
+                ..Default::default()
+            });
+            let out = portfolio.solve(case.num_vars, &case.clauses, &case.assumptions);
+            assert_eq!(
+                out.result, expected,
+                "case {case_idx} at {threads} threads disagrees with sequential"
+            );
+            match out.result {
+                SolveResult::Sat => {
+                    let model = out.model.as_ref().expect("SAT must carry a model");
+                    assert!(
+                        model_satisfies(model, &case.clauses, &case.assumptions),
+                        "case {case_idx} at {threads} threads: invalid model"
+                    );
+                }
+                SolveResult::Unsat => {
+                    if !case.assumptions.is_empty() {
+                        assert!(
+                            core_is_sound(&case, &out.core),
+                            "case {case_idx} at {threads} threads: unsound core {:?}",
+                            out.core
+                        );
+                    }
+                }
+                SolveResult::Unknown => unreachable!(),
+            }
+            assert_eq!(out.stats.workers.len(), threads);
+        }
+    }
+    // The sweep must actually exercise both verdicts, or it proves nothing.
+    assert!(sat >= 30, "degenerate sweep: only {sat} SAT cases");
+    assert!(unsat >= 30, "degenerate sweep: only {unsat} UNSAT cases");
+}
+
+#[test]
+fn one_thread_portfolio_matches_sequential_stats() {
+    // Worker 0 runs the unmodified base configuration, so a 1-thread
+    // portfolio is search-identical to a plain sequential solver.
+    let mut rng = Rng::seed_from_u64(0xBA5E);
+    for _ in 0..40 {
+        let case = gen_case(&mut rng);
+        let (expected, seq) = sequential_verdict(&case);
+        let portfolio = Portfolio::new(PortfolioConfig { num_threads: 1, ..Default::default() });
+        let out = portfolio.solve(case.num_vars, &case.clauses, &case.assumptions);
+        assert_eq!(out.result, expected);
+        assert_eq!(out.winner, Some(0));
+        assert_eq!(
+            out.stats.workers[0].conflicts,
+            seq.stats().conflicts,
+            "worker 0 must replay the sequential search exactly"
+        );
+        assert_eq!(out.stats.workers[0].decisions, seq.stats().decisions);
+    }
+}

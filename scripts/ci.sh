@@ -32,4 +32,30 @@ echo "== incremental-session smoke =="
 # recompile-per-query answers, with zero recompiles and a ≥3× speedup.
 cargo run --release --offline -q -p netarch-bench --bin exp_incremental
 
+echo "== portfolio suite (2 threads) =="
+# The portfolio test files again, but with the engine's env-var path
+# exercised too: NETARCH_THREADS=2 routes every decisive one-shot engine
+# probe through a 2-worker portfolio. Verdicts must not change.
+NETARCH_THREADS=2 cargo test -q --offline -p netarch-sat \
+    --test portfolio_differential --test portfolio_determinism \
+    --test portfolio_cancellation --test portfolio_proofs
+NETARCH_THREADS=2 cargo test -q --offline -p netarch-core --test portfolio_engine
+
+echo "== portfolio smoke =="
+# Reduced corpus: zero verdict disagreements and a ≥1.0× median speedup
+# for 4 diversified workers vs 1 (the full bound of ≥1.5× is asserted by
+# the un-flagged run, which CI skips for time).
+cargo run --release --offline -q -p netarch-bench --bin exp_portfolio -- --smoke
+
+echo "== seeded-RNG policy =="
+# Solver, portfolio, and their tests must not read wall clock or ambient
+# entropy: determinism of the deterministic mode (and of every test) rests
+# on all randomness flowing from explicit seeds.
+if grep -nE 'thread_rng|from_entropy|rand::random|SystemTime::now|Instant::now' \
+    crates/sat/src/solver.rs crates/sat/src/portfolio.rs \
+    crates/sat/tests/portfolio_*.rs; then
+    echo "error: wall-clock or ambient-entropy source in solver/portfolio code" >&2
+    exit 1
+fi
+
 echo "== ci: all green =="
