@@ -180,6 +180,7 @@ fn main() {
         "disagreements": disagreements,
     };
     println!("RESULT_JSON: {}", netarch_rt::json::to_string(&summary));
+    netarch_bench::persist_result("incremental", &summary);
 
     assert_eq!(disagreements, 0, "session answers diverged from fresh engines");
     assert_eq!(stats.recompiles, 0, "the session recompiled");

@@ -180,6 +180,11 @@ fn main() {
         "bound": bound,
     };
     println!("RESULT_JSON: {}", netarch_rt::json::to_string(&summary));
+    if !smoke {
+        // Smoke runs (CI) use few instances; only full runs update the
+        // committed trajectory file.
+        netarch_bench::persist_result("portfolio", &summary);
+    }
 
     if disagreements > 0 {
         eprintln!("FAIL: {disagreements} verdict disagreement(s) between backends");

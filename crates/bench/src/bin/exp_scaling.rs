@@ -123,6 +123,7 @@ fn main() {
             .collect::<Vec<_>>(),
     };
     println!("RESULT_JSON: {}", netarch_rt::json::to_string(&summary));
+    netarch_bench::persist_result("scaling", &summary);
 
     println!("\nPASS: spec growth linear; solving stays interactive at full corpus scale.");
 }

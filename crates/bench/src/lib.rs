@@ -86,6 +86,24 @@ pub fn subset_catalog(n_systems: usize, n_hardware: usize) -> Catalog {
     catalog
 }
 
+/// Persists an experiment's `RESULT_JSON` summary to `BENCH_<area>.json` so
+/// the repo carries a perf trajectory across commits.
+///
+/// The file lands in `$NETARCH_BENCH_DIR` (default: the current directory,
+/// i.e. the repo root when run via `cargo run`). Failure to write is a
+/// warning, not an error — benches must still report on read-only checkouts.
+pub fn persist_result(area: &str, summary: &netarch_rt::Json) {
+    let dir = std::env::var("NETARCH_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{area}.json"));
+    let mut text = netarch_rt::json::to_string_pretty(summary);
+    text.push('\n');
+    if let Err(err) = std::fs::write(&path, text) {
+        eprintln!("warning: could not persist {}: {err}", path.display());
+    } else {
+        println!("persisted summary to {}", path.display());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,12 @@
 use std::process::Command;
 
 fn run(binary: &str) -> (bool, String) {
-    let output = Command::new(binary).output().expect("binary runs");
+    let output = Command::new(binary)
+        // Keep smoke runs from rewriting the committed BENCH_*.json
+        // trajectory files; only deliberate top-level runs update those.
+        .env("NETARCH_BENCH_DIR", std::env::temp_dir())
+        .output()
+        .expect("binary runs");
     (
         output.status.success(),
         format!(

@@ -10,12 +10,19 @@
 //! Every encoding carries provenance; rules taken verbatim from the paper
 //! cite the section. See DESIGN.md substitution #4 for how the authors'
 //! private encodings were reconstructed.
+//!
+//! The corpus ships in two equivalent forms: the Rust builders in this
+//! crate (the oracle) and the generated `.narch` text under `corpus/`
+//! at the repo root, embedded and conformance-tested by [`narch`].
+//! Regenerate the text with `netarch export-narch corpus` after editing
+//! a builder; CI diffs the tree to keep the two in lockstep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod case_study;
 pub mod congestion;
+pub mod narch;
 pub mod firewalls;
 pub mod load_balancers;
 pub mod misc;

@@ -1,0 +1,75 @@
+//! Span-carrying frontend diagnostics.
+
+use netarch_rt::text::{Span, TextError};
+use std::fmt;
+
+/// A frontend error: what went wrong, where, and in which source.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DslError {
+    /// Human-readable description.
+    pub message: String,
+    /// Source position, when attributable to one.
+    pub span: Option<Span>,
+    /// Name of the source the error occurred in (file name or synthetic
+    /// label), when loading through a [`crate::Loader`].
+    pub source: Option<String>,
+}
+
+impl DslError {
+    /// An error at a span.
+    pub fn at(span: Span, message: impl Into<String>) -> DslError {
+        DslError { message: message.into(), span: Some(span), source: None }
+    }
+
+    /// An error with no source position (e.g. a missing block).
+    pub fn plain(message: impl Into<String>) -> DslError {
+        DslError { message: message.into(), span: None, source: None }
+    }
+
+    /// Attributes the error to a named source.
+    pub fn in_source(mut self, name: &str) -> DslError {
+        if self.source.is_none() {
+            self.source = Some(name.to_string());
+        }
+        self
+    }
+}
+
+impl From<TextError> for DslError {
+    fn from(err: TextError) -> DslError {
+        DslError::at(err.span, err.message)
+    }
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(source) = &self.source {
+            write!(f, "{source}:")?;
+        }
+        if let Some(span) = &self.span {
+            write!(f, "{}: ", span.start)?;
+        } else if self.source.is_some() {
+            write!(f, " ")?;
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netarch_rt::text::Pos;
+
+    #[test]
+    fn display_includes_source_and_position() {
+        let span = Span::at(Pos { line: 3, col: 7 });
+        let err = DslError::at(span, "unknown attribute `frob`").in_source("x.narch");
+        assert_eq!(err.to_string(), "x.narch:3:7: unknown attribute `frob`");
+        let plain = DslError::plain("no scenario block").in_source("y.narch");
+        assert_eq!(plain.to_string(), "y.narch: no scenario block");
+        let bare = DslError::plain("no scenario block");
+        assert_eq!(bare.to_string(), "no scenario block");
+    }
+}

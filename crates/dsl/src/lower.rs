@@ -1,0 +1,1197 @@
+//! Lowering: generic [`netarch_rt::text`] blocks → typed core values.
+//!
+//! Every rejection carries the span of the offending token, so a CLI can
+//! render `file.narch:12:9: unknown category \`monitring\``-style
+//! diagnostics. Lowering is *strict*: unknown block keywords, unknown
+//! attributes, duplicate attributes, and missing required attributes are
+//! all errors — a typo in a scenario must never silently change its
+//! meaning.
+
+use crate::error::DslError;
+use crate::query::QuerySpec;
+use crate::vocab;
+use netarch_core::component::{HardwareSpec, Requirement, ResourceDemand, SystemSpec};
+use netarch_core::prelude::*;
+use netarch_rt::text::{self, Attr, Block, Document, Expr, Span, Spanned};
+use std::collections::BTreeMap;
+
+/// A lowered `.narch` document (possibly merged from several sources).
+#[derive(Clone, Debug)]
+pub struct ScenarioDoc {
+    /// The catalog assembled from `system` / `hardware` / `ordering`
+    /// blocks.
+    pub catalog: Catalog,
+    /// Workloads in document order.
+    pub workloads: Vec<Workload>,
+    /// The complete scenario, when a `scenario` block is present. Its
+    /// `catalog` and `workloads` fields duplicate the ones above.
+    pub scenario: Option<Scenario>,
+    /// Queries in document order.
+    pub queries: Vec<QuerySpec>,
+}
+
+impl ScenarioDoc {
+    /// The scenario, or an error naming what a runnable document needs.
+    pub fn require_scenario(&self) -> Result<&Scenario, DslError> {
+        self.scenario.as_ref().ok_or_else(|| {
+            DslError::plain(
+                "document has no `scenario` block; add one (even empty: `scenario { }`) \
+                 to make it runnable",
+            )
+        })
+    }
+}
+
+/// Multi-source loader: parse each `.narch` source, then [`Loader::finish`]
+/// merges them into one [`ScenarioDoc`]. Systems from all sources are
+/// registered before orderings, so a file of ordering edges may precede
+/// the files defining its endpoints.
+#[derive(Default)]
+pub struct Loader {
+    sources: Vec<(String, Document)>,
+}
+
+impl Loader {
+    /// An empty loader.
+    pub fn new() -> Loader {
+        Loader::default()
+    }
+
+    /// Parses one source; `name` labels its diagnostics.
+    pub fn add_source(&mut self, name: &str, content: &str) -> Result<(), DslError> {
+        let doc = text::parse(content).map_err(|e| DslError::from(e).in_source(name))?;
+        self.sources.push((name.to_string(), doc));
+        Ok(())
+    }
+
+    /// Merges every source into one document.
+    pub fn finish(self) -> Result<ScenarioDoc, DslError> {
+        // Partition blocks by keyword, preserving source order per kind.
+        let mut systems: Vec<(&str, &Block)> = Vec::new();
+        let mut hardware: Vec<(&str, &Block)> = Vec::new();
+        let mut orderings: Vec<(&str, &Block)> = Vec::new();
+        let mut workload_blocks: Vec<(&str, &Block)> = Vec::new();
+        let mut scenario_blocks: Vec<(&str, &Block)> = Vec::new();
+        let mut query_blocks: Vec<(&str, &Block)> = Vec::new();
+        for (name, doc) in &self.sources {
+            for block in &doc.blocks {
+                let bucket = match block.keyword.value.as_str() {
+                    "system" => &mut systems,
+                    "hardware" => &mut hardware,
+                    "ordering" => &mut orderings,
+                    "workload" => &mut workload_blocks,
+                    "scenario" => &mut scenario_blocks,
+                    "query" => &mut query_blocks,
+                    other => {
+                        return Err(DslError::at(
+                            block.keyword.span,
+                            format!(
+                                "unknown block `{other}` (expected system, hardware, \
+                                 ordering, workload, scenario, or query)"
+                            ),
+                        )
+                        .in_source(name))
+                    }
+                };
+                bucket.push((name.as_str(), block));
+            }
+        }
+
+        let mut catalog = Catalog::new();
+        for (src, block) in &systems {
+            let spec = lower_system(block).map_err(|e| e.in_source(src))?;
+            catalog.add_system(spec).map_err(|e| {
+                DslError::at(block.keyword.span, e.to_string()).in_source(src)
+            })?;
+        }
+        for (src, block) in &hardware {
+            let spec = lower_hardware(block).map_err(|e| e.in_source(src))?;
+            catalog.add_hardware(spec).map_err(|e| {
+                DslError::at(block.keyword.span, e.to_string()).in_source(src)
+            })?;
+        }
+        for (src, block) in &orderings {
+            let edge = lower_ordering(block).map_err(|e| e.in_source(src))?;
+            catalog.add_ordering(edge).map_err(|e| {
+                DslError::at(block.keyword.span, e.to_string()).in_source(src)
+            })?;
+        }
+
+        let mut workloads = Vec::new();
+        for (src, block) in &workload_blocks {
+            workloads.push(lower_workload(block).map_err(|e| e.in_source(src))?);
+        }
+
+        let scenario = match scenario_blocks.as_slice() {
+            [] => None,
+            [(src, block)] => Some(
+                lower_scenario(block, catalog.clone(), workloads.clone())
+                    .map_err(|e| e.in_source(src))?,
+            ),
+            [_, (src, second), ..] => {
+                return Err(DslError::at(
+                    second.keyword.span,
+                    "more than one `scenario` block across the loaded sources",
+                )
+                .in_source(src))
+            }
+        };
+
+        let mut queries = Vec::new();
+        for (src, block) in &query_blocks {
+            queries.push(lower_query(block).map_err(|e| e.in_source(src))?);
+        }
+
+        Ok(ScenarioDoc { catalog, workloads, scenario, queries })
+    }
+}
+
+/// Parses and lowers a single self-contained source.
+pub fn load_str(content: &str) -> Result<ScenarioDoc, DslError> {
+    let mut loader = Loader::new();
+    loader.add_source("<input>", content)?;
+    loader.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Shared expression readers
+// ---------------------------------------------------------------------------
+
+fn path_text(path: &[String]) -> String {
+    path.join(".")
+}
+
+/// A name in id position: bare identifier or quoted string.
+fn name_of(e: &Spanned<Expr>, what: &str) -> Result<String, DslError> {
+    match &e.value {
+        Expr::Str(s) => Ok(s.clone()),
+        Expr::Path(p) if p.len() == 1 => Ok(p[0].clone()),
+        other => Err(DslError::at(
+            e.span,
+            format!("expected {what} (identifier or string), found {}", describe(other)),
+        )),
+    }
+}
+
+fn str_of(e: &Spanned<Expr>, what: &str) -> Result<String, DslError> {
+    match &e.value {
+        Expr::Str(s) => Ok(s.clone()),
+        other => Err(DslError::at(
+            e.span,
+            format!("expected {what} (quoted string), found {}", describe(other)),
+        )),
+    }
+}
+
+fn u64_of(e: &Spanned<Expr>, what: &str) -> Result<u64, DslError> {
+    match &e.value {
+        Expr::Int(v) if *v >= 0 => Ok(*v as u64),
+        other => Err(DslError::at(
+            e.span,
+            format!("expected {what} (non-negative integer), found {}", describe(other)),
+        )),
+    }
+}
+
+fn f64_of(e: &Spanned<Expr>, what: &str) -> Result<f64, DslError> {
+    match &e.value {
+        Expr::Int(v) => Ok(*v as f64),
+        Expr::Float(v) => Ok(*v),
+        other => Err(DslError::at(
+            e.span,
+            format!("expected {what} (number), found {}", describe(other)),
+        )),
+    }
+}
+
+fn list_of<'a>(e: &'a Spanned<Expr>, what: &str) -> Result<&'a [Spanned<Expr>], DslError> {
+    match &e.value {
+        Expr::List(items) => Ok(items),
+        other => Err(DslError::at(
+            e.span,
+            format!("expected {what} (a `[...]` list), found {}", describe(other)),
+        )),
+    }
+}
+
+fn describe(e: &Expr) -> String {
+    match e {
+        Expr::Str(s) => format!("string {:?}", s),
+        Expr::Int(v) => format!("integer `{v}`"),
+        Expr::Float(v) => format!("number `{v}`"),
+        Expr::Bool(b) => format!("`{b}`"),
+        Expr::Path(p) => format!("`{}`", path_text(p)),
+        Expr::Call { path, .. } => format!("call `{}(...)`", path_text(path)),
+        Expr::List(_) => "a list".to_string(),
+        Expr::Range(lo, hi) => format!("range `{lo}..{hi}`"),
+        Expr::Binary { op, .. } => format!("`{op}` expression"),
+    }
+}
+
+fn lower_category(e: &Spanned<Expr>) -> Result<Category, DslError> {
+    match &e.value {
+        Expr::Path(p) if p.len() == 1 => vocab::category_from_name(&p[0]).ok_or_else(|| {
+            DslError::at(
+                e.span,
+                format!(
+                    "unknown category `{}` (one of {}; or custom(\"name\"))",
+                    p[0],
+                    vocab::CATEGORY_NAMES
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            )
+        }),
+        Expr::Call { path, args } if path_text(path) == "custom" && args.len() == 1 => {
+            Ok(Category::Custom(str_of(&args[0], "a custom category name")?))
+        }
+        other => Err(DslError::at(
+            e.span,
+            format!("expected a category, found {}", describe(other)),
+        )),
+    }
+}
+
+fn lower_dimension(e: &Spanned<Expr>) -> Result<Dimension, DslError> {
+    match &e.value {
+        Expr::Path(p) if p.len() == 1 => vocab::dimension_from_name(&p[0]).ok_or_else(|| {
+            DslError::at(
+                e.span,
+                format!(
+                    "unknown dimension `{}` (one of {}; or custom(\"name\"))",
+                    p[0],
+                    vocab::DIMENSION_NAMES
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            )
+        }),
+        Expr::Call { path, args } if path_text(path) == "custom" && args.len() == 1 => {
+            Ok(Dimension::Custom(str_of(&args[0], "a custom dimension name")?))
+        }
+        other => Err(DslError::at(
+            e.span,
+            format!("expected a dimension, found {}", describe(other)),
+        )),
+    }
+}
+
+/// A parameter reference: bare identifier, or `param("odd name")`.
+fn lower_param_name(e: &Spanned<Expr>) -> Result<ParamName, DslError> {
+    match &e.value {
+        Expr::Path(p) if p.len() == 1 => Ok(ParamName::new(p[0].clone())),
+        Expr::Call { path, args } if path_text(path) == "param" && args.len() == 1 => {
+            Ok(ParamName::new(str_of(&args[0], "a parameter name")?))
+        }
+        other => Err(DslError::at(
+            e.span,
+            format!("expected a parameter reference, found {}", describe(other)),
+        )),
+    }
+}
+
+/// Lowers a condition expression (see `docs/ENCODING_GUIDE.md` §DSL).
+pub(crate) fn lower_condition(e: &Spanned<Expr>) -> Result<Condition, DslError> {
+    match &e.value {
+        Expr::Bool(true) => Ok(Condition::True),
+        Expr::Bool(false) => Ok(Condition::False),
+        Expr::Binary { op, lhs, rhs } => {
+            let cmp = vocab::cmp_op_from_binop(*op).ok_or_else(|| {
+                DslError::at(e.span, format!("`{op}` is not a comparison operator"))
+            })?;
+            let name = lower_param_name(lhs)?;
+            let value = f64_of(rhs, "a comparison bound")?;
+            Ok(Condition::Param(name, cmp, value))
+        }
+        Expr::Call { path, args } => {
+            let callee = path_text(path);
+            let one = |what: &str| -> Result<&Spanned<Expr>, DslError> {
+                if args.len() == 1 {
+                    Ok(&args[0])
+                } else {
+                    Err(DslError::at(
+                        e.span,
+                        format!("`{callee}(...)` takes exactly one argument ({what})"),
+                    ))
+                }
+            };
+            match callee.as_str() {
+                "deployed" => Ok(Condition::SystemSelected(SystemId::new(name_of(
+                    one("a system id")?,
+                    "a system id",
+                )?))),
+                "filled" => Ok(Condition::CategoryFilled(lower_category(one("a category")?)?)),
+                "provided" => Ok(Condition::ProvidedFeature(Feature::new(name_of(
+                    one("a feature")?,
+                    "a feature",
+                )?))),
+                "nics.have" => Ok(Condition::NicFeature(Feature::new(name_of(
+                    one("a feature")?,
+                    "a feature",
+                )?))),
+                "switches.have" => Ok(Condition::SwitchFeature(Feature::new(name_of(
+                    one("a feature")?,
+                    "a feature",
+                )?))),
+                "servers.have" => Ok(Condition::ServerFeature(Feature::new(name_of(
+                    one("a feature")?,
+                    "a feature",
+                )?))),
+                "workload.has" => Ok(Condition::WorkloadProperty(Property::new(name_of(
+                    one("a property")?,
+                    "a property",
+                )?))),
+                "not" => Ok(Condition::not(lower_condition(one("a condition")?)?)),
+                "all" => Ok(Condition::All(
+                    args.iter().map(lower_condition).collect::<Result<_, _>>()?,
+                )),
+                "any" => Ok(Condition::Any(
+                    args.iter().map(lower_condition).collect::<Result<_, _>>()?,
+                )),
+                other => Err(DslError::at(
+                    e.span,
+                    format!(
+                        "unknown condition `{other}(...)` (expected deployed, filled, \
+                         nics.have, switches.have, servers.have, provided, workload.has, \
+                         not, all, or any)"
+                    ),
+                )),
+            }
+        }
+        other => Err(DslError::at(
+            e.span,
+            format!("expected a condition, found {}", describe(other)),
+        )),
+    }
+}
+
+/// Lowers a resource-amount expression: `N`, `factor * param`, or a `+`
+/// chain of those.
+pub(crate) fn lower_amount(e: &Spanned<Expr>) -> Result<AmountExpr, DslError> {
+    let mut parts = Vec::new();
+    collect_amount_terms(e, &mut parts)?;
+    match parts.len() {
+        1 => Ok(parts.pop().expect("len checked")),
+        _ => Ok(AmountExpr::Sum(parts)),
+    }
+}
+
+fn collect_amount_terms(
+    e: &Spanned<Expr>,
+    out: &mut Vec<AmountExpr>,
+) -> Result<(), DslError> {
+    match &e.value {
+        Expr::Binary { op: text::BinOp::Add, lhs, rhs } => {
+            collect_amount_terms(lhs, out)?;
+            collect_amount_terms(rhs, out)?;
+            Ok(())
+        }
+        _ => {
+            out.push(lower_amount_term(e)?);
+            Ok(())
+        }
+    }
+}
+
+fn lower_amount_term(e: &Spanned<Expr>) -> Result<AmountExpr, DslError> {
+    match &e.value {
+        Expr::Int(v) if *v >= 0 => Ok(AmountExpr::Const(*v as u64)),
+        Expr::Binary { op: text::BinOp::Mul, lhs, rhs } => {
+            // Either `factor * param` or `param * factor`.
+            let (factor, param) = match (&lhs.value, &rhs.value) {
+                (Expr::Int(_) | Expr::Float(_), _) => {
+                    (f64_of(lhs, "a scale factor")?, lower_param_name(rhs)?)
+                }
+                (_, Expr::Int(_) | Expr::Float(_)) => {
+                    (f64_of(rhs, "a scale factor")?, lower_param_name(lhs)?)
+                }
+                _ => {
+                    return Err(DslError::at(
+                        e.span,
+                        "a scaled amount multiplies a number by a parameter \
+                         (e.g. `0.001 * num_flows`)",
+                    ))
+                }
+            };
+            Ok(AmountExpr::ParamScaled { param, factor })
+        }
+        other => Err(DslError::at(
+            e.span,
+            format!(
+                "expected a resource amount (integer, `factor * param`, or a `+` \
+                 chain), found {}",
+                describe(other)
+            ),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block lowering
+// ---------------------------------------------------------------------------
+
+fn require_one_label<'a>(block: &'a Block, what: &str) -> Result<&'a Spanned<String>, DslError> {
+    match block.labels.as_slice() {
+        [label] => Ok(label),
+        [] => Err(DslError::at(
+            block.keyword.span,
+            format!("`{}` block needs a {what} label, e.g. `{} \"NAME\" {{ ... }}`",
+                block.keyword.value, block.keyword.value),
+        )),
+        [_, extra, ..] => Err(DslError::at(
+            extra.span,
+            format!("`{}` block takes a single {what} label", block.keyword.value),
+        )),
+    }
+}
+
+fn forbid_labels(block: &Block) -> Result<(), DslError> {
+    if let Some(extra) = block.labels.first() {
+        return Err(DslError::at(
+            extra.span,
+            format!("`{}` block takes no label", block.keyword.value),
+        ));
+    }
+    Ok(())
+}
+
+fn unknown_attr(block: &Block, attr: &Attr) -> DslError {
+    DslError::at(
+        attr.key.span,
+        format!("unknown attribute `{}` in `{}` block", attr.key.value, block.keyword.value),
+    )
+}
+
+fn unknown_block(block: &Block, nested: &Block) -> DslError {
+    DslError::at(
+        nested.keyword.span,
+        format!("unknown `{}` block inside `{}`", nested.keyword.value, block.keyword.value),
+    )
+}
+
+fn set_once<T>(slot: &mut Option<T>, key: &Spanned<String>, value: T) -> Result<(), DslError> {
+    if slot.is_some() {
+        return Err(DslError::at(key.span, format!("duplicate attribute `{}`", key.value)));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+fn missing(span: Span, what: &str) -> DslError {
+    DslError::at(span, format!("missing required attribute `{what}`"))
+}
+
+fn names_list<T: From<String>>(e: &Spanned<Expr>, what: &str) -> Result<Vec<T>, DslError> {
+    list_of(e, what)?
+        .iter()
+        .map(|item| name_of(item, what).map(T::from))
+        .collect()
+}
+
+fn lower_system(block: &Block) -> Result<SystemSpec, DslError> {
+    let label = require_one_label(block, "system id")?;
+    let mut name: Option<String> = None;
+    let mut category: Option<Category> = None;
+    let mut solves: Option<Vec<Capability>> = None;
+    let mut conflicts: Option<Vec<SystemId>> = None;
+    let mut provides: Option<Vec<Feature>> = None;
+    let mut cost_usd: Option<u64> = None;
+    let mut notes: Option<String> = None;
+    let mut requires: Vec<Requirement> = Vec::new();
+    let mut resources: Vec<ResourceDemand> = Vec::new();
+
+    for item in &block.body {
+        match item {
+            text::Item::Attr(attr) => match attr.key.value.as_str() {
+                "name" => set_once(&mut name, &attr.key, str_of(&attr.value, "a name")?)?,
+                "category" => set_once(&mut category, &attr.key, lower_category(&attr.value)?)?,
+                "solves" => {
+                    set_once(&mut solves, &attr.key, names_list(&attr.value, "a capability")?)?
+                }
+                "conflicts" => set_once(
+                    &mut conflicts,
+                    &attr.key,
+                    names_list(&attr.value, "a system id")?,
+                )?,
+                "provides" => {
+                    set_once(&mut provides, &attr.key, names_list(&attr.value, "a feature")?)?
+                }
+                "cost_usd" => {
+                    set_once(&mut cost_usd, &attr.key, u64_of(&attr.value, "a cost")?)?
+                }
+                "notes" => set_once(&mut notes, &attr.key, str_of(&attr.value, "notes")?)?,
+                _ => return Err(unknown_attr(block, attr)),
+            },
+            text::Item::Block(nested) => match nested.keyword.value.as_str() {
+                "requires" => requires.push(lower_requirement(nested)?),
+                "consumes" => lower_consumes(nested, &mut resources)?,
+                _ => return Err(unknown_block(block, nested)),
+            },
+        }
+    }
+
+    Ok(SystemSpec {
+        id: SystemId::new(label.value.clone()),
+        name: name.unwrap_or_else(|| label.value.clone()),
+        category: category.ok_or_else(|| missing(block.keyword.span, "category"))?,
+        solves: solves.unwrap_or_default(),
+        requires,
+        conflicts: conflicts.unwrap_or_default(),
+        resources,
+        provides: provides.unwrap_or_default(),
+        cost_usd: cost_usd.unwrap_or(0),
+        notes,
+    })
+}
+
+fn lower_requirement(block: &Block) -> Result<Requirement, DslError> {
+    let label = require_one_label(block, "rule-name")?;
+    let mut condition: Option<Condition> = None;
+    let mut citation: Option<String> = None;
+    for item in &block.body {
+        match item {
+            text::Item::Attr(attr) => match attr.key.value.as_str() {
+                "condition" => {
+                    set_once(&mut condition, &attr.key, lower_condition(&attr.value)?)?
+                }
+                "citation" => {
+                    set_once(&mut citation, &attr.key, str_of(&attr.value, "a citation")?)?
+                }
+                _ => return Err(unknown_attr(block, attr)),
+            },
+            text::Item::Block(nested) => return Err(unknown_block(block, nested)),
+        }
+    }
+    Ok(Requirement {
+        label: label.value.clone(),
+        condition: condition.ok_or_else(|| missing(block.keyword.span, "condition"))?,
+        citation,
+    })
+}
+
+fn lower_consumes(block: &Block, out: &mut Vec<ResourceDemand>) -> Result<(), DslError> {
+    forbid_labels(block)?;
+    for item in &block.body {
+        match item {
+            text::Item::Attr(attr) => out.push(ResourceDemand {
+                resource: vocab::resource_from_ident(&attr.key.value),
+                amount: lower_amount(&attr.value)?,
+            }),
+            // `demand "odd name" { amount = ... }` escapes non-identifier
+            // custom resource names.
+            text::Item::Block(nested) if nested.keyword.value == "demand" => {
+                let label = require_one_label(nested, "resource-name")?;
+                let mut amount: Option<AmountExpr> = None;
+                for inner in &nested.body {
+                    match inner {
+                        text::Item::Attr(attr) if attr.key.value == "amount" => {
+                            set_once(&mut amount, &attr.key, lower_amount(&attr.value)?)?
+                        }
+                        text::Item::Attr(attr) => return Err(unknown_attr(nested, attr)),
+                        text::Item::Block(b) => return Err(unknown_block(nested, b)),
+                    }
+                }
+                out.push(ResourceDemand {
+                    resource: Resource::Custom(label.value.clone()),
+                    amount: amount
+                        .ok_or_else(|| missing(nested.keyword.span, "amount"))?,
+                });
+            }
+            text::Item::Block(nested) => return Err(unknown_block(block, nested)),
+        }
+    }
+    Ok(())
+}
+
+fn lower_hardware(block: &Block) -> Result<HardwareSpec, DslError> {
+    let label = require_one_label(block, "model id")?;
+    let mut kind: Option<HardwareKind> = None;
+    let mut model: Option<String> = None;
+    let mut features: Option<Vec<Feature>> = None;
+    let mut cost_usd: Option<u64> = None;
+    let mut numeric: BTreeMap<String, f64> = BTreeMap::new();
+
+    for item in &block.body {
+        match item {
+            text::Item::Attr(attr) => match attr.key.value.as_str() {
+                "kind" => {
+                    let name = name_of(&attr.value, "a hardware kind")?;
+                    let k = vocab::hardware_kind_from_name(&name).ok_or_else(|| {
+                        DslError::at(
+                            attr.value.span,
+                            format!("unknown hardware kind `{name}` (switch, nic, or server)"),
+                        )
+                    })?;
+                    set_once(&mut kind, &attr.key, k)?
+                }
+                "model" => set_once(&mut model, &attr.key, str_of(&attr.value, "a model name")?)?,
+                "features" => {
+                    set_once(&mut features, &attr.key, names_list(&attr.value, "a feature")?)?
+                }
+                "cost_usd" => set_once(&mut cost_usd, &attr.key, u64_of(&attr.value, "a cost")?)?,
+                _ => return Err(unknown_attr(block, attr)),
+            },
+            text::Item::Block(nested) if nested.keyword.value == "attrs" => {
+                forbid_labels(nested)?;
+                for inner in &nested.body {
+                    match inner {
+                        text::Item::Attr(attr) => {
+                            insert_numeric(&mut numeric, &attr.key, &attr.value)?
+                        }
+                        // `attr "odd name" { value = ... }` escapes
+                        // non-identifier attribute names.
+                        text::Item::Block(b) if b.keyword.value == "attr" => {
+                            let name = require_one_label(b, "attribute-name")?;
+                            let mut value: Option<f64> = None;
+                            for i in &b.body {
+                                match i {
+                                    text::Item::Attr(a) if a.key.value == "value" => set_once(
+                                        &mut value,
+                                        &a.key,
+                                        f64_of(&a.value, "a numeric value")?,
+                                    )?,
+                                    text::Item::Attr(a) => return Err(unknown_attr(b, a)),
+                                    text::Item::Block(bb) => return Err(unknown_block(b, bb)),
+                                }
+                            }
+                            let value =
+                                value.ok_or_else(|| missing(b.keyword.span, "value"))?;
+                            if numeric.insert(name.value.clone(), value).is_some() {
+                                return Err(DslError::at(
+                                    name.span,
+                                    format!("duplicate attribute `{}`", name.value),
+                                ));
+                            }
+                        }
+                        text::Item::Block(b) => return Err(unknown_block(nested, b)),
+                    }
+                }
+            }
+            text::Item::Block(nested) => return Err(unknown_block(block, nested)),
+        }
+    }
+
+    Ok(HardwareSpec {
+        id: HardwareId::new(label.value.clone()),
+        model_name: model.unwrap_or_else(|| label.value.clone()),
+        kind: kind.ok_or_else(|| missing(block.keyword.span, "kind"))?,
+        features: features.unwrap_or_default().into_iter().collect(),
+        numeric,
+        cost_usd: cost_usd.unwrap_or(0),
+    })
+}
+
+fn insert_numeric(
+    numeric: &mut BTreeMap<String, f64>,
+    key: &Spanned<String>,
+    value: &Spanned<Expr>,
+) -> Result<(), DslError> {
+    let v = f64_of(value, "a numeric value")?;
+    if numeric.insert(key.value.clone(), v).is_some() {
+        return Err(DslError::at(key.span, format!("duplicate attribute `{}`", key.value)));
+    }
+    Ok(())
+}
+
+fn lower_ordering(block: &Block) -> Result<OrderingEdge, DslError> {
+    forbid_labels(block)?;
+    let mut better: Option<SystemId> = None;
+    let mut worse: Option<SystemId> = None;
+    let mut dimension: Option<Dimension> = None;
+    let mut kind: Option<EdgeKind> = None;
+    let mut condition: Option<Condition> = None;
+    let mut citation: Option<String> = None;
+    for item in &block.body {
+        match item {
+            text::Item::Attr(attr) => match attr.key.value.as_str() {
+                "better" => set_once(
+                    &mut better,
+                    &attr.key,
+                    SystemId::new(name_of(&attr.value, "a system id")?),
+                )?,
+                "worse" => set_once(
+                    &mut worse,
+                    &attr.key,
+                    SystemId::new(name_of(&attr.value, "a system id")?),
+                )?,
+                "dimension" => {
+                    set_once(&mut dimension, &attr.key, lower_dimension(&attr.value)?)?
+                }
+                "kind" => {
+                    let name = name_of(&attr.value, "an edge kind")?;
+                    let k = vocab::edge_kind_from_name(&name).ok_or_else(|| {
+                        DslError::at(
+                            attr.value.span,
+                            format!("unknown edge kind `{name}` (strict or equal)"),
+                        )
+                    })?;
+                    set_once(&mut kind, &attr.key, k)?
+                }
+                "when" => set_once(&mut condition, &attr.key, lower_condition(&attr.value)?)?,
+                "citation" => {
+                    set_once(&mut citation, &attr.key, str_of(&attr.value, "a citation")?)?
+                }
+                _ => return Err(unknown_attr(block, attr)),
+            },
+            text::Item::Block(nested) => return Err(unknown_block(block, nested)),
+        }
+    }
+    Ok(OrderingEdge {
+        better: better.ok_or_else(|| missing(block.keyword.span, "better"))?,
+        worse: worse.ok_or_else(|| missing(block.keyword.span, "worse"))?,
+        dimension: dimension.ok_or_else(|| missing(block.keyword.span, "dimension"))?,
+        condition: condition.unwrap_or(Condition::True),
+        kind: kind.unwrap_or(EdgeKind::Strict),
+        citation,
+    })
+}
+
+fn lower_workload(block: &Block) -> Result<Workload, DslError> {
+    let label = require_one_label(block, "workload id")?;
+    let mut name: Option<String> = None;
+    let mut properties: Option<Vec<Property>> = None;
+    let mut racks: Option<std::ops::Range<u32>> = None;
+    let mut peak_cores: Option<u64> = None;
+    let mut peak_bandwidth_gbps: Option<u64> = None;
+    let mut num_flows: Option<u64> = None;
+    let mut needs: Option<Vec<Capability>> = None;
+    let mut bounds: Vec<PerformanceBound> = Vec::new();
+    for item in &block.body {
+        match item {
+            text::Item::Attr(attr) => match attr.key.value.as_str() {
+                "name" => set_once(&mut name, &attr.key, str_of(&attr.value, "a name")?)?,
+                "properties" => set_once(
+                    &mut properties,
+                    &attr.key,
+                    names_list(&attr.value, "a property")?,
+                )?,
+                "racks" => {
+                    let range = match &attr.value.value {
+                        Expr::Range(lo, hi)
+                            if *lo >= 0
+                                && *hi >= 0
+                                && *lo <= u32::MAX as i64
+                                && *hi <= u32::MAX as i64 =>
+                        {
+                            *lo as u32..*hi as u32
+                        }
+                        other => {
+                            return Err(DslError::at(
+                                attr.value.span,
+                                format!(
+                                    "expected a rack range like `0..3`, found {}",
+                                    describe(other)
+                                ),
+                            ))
+                        }
+                    };
+                    set_once(&mut racks, &attr.key, range)?
+                }
+                "peak_cores" => {
+                    set_once(&mut peak_cores, &attr.key, u64_of(&attr.value, "a core count")?)?
+                }
+                "peak_bandwidth_gbps" => set_once(
+                    &mut peak_bandwidth_gbps,
+                    &attr.key,
+                    u64_of(&attr.value, "a bandwidth")?,
+                )?,
+                "num_flows" => {
+                    set_once(&mut num_flows, &attr.key, u64_of(&attr.value, "a flow count")?)?
+                }
+                "needs" => {
+                    set_once(&mut needs, &attr.key, names_list(&attr.value, "a capability")?)?
+                }
+                _ => return Err(unknown_attr(block, attr)),
+            },
+            text::Item::Block(nested) if nested.keyword.value == "bound" => {
+                forbid_labels(nested)?;
+                let mut dimension: Option<Dimension> = None;
+                let mut better_than: Option<SystemId> = None;
+                for inner in &nested.body {
+                    match inner {
+                        text::Item::Attr(attr) => match attr.key.value.as_str() {
+                            "dimension" => set_once(
+                                &mut dimension,
+                                &attr.key,
+                                lower_dimension(&attr.value)?,
+                            )?,
+                            "better_than" => set_once(
+                                &mut better_than,
+                                &attr.key,
+                                SystemId::new(name_of(&attr.value, "a system id")?),
+                            )?,
+                            _ => return Err(unknown_attr(nested, attr)),
+                        },
+                        text::Item::Block(b) => return Err(unknown_block(nested, b)),
+                    }
+                }
+                bounds.push(PerformanceBound {
+                    dimension: dimension
+                        .ok_or_else(|| missing(nested.keyword.span, "dimension"))?,
+                    better_than: better_than
+                        .ok_or_else(|| missing(nested.keyword.span, "better_than"))?,
+                });
+            }
+            text::Item::Block(nested) => return Err(unknown_block(block, nested)),
+        }
+    }
+    Ok(Workload {
+        id: WorkloadId::new(label.value.clone()),
+        name: name.unwrap_or_else(|| label.value.clone()),
+        properties: properties.unwrap_or_default(),
+        racks: racks.unwrap_or(0..0),
+        peak_cores: peak_cores.unwrap_or(0),
+        peak_bandwidth_gbps: peak_bandwidth_gbps.unwrap_or(0),
+        num_flows: num_flows.unwrap_or(0),
+        needs: needs.unwrap_or_default(),
+        bounds,
+    })
+}
+
+fn lower_scenario(
+    block: &Block,
+    catalog: Catalog,
+    workloads: Vec<Workload>,
+) -> Result<Scenario, DslError> {
+    forbid_labels(block)?;
+    let mut scenario = Scenario::new(catalog);
+    scenario.workloads = workloads;
+    let mut saw_objectives = false;
+    let mut saw_pins = false;
+    let mut saw_budget = false;
+    let mut saw_params = false;
+    let mut saw_roles = false;
+    let mut saw_inventory = false;
+    for item in &block.body {
+        match item {
+            text::Item::Attr(attr) => match attr.key.value.as_str() {
+                "objectives" => {
+                    if std::mem::replace(&mut saw_objectives, true) {
+                        return Err(DslError::at(attr.key.span, "duplicate attribute `objectives`"));
+                    }
+                    for entry in list_of(&attr.value, "objectives")? {
+                        scenario.objectives.push(lower_objective(entry)?);
+                    }
+                }
+                "pins" => {
+                    if std::mem::replace(&mut saw_pins, true) {
+                        return Err(DslError::at(attr.key.span, "duplicate attribute `pins`"));
+                    }
+                    for entry in list_of(&attr.value, "pins")? {
+                        scenario.pins.push(lower_pin(entry)?);
+                    }
+                }
+                "budget_usd" => {
+                    if std::mem::replace(&mut saw_budget, true) {
+                        return Err(DslError::at(attr.key.span, "duplicate attribute `budget_usd`"));
+                    }
+                    scenario.budget_usd = Some(u64_of(&attr.value, "a budget")?);
+                }
+                _ => return Err(unknown_attr(block, attr)),
+            },
+            text::Item::Block(nested) => match nested.keyword.value.as_str() {
+                "params" => {
+                    if std::mem::replace(&mut saw_params, true) {
+                        return Err(DslError::at(nested.keyword.span, "duplicate `params` block"));
+                    }
+                    lower_params(nested, &mut scenario.params)?
+                }
+                "roles" => {
+                    if std::mem::replace(&mut saw_roles, true) {
+                        return Err(DslError::at(nested.keyword.span, "duplicate `roles` block"));
+                    }
+                    lower_roles(nested, &mut scenario.roles)?
+                }
+                "inventory" => {
+                    if std::mem::replace(&mut saw_inventory, true) {
+                        return Err(DslError::at(
+                            nested.keyword.span,
+                            "duplicate `inventory` block",
+                        ));
+                    }
+                    scenario.inventory = lower_inventory(nested)?
+                }
+                _ => return Err(unknown_block(block, nested)),
+            },
+        }
+    }
+    Ok(scenario)
+}
+
+fn lower_objective(e: &Spanned<Expr>) -> Result<Objective, DslError> {
+    match &e.value {
+        Expr::Path(p) if p.len() == 1 && p[0] == "minimize_cost" => Ok(Objective::MinimizeCost),
+        Expr::Call { path, args } if path_text(path) == "maximize" && args.len() == 1 => {
+            Ok(Objective::MaximizeDimension(lower_dimension(&args[0])?))
+        }
+        Expr::Call { path, args } if path_text(path) == "prefer" && args.len() == 1 => {
+            Ok(Objective::PreferCapability(Capability::new(name_of(
+                &args[0],
+                "a capability",
+            )?)))
+        }
+        other => Err(DslError::at(
+            e.span,
+            format!(
+                "expected an objective (maximize(dim), minimize_cost, or prefer(cap)), \
+                 found {}",
+                describe(other)
+            ),
+        )),
+    }
+}
+
+fn lower_pin(e: &Spanned<Expr>) -> Result<Pin, DslError> {
+    match &e.value {
+        Expr::Call { path, args } if path_text(path) == "require" && args.len() == 1 => {
+            Ok(Pin::Require(SystemId::new(name_of(&args[0], "a system id")?)))
+        }
+        Expr::Call { path, args } if path_text(path) == "forbid" && args.len() == 1 => {
+            Ok(Pin::Forbid(SystemId::new(name_of(&args[0], "a system id")?)))
+        }
+        other => Err(DslError::at(
+            e.span,
+            format!("expected a pin (require(SYS) or forbid(SYS)), found {}", describe(other)),
+        )),
+    }
+}
+
+fn lower_params(
+    block: &Block,
+    out: &mut BTreeMap<ParamName, f64>,
+) -> Result<(), DslError> {
+    forbid_labels(block)?;
+    for item in &block.body {
+        match item {
+            text::Item::Attr(attr) => {
+                let value = f64_of(&attr.value, "a parameter value")?;
+                if out.insert(ParamName::new(attr.key.value.clone()), value).is_some() {
+                    return Err(DslError::at(
+                        attr.key.span,
+                        format!("duplicate parameter `{}`", attr.key.value),
+                    ));
+                }
+            }
+            // `param "odd name" { value = ... }` escapes non-identifier
+            // parameter names.
+            text::Item::Block(nested) if nested.keyword.value == "param" => {
+                let label = require_one_label(nested, "parameter-name")?;
+                let mut value: Option<f64> = None;
+                for inner in &nested.body {
+                    match inner {
+                        text::Item::Attr(a) if a.key.value == "value" => {
+                            set_once(&mut value, &a.key, f64_of(&a.value, "a value")?)?
+                        }
+                        text::Item::Attr(a) => return Err(unknown_attr(nested, a)),
+                        text::Item::Block(b) => return Err(unknown_block(nested, b)),
+                    }
+                }
+                let value = value.ok_or_else(|| missing(nested.keyword.span, "value"))?;
+                if out.insert(ParamName::new(label.value.clone()), value).is_some() {
+                    return Err(DslError::at(
+                        label.span,
+                        format!("duplicate parameter `{}`", label.value),
+                    ));
+                }
+            }
+            text::Item::Block(nested) => return Err(unknown_block(block, nested)),
+        }
+    }
+    Ok(())
+}
+
+fn lower_roles(
+    block: &Block,
+    out: &mut BTreeMap<Category, RoleRule>,
+) -> Result<(), DslError> {
+    forbid_labels(block)?;
+    let mut insert = |category: Category, rule: RoleRule, span: Span| -> Result<(), DslError> {
+        if out.insert(category.clone(), rule).is_some() {
+            return Err(DslError::at(span, format!("duplicate role for category `{category}`")));
+        }
+        Ok(())
+    };
+    for item in &block.body {
+        match item {
+            text::Item::Attr(attr) => {
+                let category =
+                    vocab::category_from_name(&attr.key.value).ok_or_else(|| {
+                        DslError::at(
+                            attr.key.span,
+                            format!(
+                                "unknown category `{}` (use a `role {{ ... }}` block for \
+                                 custom categories)",
+                                attr.key.value
+                            ),
+                        )
+                    })?;
+                let name = name_of(&attr.value, "a role rule")?;
+                let rule = vocab::role_rule_from_name(&name).ok_or_else(|| {
+                    DslError::at(
+                        attr.value.span,
+                        format!("unknown role rule `{name}` (required, optional, forbidden)"),
+                    )
+                })?;
+                insert(category, rule, attr.key.span)?;
+            }
+            // `role { category = custom("x")  rule = required }` for
+            // extension categories.
+            text::Item::Block(nested) if nested.keyword.value == "role" => {
+                forbid_labels(nested)?;
+                let mut category: Option<Category> = None;
+                let mut rule: Option<RoleRule> = None;
+                for inner in &nested.body {
+                    match inner {
+                        text::Item::Attr(a) => match a.key.value.as_str() {
+                            "category" => {
+                                set_once(&mut category, &a.key, lower_category(&a.value)?)?
+                            }
+                            "rule" => {
+                                let name = name_of(&a.value, "a role rule")?;
+                                let r = vocab::role_rule_from_name(&name).ok_or_else(|| {
+                                    DslError::at(
+                                        a.value.span,
+                                        format!(
+                                            "unknown role rule `{name}` (required, optional, \
+                                             forbidden)"
+                                        ),
+                                    )
+                                })?;
+                                set_once(&mut rule, &a.key, r)?
+                            }
+                            _ => return Err(unknown_attr(nested, a)),
+                        },
+                        text::Item::Block(b) => return Err(unknown_block(nested, b)),
+                    }
+                }
+                insert(
+                    category.ok_or_else(|| missing(nested.keyword.span, "category"))?,
+                    rule.ok_or_else(|| missing(nested.keyword.span, "rule"))?,
+                    nested.keyword.span,
+                )?;
+            }
+            text::Item::Block(nested) => return Err(unknown_block(block, nested)),
+        }
+    }
+    Ok(())
+}
+
+fn lower_inventory(block: &Block) -> Result<Inventory, DslError> {
+    forbid_labels(block)?;
+    let mut inventory = Inventory::default();
+    let mut seen: Vec<&str> = Vec::new();
+    for item in &block.body {
+        match item {
+            text::Item::Attr(attr) => {
+                let key = attr.key.value.as_str();
+                if seen.contains(&key) {
+                    return Err(DslError::at(
+                        attr.key.span,
+                        format!("duplicate attribute `{key}`"),
+                    ));
+                }
+                match key {
+                    "servers" => {
+                        inventory.server_candidates = names_list(&attr.value, "a hardware id")?
+                    }
+                    "nics" => {
+                        inventory.nic_candidates = names_list(&attr.value, "a hardware id")?
+                    }
+                    "switches" => {
+                        inventory.switch_candidates = names_list(&attr.value, "a hardware id")?
+                    }
+                    "num_servers" => {
+                        inventory.num_servers = u64_of(&attr.value, "a server count")?
+                    }
+                    "num_switches" => {
+                        inventory.num_switches = u64_of(&attr.value, "a switch count")?
+                    }
+                    _ => return Err(unknown_attr(block, attr)),
+                }
+                seen.push(match key {
+                    "servers" => "servers",
+                    "nics" => "nics",
+                    "switches" => "switches",
+                    "num_servers" => "num_servers",
+                    _ => "num_switches",
+                });
+            }
+            text::Item::Block(nested) => return Err(unknown_block(block, nested)),
+        }
+    }
+    Ok(inventory)
+}
+
+fn lower_query(block: &Block) -> Result<QuerySpec, DslError> {
+    let label = require_one_label(block, "query-kind")?;
+    let mut attrs: BTreeMap<&str, &Attr> = BTreeMap::new();
+    for item in &block.body {
+        match item {
+            text::Item::Attr(attr) => {
+                if attrs.insert(attr.key.value.as_str(), attr).is_some() {
+                    return Err(DslError::at(
+                        attr.key.span,
+                        format!("duplicate attribute `{}`", attr.key.value),
+                    ));
+                }
+            }
+            text::Item::Block(nested) => return Err(unknown_block(block, nested)),
+        }
+    }
+    let allow = |attrs: &BTreeMap<&str, &Attr>, allowed: &[&str]| -> Result<(), DslError> {
+        for (key, attr) in attrs {
+            if !allowed.contains(key) {
+                return Err(unknown_attr(block, attr));
+            }
+        }
+        Ok(())
+    };
+    let require = |key: &str| -> Result<&Attr, DslError> {
+        attrs.get(key).copied().ok_or_else(|| missing(block.keyword.span, key))
+    };
+    match label.value.as_str() {
+        "check" => {
+            allow(&attrs, &[])?;
+            Ok(QuerySpec::Check)
+        }
+        "optimize" => {
+            allow(&attrs, &[])?;
+            Ok(QuerySpec::Optimize)
+        }
+        "capacity" => {
+            allow(&attrs, &["max"])?;
+            Ok(QuerySpec::Capacity { max: u64_of(&require("max")?.value, "a fleet bound")? })
+        }
+        "enumerate" => {
+            allow(&attrs, &["limit"])?;
+            Ok(QuerySpec::Enumerate { limit: u64_of(&require("limit")?.value, "a limit")? })
+        }
+        "questions" => {
+            allow(&attrs, &["budget"])?;
+            let budget = match attrs.get("budget") {
+                Some(attr) => u64_of(&attr.value, "a budget")?,
+                None => 256,
+            };
+            Ok(QuerySpec::Questions { budget })
+        }
+        "compare" => {
+            allow(&attrs, &["a", "b", "dimension"])?;
+            Ok(QuerySpec::Compare {
+                a: SystemId::new(name_of(&require("a")?.value, "a system id")?),
+                b: SystemId::new(name_of(&require("b")?.value, "a system id")?),
+                dimension: lower_dimension(&require("dimension")?.value)?,
+            })
+        }
+        other => Err(DslError::at(
+            label.span,
+            format!(
+                "unknown query kind `{other}` (check, optimize, capacity, enumerate, \
+                 questions, compare)"
+            ),
+        )),
+    }
+}

@@ -1,0 +1,51 @@
+//! Query blocks: the §5.1 query forms as declarative values.
+
+use netarch_core::prelude::*;
+
+/// A lowered `query` block — one engine invocation the document asks for.
+#[derive(Clone, PartialEq, Debug)]
+pub enum QuerySpec {
+    /// `query "check" { }` — feasibility + design or minimal conflict.
+    Check,
+    /// `query "optimize" { }` — lexicographic optimization.
+    Optimize,
+    /// `query "capacity" { max = N }` — minimal fleet size up to `max`.
+    Capacity {
+        /// Upper bound on the fleet-size binary search.
+        max: u64,
+    },
+    /// `query "enumerate" { limit = N }` — design equivalence classes.
+    Enumerate {
+        /// Maximum number of classes to produce.
+        limit: u64,
+    },
+    /// `query "questions" { budget = N }` — disambiguation plan.
+    Questions {
+        /// Question-planning budget (default 256).
+        budget: u64,
+    },
+    /// `query "compare" { a = X  b = Y  dimension = D }` — rule-of-thumb
+    /// comparison of two systems.
+    Compare {
+        /// First system.
+        a: SystemId,
+        /// Second system.
+        b: SystemId,
+        /// Dimension compared along.
+        dimension: Dimension,
+    },
+}
+
+impl QuerySpec {
+    /// The query's block label (`check`, `optimize`, …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QuerySpec::Check => "check",
+            QuerySpec::Optimize => "optimize",
+            QuerySpec::Capacity { .. } => "capacity",
+            QuerySpec::Enumerate { .. } => "enumerate",
+            QuerySpec::Questions { .. } => "questions",
+            QuerySpec::Compare { .. } => "compare",
+        }
+    }
+}

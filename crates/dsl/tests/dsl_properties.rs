@@ -1,0 +1,428 @@
+//! Property/fuzz suite for the `.narch` frontend.
+//!
+//! Invariants:
+//! * **round-trip**: for any scenario document built from core values,
+//!   `lower(parse(print(doc)))` is semantically equal to `doc` (JSON
+//!   equality, which covers every field);
+//! * **fixpoint**: printing the reloaded document reproduces the text
+//!   byte-for-byte (printing is a formatter);
+//! * **robustness**: mutated and truncated inputs are *rejected with a
+//!   spanned error or accepted*, but the frontend never panics.
+
+use netarch_core::component::{HardwareSpec, SystemSpec};
+use netarch_core::prelude::*;
+use netarch_dsl::{load_str, print_doc, print_scenario, QuerySpec};
+use netarch_rt::prop::{self, gen_vec, Config};
+use netarch_rt::{impl_shrink_struct, prop_assert, Rng};
+
+/// Compact generation parameters; everything else derives from `stream`.
+#[derive(Debug, Clone)]
+struct DocSeed {
+    stream: u64,
+    n_systems: u8,
+    n_hardware: u8,
+    n_edges: u8,
+    n_workloads: u8,
+    n_queries: u8,
+}
+
+impl_shrink_struct!(DocSeed {
+    stream,
+    n_systems,
+    n_hardware,
+    n_edges,
+    n_workloads,
+    n_queries,
+});
+
+fn gen_seed(rng: &mut Rng) -> DocSeed {
+    DocSeed {
+        stream: rng.next_u64(),
+        n_systems: rng.gen_range(1..6u8),
+        n_hardware: rng.gen_range(0..4u8),
+        n_edges: rng.gen_range(0..5u8),
+        n_workloads: rng.gen_range(0..3u8),
+        n_queries: rng.gen_range(0..4u8),
+    }
+}
+
+/// Name pool mixing bare identifiers with every quoting edge case the
+/// printer must escape: spaces, dashes, leading digits, keywords, empty.
+const NAMES: &[&str] = &[
+    "ALPHA",
+    "beta_2",
+    "_под",
+    "odd name",
+    "x-y",
+    "9lead",
+    "true",
+    "",
+    "with\"quote",
+    "tab\there",
+];
+
+fn pick_name(rng: &mut Rng) -> String {
+    NAMES[rng.gen_range(0..NAMES.len())].to_string()
+}
+
+fn pick_category(rng: &mut Rng) -> Category {
+    match rng.gen_range(0..4u8) {
+        0 => Category::Monitoring,
+        1 => Category::NetworkStack,
+        2 => Category::Custom(pick_name(rng)),
+        _ => Category::Transport,
+    }
+}
+
+fn pick_dimension(rng: &mut Rng) -> Dimension {
+    match rng.gen_range(0..3u8) {
+        0 => Dimension::Latency,
+        1 => Dimension::Throughput,
+        _ => Dimension::Custom(pick_name(rng)),
+    }
+}
+
+fn pick_f64(rng: &mut Rng) -> f64 {
+    match rng.gen_range(0..4u8) {
+        0 => rng.gen_range(0..1000u32) as f64,
+        // 1.. not 0..: `-0.0` would print as `-0`, which re-lexes as the
+        // integer 0 and loses the sign bit.
+        1 => -(rng.gen_range(1..100u32) as f64),
+        2 => rng.gen_range(0..1000u32) as f64 / 64.0,
+        _ => 0.0,
+    }
+}
+
+fn gen_condition(rng: &mut Rng, depth: u8) -> Condition {
+    let leaf_only = depth == 0;
+    match rng.gen_range(0..if leaf_only { 9 } else { 12u8 }) {
+        0 => Condition::True,
+        1 => Condition::False,
+        2 => Condition::SystemSelected(SystemId::new(pick_name(rng))),
+        3 => Condition::CategoryFilled(pick_category(rng)),
+        4 => Condition::NicFeature(Feature::new(pick_name(rng))),
+        5 => Condition::SwitchFeature(Feature::new(pick_name(rng))),
+        6 => Condition::ProvidedFeature(Feature::new(pick_name(rng))),
+        7 => Condition::WorkloadProperty(Property::new(pick_name(rng))),
+        8 => {
+            let op = match rng.gen_range(0..5u8) {
+                0 => CmpOp::Lt,
+                1 => CmpOp::Le,
+                2 => CmpOp::Gt,
+                3 => CmpOp::Ge,
+                _ => CmpOp::Eq,
+            };
+            Condition::Param(ParamName::new(pick_name(rng)), op, pick_f64(rng))
+        }
+        9 => Condition::Not(Box::new(gen_condition(rng, depth - 1))),
+        10 => {
+            let n = rng.gen_range(0..3u8);
+            Condition::All((0..n).map(|_| gen_condition(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0..3u8);
+            Condition::Any((0..n).map(|_| gen_condition(rng, depth - 1)).collect())
+        }
+    }
+}
+
+fn gen_amount_term(rng: &mut Rng) -> AmountExpr {
+    if rng.gen_bool(0.5) {
+        AmountExpr::Const(rng.gen_range(0..10_000u32) as u64)
+    } else {
+        AmountExpr::ParamScaled {
+            param: ParamName::new(pick_name(rng)),
+            factor: pick_f64(rng),
+        }
+    }
+}
+
+/// Canonical amounts only: a `Sum` is flat with ≥ 2 terms — exactly the
+/// shape the `+` surface grammar can express.
+fn gen_amount(rng: &mut Rng) -> AmountExpr {
+    if rng.gen_bool(0.25) {
+        let n = rng.gen_range(2..4u8);
+        AmountExpr::Sum((0..n).map(|_| gen_amount_term(rng)).collect())
+    } else {
+        gen_amount_term(rng)
+    }
+}
+
+fn pick_resource(rng: &mut Rng) -> Resource {
+    match rng.gen_range(0..4u8) {
+        0 => Resource::Cores,
+        1 => Resource::P4Stages,
+        // Custom resources deliberately include names that shadow
+        // built-ins ("cores") — the printer must escape those.
+        2 => Resource::Custom("cores".to_string()),
+        _ => Resource::Custom(pick_name(rng)),
+    }
+}
+
+fn build_doc(seed: &DocSeed) -> (Catalog, Scenario, Vec<QuerySpec>) {
+    let mut rng = Rng::seed_from_u64(seed.stream);
+    let rng = &mut rng;
+    let mut catalog = Catalog::new();
+    let mut system_ids = Vec::new();
+    for i in 0..seed.n_systems {
+        let id = format!("S{i}_{}", pick_name(rng));
+        system_ids.push(id.clone());
+        let mut b = SystemSpec::builder(id, pick_category(rng));
+        if rng.gen_bool(0.5) {
+            b = b.name(pick_name(rng));
+        }
+        for _ in 0..rng.gen_range(0..3u8) {
+            b = b.solves(pick_name(rng));
+        }
+        for _ in 0..rng.gen_range(0..3u8) {
+            let cond = gen_condition(rng, 2);
+            if rng.gen_bool(0.5) {
+                b = b.requires_cited(pick_name(rng), cond, pick_name(rng));
+            } else {
+                b = b.requires(pick_name(rng), cond);
+            }
+        }
+        for _ in 0..rng.gen_range(0..3u8) {
+            b = b.consumes(pick_resource(rng), gen_amount(rng));
+        }
+        for _ in 0..rng.gen_range(0..2u8) {
+            b = b.provides(pick_name(rng));
+        }
+        if rng.gen_bool(0.3) {
+            b = b.cost(rng.gen_range(0..100_000u32) as u64);
+        }
+        if rng.gen_bool(0.3) {
+            b = b.notes(pick_name(rng));
+        }
+        catalog.add_system(b.build()).expect("generated ids are unique");
+    }
+    for i in 0..seed.n_hardware {
+        let kind = match i % 3 {
+            0 => HardwareKind::Switch,
+            1 => HardwareKind::Nic,
+            _ => HardwareKind::Server,
+        };
+        let mut b = HardwareSpec::builder(format!("H{i}_{}", pick_name(rng)), kind);
+        if rng.gen_bool(0.5) {
+            b = b.model_name(pick_name(rng));
+        }
+        for _ in 0..rng.gen_range(0..3u8) {
+            b = b.feature(pick_name(rng));
+        }
+        for _ in 0..rng.gen_range(0..3u8) {
+            b = b.numeric(pick_name(rng), pick_f64(rng));
+        }
+        if rng.gen_bool(0.5) {
+            b = b.cost(rng.gen_range(0..100_000u32) as u64);
+        }
+        catalog.add_hardware(b.build()).expect("generated ids are unique");
+    }
+    for _ in 0..seed.n_edges {
+        let better = &system_ids[rng.gen_range(0..system_ids.len())];
+        let worse = &system_ids[rng.gen_range(0..system_ids.len())];
+        let mut edge = if rng.gen_bool(0.5) {
+            OrderingEdge::strict(better.as_str(), worse.as_str(), pick_dimension(rng))
+        } else {
+            OrderingEdge::equal(better.as_str(), worse.as_str(), pick_dimension(rng))
+        };
+        if rng.gen_bool(0.5) {
+            edge.condition = gen_condition(rng, 2);
+        }
+        if rng.gen_bool(0.3) {
+            edge.citation = Some(pick_name(rng));
+        }
+        catalog.add_ordering(edge).expect("endpoints registered");
+    }
+
+    let mut scenario = Scenario::new(catalog.clone());
+    for i in 0..seed.n_workloads {
+        let mut b = Workload::builder(format!("W{i}_{}", pick_name(rng)));
+        if rng.gen_bool(0.5) {
+            b = b.name(pick_name(rng));
+        }
+        for _ in 0..rng.gen_range(0..3u8) {
+            b = b.property(pick_name(rng));
+        }
+        if rng.gen_bool(0.5) {
+            let lo = rng.gen_range(0..4u32);
+            b = b.deployed_at(lo..lo + rng.gen_range(0..4u32));
+        }
+        b = b
+            .peak_cores(rng.gen_range(0..5_000u32) as u64)
+            .peak_bandwidth(rng.gen_range(0..200u32) as u64)
+            .num_flows(rng.gen_range(0..100_000u32) as u64);
+        for _ in 0..rng.gen_range(0..2u8) {
+            b = b.needs(pick_name(rng));
+        }
+        if rng.gen_bool(0.5) {
+            b = b.performance_bound(
+                pick_dimension(rng),
+                system_ids[rng.gen_range(0..system_ids.len())].as_str(),
+            );
+        }
+        scenario = scenario.with_workload(b.build());
+    }
+    for _ in 0..rng.gen_range(0..3u8) {
+        scenario = scenario.with_param(pick_name(rng), pick_f64(rng));
+    }
+    for _ in 0..rng.gen_range(0..3u8) {
+        let rule = match rng.gen_range(0..3u8) {
+            0 => RoleRule::Required,
+            1 => RoleRule::Optional,
+            _ => RoleRule::Forbidden,
+        };
+        scenario = scenario.with_role(pick_category(rng), rule);
+    }
+    for _ in 0..rng.gen_range(0..3u8) {
+        let objective = match rng.gen_range(0..3u8) {
+            0 => Objective::MaximizeDimension(pick_dimension(rng)),
+            1 => Objective::MinimizeCost,
+            _ => Objective::PreferCapability(Capability::new(pick_name(rng))),
+        };
+        scenario = scenario.with_objective(objective);
+    }
+    for _ in 0..rng.gen_range(0..2u8) {
+        let id = SystemId::new(system_ids[rng.gen_range(0..system_ids.len())].as_str());
+        scenario = scenario
+            .with_pin(if rng.gen_bool(0.5) { Pin::Require(id) } else { Pin::Forbid(id) });
+    }
+    if rng.gen_bool(0.3) {
+        scenario = scenario.with_budget(rng.gen_range(0..1_000_000u32) as u64);
+    }
+    if rng.gen_bool(0.5) {
+        let candidates: Vec<HardwareId> =
+            (0..seed.n_hardware).map(|i| HardwareId::new(format!("H{i}"))).collect();
+        scenario = scenario.with_inventory(Inventory {
+            server_candidates: candidates.clone(),
+            nic_candidates: candidates.clone(),
+            switch_candidates: candidates,
+            num_servers: rng.gen_range(0..100u32) as u64,
+            num_switches: rng.gen_range(0..10u32) as u64,
+        });
+    }
+
+    let queries: Vec<QuerySpec> = (0..seed.n_queries)
+        .map(|_| match rng.gen_range(0..6u8) {
+            0 => QuerySpec::Check,
+            1 => QuerySpec::Optimize,
+            2 => QuerySpec::Capacity { max: rng.gen_range(1..512u32) as u64 },
+            3 => QuerySpec::Enumerate { limit: rng.gen_range(1..16u32) as u64 },
+            4 => QuerySpec::Questions { budget: rng.gen_range(1..512u32) as u64 },
+            _ => QuerySpec::Compare {
+                a: SystemId::new(system_ids[rng.gen_range(0..system_ids.len())].as_str()),
+                b: SystemId::new(system_ids[rng.gen_range(0..system_ids.len())].as_str()),
+                dimension: pick_dimension(rng),
+            },
+        })
+        .collect();
+
+    (catalog, scenario, queries)
+}
+
+fn full_text(scenario: &Scenario, queries: &[QuerySpec]) -> String {
+    let mut text = print_scenario(scenario);
+    text.push('\n');
+    text.push_str(&netarch_dsl::print_queries(queries));
+    text
+}
+
+#[test]
+fn random_documents_round_trip_through_text() {
+    prop::check(&Config::default(), gen_seed, |seed| {
+        let (catalog, scenario, queries) = build_doc(seed);
+        let text = full_text(&scenario, &queries);
+        let doc = load_str(&text)
+            .map_err(|e| format!("reload failed: {e}\n--- text ---\n{text}"))?;
+        prop_assert!(
+            netarch_rt::json::to_string(&doc.catalog)
+                == netarch_rt::json::to_string(&catalog),
+            "catalog drifted through text:\n{text}"
+        );
+        let reloaded = doc
+            .scenario
+            .as_ref()
+            .ok_or_else(|| format!("scenario block lost:\n{text}"))?;
+        prop_assert!(
+            netarch_rt::json::to_string(reloaded) == netarch_rt::json::to_string(&scenario),
+            "scenario drifted through text:\n{text}"
+        );
+        prop_assert!(doc.queries == queries, "queries drifted:\n{text}");
+        Ok(())
+    });
+}
+
+#[test]
+fn printing_reloaded_documents_is_a_fixpoint() {
+    prop::check(&Config::default(), gen_seed, |seed| {
+        let (_, scenario, queries) = build_doc(seed);
+        let text = full_text(&scenario, &queries);
+        let doc = load_str(&text).map_err(|e| format!("reload failed: {e}"))?;
+        let reprinted = print_doc(&doc);
+        let again = load_str(&reprinted).map_err(|e| format!("reparse failed: {e}"))?;
+        prop_assert!(
+            print_doc(&again) == reprinted,
+            "printer not a fixpoint:\n--- first ---\n{reprinted}"
+        );
+        Ok(())
+    });
+}
+
+/// Mutation parameters: where to cut/flip and what to insert.
+#[derive(Debug, Clone)]
+struct MutationSeed {
+    doc: DocSeed,
+    cut: u16,
+    mode: u8,
+    junk: Vec<u8>,
+}
+
+impl_shrink_struct!(MutationSeed { doc, cut, mode, junk });
+
+#[test]
+fn mutated_and_truncated_inputs_never_panic() {
+    let junk_bytes: &[u8] = b"{}[]()=\"\\#.*+<>x0 \n\t\x7f";
+    prop::check(
+        &Config::default(),
+        |rng| MutationSeed {
+            doc: gen_seed(rng),
+            cut: rng.gen_range(0..=u16::MAX),
+            mode: rng.gen_range(0..3u8),
+            junk: gen_vec(rng, 1..=6, |r| junk_bytes[r.gen_range(0..junk_bytes.len())]),
+        },
+        |seed| {
+            let (_, scenario, queries) = build_doc(&seed.doc);
+            let text = full_text(&scenario, &queries);
+            // Mutate at a char boundary so the input stays valid UTF-8.
+            let mut at = seed.cut as usize % (text.len() + 1);
+            while !text.is_char_boundary(at) {
+                at -= 1;
+            }
+            let junk = String::from_utf8_lossy(&seed.junk).into_owned();
+            let mutated = match seed.mode {
+                0 => text[..at].to_string(), // truncation
+                1 => format!("{}{}{}", &text[..at], junk, &text[at..]), // insertion
+                _ => {
+                    // Replacement: overwrite forward to the next boundary.
+                    let mut end = (at + junk.len()).min(text.len());
+                    while !text.is_char_boundary(end) {
+                        end += 1;
+                    }
+                    format!("{}{}{}", &text[..at], junk, &text[end..])
+                }
+            };
+            // The only acceptable outcomes: clean accept or a rendered,
+            // position-carrying error. A panic fails the property.
+            match load_str(&mutated) {
+                Ok(_) => Ok(()),
+                Err(e) => {
+                    let rendered = e.to_string();
+                    prop_assert!(
+                        !rendered.is_empty(),
+                        "empty diagnostic for mutated input"
+                    );
+                    Ok(())
+                }
+            }
+        },
+    );
+}

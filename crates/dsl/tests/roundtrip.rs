@@ -1,0 +1,221 @@
+//! End-to-end frontend tests: parse → lower → print → parse → lower
+//! stability, plus spanned-diagnostic shape on representative errors.
+
+use netarch_core::component::SystemSpec;
+use netarch_core::prelude::*;
+use netarch_dsl::{load_str, print_doc, print_scenario, Loader, QuerySpec};
+
+const EXAMPLE: &str = r#"
+# A miniature catalog exercising every block kind.
+system "SIMON" {
+  category = monitoring
+  solves   = [capture_delays, detect_queue_length]
+  requires "simon-needs-nic-timestamps" {
+    condition = nics.have(NIC_TIMESTAMPS)
+    citation  = "Geng et al., NSDI 2019"
+  }
+  consumes { cores = 0.001 * num_flows }
+}
+
+system "PINGMESH" {
+  category = monitoring
+  solves   = [detect_packet_drops]
+  cost_usd = 300
+}
+
+hardware "CATALYST" {
+  kind     = switch
+  model    = "Cisco Catalyst 9500-40X"
+  features = [ECN]
+  cost_usd = 24000
+  attrs { port_bandwidth_gbps = 10  ports = 40 }
+}
+
+ordering {
+  better    = SIMON
+  worse     = PINGMESH
+  dimension = monitoring_quality
+  when      = link_speed_gbps >= 40
+}
+
+workload "inference_app" {
+  properties = [dc_flows, short_flows]
+  racks      = 0..3
+  peak_cores = 2800
+  num_flows  = 120000
+  needs      = [capture_delays]
+  bound { dimension = monitoring_quality  better_than = PINGMESH }
+}
+
+scenario {
+  params    { link_speed_gbps = 100 }
+  inventory { switches = [CATALYST]  num_switches = 2 }
+  roles     { monitoring = required }
+  objectives = [maximize(monitoring_quality), minimize_cost]
+  pins       = [forbid(PINGMESH)]
+  budget_usd = 100000
+}
+
+query "check" { }
+query "capacity" { max = 64 }
+query "compare" { a = SIMON  b = PINGMESH  dimension = monitoring_quality }
+"#;
+
+#[test]
+fn example_document_lowers_to_expected_values() {
+    let doc = load_str(EXAMPLE).expect("example must load");
+    assert_eq!(doc.catalog.num_systems(), 2);
+    assert_eq!(doc.catalog.num_hardware(), 1);
+    assert_eq!(doc.catalog.order().edges().len(), 1);
+
+    let simon = doc.catalog.system(&SystemId::new("SIMON")).unwrap();
+    assert_eq!(simon.category, Category::Monitoring);
+    assert_eq!(simon.requires.len(), 1);
+    assert_eq!(
+        simon.requires[0].condition,
+        Condition::NicFeature(Feature::new("NIC_TIMESTAMPS"))
+    );
+    assert_eq!(
+        simon.resources[0].amount,
+        AmountExpr::ParamScaled { param: ParamName::new("num_flows"), factor: 0.001 }
+    );
+
+    let edge = &doc.catalog.order().edges()[0];
+    assert_eq!(
+        edge.condition,
+        Condition::Param(ParamName::new("link_speed_gbps"), CmpOp::Ge, 40.0)
+    );
+
+    assert_eq!(doc.workloads.len(), 1);
+    assert_eq!(doc.workloads[0].racks, 0..3);
+    assert_eq!(doc.workloads[0].bounds.len(), 1);
+
+    let scenario = doc.scenario.as_ref().expect("scenario block");
+    assert_eq!(scenario.params[&ParamName::new("link_speed_gbps")], 100.0);
+    assert_eq!(scenario.roles[&Category::Monitoring], RoleRule::Required);
+    assert_eq!(scenario.inventory.num_switches, 2);
+    assert_eq!(scenario.pins, vec![Pin::Forbid(SystemId::new("PINGMESH"))]);
+    assert_eq!(scenario.budget_usd, Some(100000));
+
+    assert_eq!(
+        doc.queries,
+        vec![
+            QuerySpec::Check,
+            QuerySpec::Capacity { max: 64 },
+            QuerySpec::Compare {
+                a: SystemId::new("SIMON"),
+                b: SystemId::new("PINGMESH"),
+                dimension: Dimension::MonitoringQuality,
+            },
+        ]
+    );
+}
+
+#[test]
+fn print_parse_print_is_a_fixpoint() {
+    let doc = load_str(EXAMPLE).unwrap();
+    let printed = print_doc(&doc);
+    let redone = load_str(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+    assert_eq!(print_doc(&redone), printed);
+    // And semantics are preserved, byte-for-byte at the JSON level.
+    assert_eq!(
+        netarch_rt::json::to_string(&redone.catalog),
+        netarch_rt::json::to_string(&doc.catalog)
+    );
+    let (a, b) = (redone.scenario.unwrap(), doc.scenario.unwrap());
+    assert_eq!(netarch_rt::json::to_string(&a), netarch_rt::json::to_string(&b));
+    assert_eq!(redone.queries, doc.queries);
+}
+
+#[test]
+fn printed_scenario_of_rust_built_values_round_trips() {
+    // Build values through the core builders (escape-hatch names included),
+    // print, reload, and demand JSON equality.
+    let mut catalog = Catalog::new();
+    catalog
+        .add_system(
+            SystemSpec::builder("ODD", Category::Custom("cache tier".into()))
+                .solves("odd capability")
+                .requires("needs-big-param", Condition::Param(ParamName::new("x y"), CmpOp::Lt, 2.5))
+                .consumes(Resource::Custom("cores".into()), AmountExpr::Const(3))
+                .consumes(Resource::Custom("fpga-luts".into()), AmountExpr::Const(1))
+                .provides("ODD FEATURE")
+                .build(),
+        )
+        .unwrap();
+    catalog
+        .add_system(SystemSpec::builder("PLAIN", Category::Transport).build())
+        .unwrap();
+    catalog
+        .add_ordering(OrderingEdge::equal("ODD", "PLAIN", Dimension::Custom("weird dim".into())))
+        .unwrap();
+    let scenario = Scenario::new(catalog)
+        .with_workload(Workload::builder("w").property("wan traffic").build())
+        .with_param("plain", 1.0)
+        .with_param("odd name", 2.0)
+        .with_role(Category::Custom("cache tier".into()), RoleRule::Required)
+        .with_objective(Objective::MaximizeDimension(Dimension::Custom("weird dim".into())));
+
+    let printed = print_scenario(&scenario);
+    let doc = load_str(&printed).unwrap_or_else(|e| panic!("reload failed: {e}\n{printed}"));
+    let reloaded = doc.scenario.expect("scenario block printed");
+    assert_eq!(
+        netarch_rt::json::to_string(&reloaded),
+        netarch_rt::json::to_string(&scenario),
+        "printed text:\n{printed}"
+    );
+}
+
+#[test]
+fn loader_merges_sources_and_defers_ordering_endpoints() {
+    let mut loader = Loader::new();
+    // Ordering arrives before the file that defines its endpoints.
+    loader
+        .add_source(
+            "edges.narch",
+            "ordering { better = A  worse = B  dimension = latency }",
+        )
+        .unwrap();
+    loader
+        .add_source(
+            "systems.narch",
+            "system \"A\" { category = transport }\nsystem \"B\" { category = transport }",
+        )
+        .unwrap();
+    let doc = loader.finish().unwrap();
+    assert_eq!(doc.catalog.order().edges().len(), 1);
+}
+
+#[test]
+fn errors_carry_source_and_span() {
+    let err = load_str("system \"X\" { category = monitring }").unwrap_err();
+    assert!(err.to_string().contains("<input>:1:25"), "got: {err}");
+    assert!(err.to_string().contains("unknown category `monitring`"), "got: {err}");
+
+    let mut loader = Loader::new();
+    let err = loader.add_source("bad.narch", "system \"X\" {").unwrap_err();
+    assert!(err.to_string().starts_with("bad.narch:1:"), "got: {err}");
+
+    // Unknown ordering endpoint is attributed to the ordering block.
+    let err = load_str("ordering { better = A  worse = B  dimension = latency }").unwrap_err();
+    assert!(err.to_string().contains("unknown system"), "got: {err}");
+
+    // Duplicate attribute.
+    let err =
+        load_str("system \"X\" { category = monitoring\n category = firewall }").unwrap_err();
+    assert!(err.to_string().contains("duplicate attribute `category`"), "got: {err}");
+
+    // A second scenario block, even across sources, is rejected.
+    let mut loader = Loader::new();
+    loader.add_source("a.narch", "scenario { }").unwrap();
+    loader.add_source("b.narch", "scenario { }").unwrap();
+    let err = loader.finish().unwrap_err();
+    assert!(err.to_string().contains("more than one `scenario`"), "got: {err}");
+}
+
+#[test]
+fn missing_scenario_block_is_a_helpful_error() {
+    let doc = load_str("system \"A\" { category = transport }").unwrap();
+    let err = doc.require_scenario().unwrap_err();
+    assert!(err.to_string().contains("no `scenario` block"), "got: {err}");
+}

@@ -16,6 +16,9 @@
 //!   shrinking for integers and vectors.
 //! * [`bench`] — a warmup+measure timing harness reporting min, median,
 //!   and p95 per benchmark.
+//! * [`text`] — a lexer with line/column spans and a recursive-descent
+//!   parser for HCL-ish block syntax (the `.narch` scenario frontend's
+//!   syntax layer; semantics live in `netarch-dsl`).
 //!
 //! The crate is intentionally dependency-free (including
 //! dev-dependencies) so the whole workspace builds and tests offline;
@@ -28,6 +31,7 @@ pub mod bench;
 pub mod json;
 pub mod prop;
 pub mod rng;
+pub mod text;
 
 pub use json::{FromJson, Json, ToJson};
 pub use rng::Rng;

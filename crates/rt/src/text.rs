@@ -1,0 +1,1001 @@
+//! Generic block-structured text parsing: a lexer with line/column spans
+//! and a recursive-descent parser for an HCL-ish surface syntax.
+//!
+//! This module is *syntax only*. It turns text like
+//!
+//! ```text
+//! system "SIMON" {
+//!   category = monitoring
+//!   solves   = [capture_delays, detect_queue_length]
+//!   requires "needs-nic-timestamps" {
+//!     condition = nics.have(NIC_TIMESTAMPS)
+//!   }
+//! }
+//! ```
+//!
+//! into a generic tree of [`Block`]s, [`Attr`]s, and [`Expr`]s, each
+//! carrying a [`Span`]. Assigning *meaning* to keywords and expressions is
+//! the job of a frontend layered on top (the `netarch-dsl` crate); keeping
+//! the split here mirrors how [`crate::json`] parses values without knowing
+//! the shapes deserialized from them.
+//!
+//! The grammar, informally:
+//!
+//! ```text
+//! document := block*
+//! block    := IDENT STRING* '{' item* '}'
+//! item     := IDENT '=' expr            (attribute)
+//!           | IDENT STRING* '{' ... '}' (nested block)
+//! expr     := sum (CMPOP sum)?          CMPOP ∈ { < <= > >= == }
+//! sum      := product ('+' product)*
+//! product  := primary ('*' primary)*
+//! primary  := STRING | NUMBER | '-' NUMBER | INT '..' INT
+//!           | 'true' | 'false'
+//!           | path | path '(' expr,* ')'
+//!           | '[' expr,* ']' | '(' expr ')'
+//! path     := IDENT ('.' IDENT)*
+//! ```
+//!
+//! `#` starts a comment running to end of line.
+
+use std::fmt;
+
+/// A position in the source text, 1-based, in characters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in characters, not bytes).
+    pub col: usize,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A source region, inclusive of `start`, exclusive of `end`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Span {
+    /// Where the region begins.
+    pub start: Pos,
+    /// Where the region ends.
+    pub end: Pos,
+}
+
+impl Span {
+    /// A zero-width span at a position.
+    pub fn at(pos: Pos) -> Span {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both operands.
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start, end: other.end }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+/// A value paired with the span it was parsed from.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Spanned<T> {
+    /// The parsed value.
+    pub value: T,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs a value with its span.
+    pub fn new(value: T, span: Span) -> Spanned<T> {
+        Spanned { value, span }
+    }
+}
+
+/// A syntax error with the position it occurred at.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TextError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl TextError {
+    /// Creates an error at a span.
+    pub fn new(message: impl Into<String>, span: Span) -> TextError {
+        TextError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span.start, self.message)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+/// Binary operators appearing in expressions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `*`
+    Mul,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Mul => "*",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::EqEq => "==",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A generic attribute-value expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A quoted string literal.
+    Str(String),
+    /// An integer literal (possibly negative).
+    Int(i64),
+    /// A float literal (possibly negative).
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A dotted identifier path, e.g. `monitoring` or `nics.have`.
+    Path(Vec<String>),
+    /// A call, e.g. `nics.have(NIC_TIMESTAMPS)` or `all(a, b)`.
+    Call {
+        /// The dotted callee path.
+        path: Vec<String>,
+        /// Argument expressions.
+        args: Vec<Spanned<Expr>>,
+    },
+    /// A bracketed list.
+    List(Vec<Spanned<Expr>>),
+    /// An integer range `lo..hi`.
+    Range(i64, i64),
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Spanned<Expr>>,
+        /// Right operand.
+        rhs: Box<Spanned<Expr>>,
+    },
+}
+
+impl Expr {
+    /// The path segments if the expression is a bare single-segment path.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Path(segments) if segments.len() == 1 => Some(&segments[0]),
+            _ => None,
+        }
+    }
+}
+
+/// A `key = value` attribute.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Attr {
+    /// Attribute name.
+    pub key: Spanned<String>,
+    /// Attribute value.
+    pub value: Spanned<Expr>,
+}
+
+/// One entry in a block body.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Item {
+    /// A `key = value` attribute.
+    Attr(Attr),
+    /// A nested block.
+    Block(Block),
+}
+
+/// A block: keyword, optional quoted labels, and a braced body.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Block {
+    /// The leading keyword (`system`, `hardware`, …).
+    pub keyword: Spanned<String>,
+    /// Quoted labels between the keyword and the brace.
+    pub labels: Vec<Spanned<String>>,
+    /// Body entries in source order.
+    pub body: Vec<Item>,
+    /// The whole block, keyword through closing brace.
+    pub span: Span,
+}
+
+impl Block {
+    /// The first label, if present.
+    pub fn label(&self) -> Option<&Spanned<String>> {
+        self.labels.first()
+    }
+
+    /// Iterates the body's attributes.
+    pub fn attrs(&self) -> impl Iterator<Item = &Attr> {
+        self.body.iter().filter_map(|item| match item {
+            Item::Attr(attr) => Some(attr),
+            Item::Block(_) => None,
+        })
+    }
+
+    /// Iterates the body's nested blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.body.iter().filter_map(|item| match item {
+            Item::Block(block) => Some(block),
+            Item::Attr(_) => None,
+        })
+    }
+
+    /// Finds an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&Attr> {
+        self.attrs().find(|a| a.key.value == key)
+    }
+}
+
+/// A parsed document: top-level blocks in source order.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Document {
+    /// The top-level blocks.
+    pub blocks: Vec<Block>,
+}
+
+/// Parses a block-structured document.
+pub fn parse(input: &str) -> Result<Document, TextError> {
+    let tokens = lex(input)?;
+    Parser { tokens, at: 0 }.document()
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Eq,
+    Comma,
+    Dot,
+    DotDot,
+    Plus,
+    Minus,
+    Star,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Eof,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(name) => format!("identifier `{name}`"),
+            Tok::Str(_) => "string literal".to_string(),
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Float(v) => format!("number `{v}`"),
+            Tok::LBrace => "`{`".to_string(),
+            Tok::RBrace => "`}`".to_string(),
+            Tok::LBracket => "`[`".to_string(),
+            Tok::RBracket => "`]`".to_string(),
+            Tok::LParen => "`(`".to_string(),
+            Tok::RParen => "`)`".to_string(),
+            Tok::Eq => "`=`".to_string(),
+            Tok::Comma => "`,`".to_string(),
+            Tok::Dot => "`.`".to_string(),
+            Tok::DotDot => "`..`".to_string(),
+            Tok::Plus => "`+`".to_string(),
+            Tok::Minus => "`-`".to_string(),
+            Tok::Star => "`*`".to_string(),
+            Tok::Lt => "`<`".to_string(),
+            Tok::Le => "`<=`".to_string(),
+            Tok::Gt => "`>`".to_string(),
+            Tok::Ge => "`>=`".to_string(),
+            Tok::EqEq => "`==`".to_string(),
+            Tok::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pos: Pos,
+}
+
+impl<'a> Lexer<'a> {
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, Span)>, TextError> {
+    let mut lx = Lexer { chars: input.chars().peekable(), pos: Pos { line: 1, col: 1 } };
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and `#` comments.
+        loop {
+            match lx.peek() {
+                Some(c) if c.is_whitespace() => {
+                    lx.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = lx.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        lx.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let start = lx.pos;
+        let Some(c) = lx.peek() else {
+            out.push((Tok::Eof, Span::at(start)));
+            return Ok(out);
+        };
+        let tok = match c {
+            '{' => {
+                lx.bump();
+                Tok::LBrace
+            }
+            '}' => {
+                lx.bump();
+                Tok::RBrace
+            }
+            '[' => {
+                lx.bump();
+                Tok::LBracket
+            }
+            ']' => {
+                lx.bump();
+                Tok::RBracket
+            }
+            '(' => {
+                lx.bump();
+                Tok::LParen
+            }
+            ')' => {
+                lx.bump();
+                Tok::RParen
+            }
+            ',' => {
+                lx.bump();
+                Tok::Comma
+            }
+            '+' => {
+                lx.bump();
+                Tok::Plus
+            }
+            '-' => {
+                lx.bump();
+                Tok::Minus
+            }
+            '*' => {
+                lx.bump();
+                Tok::Star
+            }
+            '=' => {
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Tok::EqEq
+                } else {
+                    Tok::Eq
+                }
+            }
+            '<' => {
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            '>' => {
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            '.' => {
+                lx.bump();
+                if lx.peek() == Some('.') {
+                    lx.bump();
+                    Tok::DotDot
+                } else {
+                    Tok::Dot
+                }
+            }
+            '"' => lex_string(&mut lx)?,
+            c if c.is_ascii_digit() => lex_number(&mut lx)?,
+            c if c.is_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(c) = lx.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(name)
+            }
+            other => {
+                return Err(TextError::new(
+                    format!("unexpected character `{other}`"),
+                    Span::at(start),
+                ))
+            }
+        };
+        let end = lx.pos;
+        out.push((tok, Span { start, end }));
+    }
+}
+
+fn lex_string(lx: &mut Lexer<'_>) -> Result<Tok, TextError> {
+    let open = lx.pos;
+    lx.bump(); // consume the opening quote
+    let mut value = String::new();
+    loop {
+        let at = lx.pos;
+        match lx.bump() {
+            None => {
+                return Err(TextError::new("unterminated string literal", Span::at(open)));
+            }
+            Some('"') => return Ok(Tok::Str(value)),
+            Some('\n') => {
+                return Err(TextError::new(
+                    "newline inside string literal (escape it as \\n)",
+                    Span::at(at),
+                ));
+            }
+            Some('\\') => match lx.bump() {
+                Some('"') => value.push('"'),
+                Some('\\') => value.push('\\'),
+                Some('n') => value.push('\n'),
+                Some('t') => value.push('\t'),
+                Some('r') => value.push('\r'),
+                other => {
+                    let shown = other.map_or("end of input".to_string(), |c| format!("`\\{c}`"));
+                    return Err(TextError::new(
+                        format!("unknown escape {shown} in string literal"),
+                        Span::at(at),
+                    ));
+                }
+            },
+            Some(c) => value.push(c),
+        }
+    }
+}
+
+fn lex_number(lx: &mut Lexer<'_>) -> Result<Tok, TextError> {
+    let start = lx.pos;
+    let mut digits = String::new();
+    while let Some(c) = lx.peek() {
+        if c.is_ascii_digit() {
+            digits.push(c);
+            lx.bump();
+        } else {
+            break;
+        }
+    }
+    // `12..15` must lex as Int(12) DotDot Int(15): only treat a `.` as a
+    // fraction point when a digit (not another dot) follows.
+    let mut is_float = false;
+    if lx.peek() == Some('.') {
+        let mut ahead = lx.chars.clone();
+        ahead.next();
+        if ahead.peek().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            digits.push('.');
+            lx.bump();
+            while let Some(c) = lx.peek() {
+                if c.is_ascii_digit() {
+                    digits.push(c);
+                    lx.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    let span = Span { start, end: lx.pos };
+    if is_float {
+        digits
+            .parse::<f64>()
+            .map(Tok::Float)
+            .map_err(|_| TextError::new(format!("invalid number `{digits}`"), span))
+    } else {
+        digits
+            .parse::<i64>()
+            .map(Tok::Int)
+            .map_err(|_| TextError::new(format!("integer `{digits}` out of range"), span))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<(Tok, Span)>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.at].0
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.at].1
+    }
+
+    fn next(&mut self) -> (Tok, Span) {
+        let pair = self.tokens[self.at].clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        pair
+    }
+
+    fn error_here(&self, expected: &str) -> TextError {
+        TextError::new(
+            format!("expected {expected}, found {}", self.peek().describe()),
+            self.peek_span(),
+        )
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<Spanned<String>, TextError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                let span = self.next().1;
+                Ok(Spanned::new(name, span))
+            }
+            _ => Err(self.error_here(what)),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<Span, TextError> {
+        if *self.peek() == tok {
+            Ok(self.next().1)
+        } else {
+            Err(self.error_here(what))
+        }
+    }
+
+    fn document(&mut self) -> Result<Document, TextError> {
+        let mut blocks = Vec::new();
+        while *self.peek() != Tok::Eof {
+            blocks.push(self.block()?);
+        }
+        Ok(Document { blocks })
+    }
+
+    fn block(&mut self) -> Result<Block, TextError> {
+        let keyword = self.expect_ident("a block keyword")?;
+        self.block_tail(keyword)
+    }
+
+    /// Parses labels and the braced body after a block keyword.
+    fn block_tail(&mut self, keyword: Spanned<String>) -> Result<Block, TextError> {
+        let mut labels = Vec::new();
+        while let Tok::Str(label) = self.peek().clone() {
+            let span = self.next().1;
+            labels.push(Spanned::new(label, span));
+        }
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        loop {
+            match self.peek().clone() {
+                Tok::RBrace => {
+                    let close = self.next().1;
+                    let span = keyword.span.to(close);
+                    return Ok(Block { keyword, labels, body, span });
+                }
+                Tok::Ident(_) => {
+                    let key = self.expect_ident("a key")?;
+                    match self.peek() {
+                        Tok::Eq => {
+                            self.next();
+                            let value = self.expr()?;
+                            body.push(Item::Attr(Attr { key, value }));
+                        }
+                        Tok::Str(_) | Tok::LBrace => {
+                            body.push(Item::Block(self.block_tail(key)?));
+                        }
+                        _ => {
+                            return Err(self.error_here(
+                                "`=` (attribute), a label, or `{` (nested block)",
+                            ))
+                        }
+                    }
+                }
+                Tok::Eof => {
+                    return Err(TextError::new(
+                        format!("unclosed block `{}` (missing `}}`)", keyword.value),
+                        keyword.span,
+                    ));
+                }
+                _ => return Err(self.error_here("a key or `}`")),
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Spanned<Expr>, TextError> {
+        let lhs = self.sum()?;
+        let op = match self.peek() {
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            Tok::EqEq => BinOp::EqEq,
+            _ => return Ok(lhs),
+        };
+        self.next();
+        let rhs = self.sum()?;
+        let span = lhs.span.to(rhs.span);
+        Ok(Spanned::new(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span))
+    }
+
+    fn sum(&mut self) -> Result<Spanned<Expr>, TextError> {
+        let mut lhs = self.product()?;
+        while *self.peek() == Tok::Plus {
+            self.next();
+            let rhs = self.product()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Spanned::new(
+                Expr::Binary { op: BinOp::Add, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn product(&mut self) -> Result<Spanned<Expr>, TextError> {
+        let mut lhs = self.primary()?;
+        while *self.peek() == Tok::Star {
+            self.next();
+            let rhs = self.primary()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Spanned::new(
+                Expr::Binary { op: BinOp::Mul, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<Spanned<Expr>, TextError> {
+        match self.peek().clone() {
+            Tok::Str(value) => {
+                let span = self.next().1;
+                Ok(Spanned::new(Expr::Str(value), span))
+            }
+            Tok::Int(value) => {
+                let span = self.next().1;
+                // `lo..hi` ranges attach to integer literals.
+                if *self.peek() == Tok::DotDot {
+                    self.next();
+                    match self.peek().clone() {
+                        Tok::Int(hi) => {
+                            let end = self.next().1;
+                            Ok(Spanned::new(Expr::Range(value, hi), span.to(end)))
+                        }
+                        _ => Err(self.error_here("an integer after `..`")),
+                    }
+                } else {
+                    Ok(Spanned::new(Expr::Int(value), span))
+                }
+            }
+            Tok::Float(value) => {
+                let span = self.next().1;
+                Ok(Spanned::new(Expr::Float(value), span))
+            }
+            Tok::Minus => {
+                let start = self.next().1;
+                match self.peek().clone() {
+                    Tok::Int(value) => {
+                        let end = self.next().1;
+                        Ok(Spanned::new(Expr::Int(-value), start.to(end)))
+                    }
+                    Tok::Float(value) => {
+                        let end = self.next().1;
+                        Ok(Spanned::new(Expr::Float(-value), start.to(end)))
+                    }
+                    _ => Err(self.error_here("a number after `-`")),
+                }
+            }
+            Tok::LBracket => {
+                let open = self.next().1;
+                let mut items = Vec::new();
+                loop {
+                    if *self.peek() == Tok::RBracket {
+                        let close = self.next().1;
+                        return Ok(Spanned::new(Expr::List(items), open.to(close)));
+                    }
+                    items.push(self.expr()?);
+                    match self.peek() {
+                        Tok::Comma => {
+                            self.next();
+                        }
+                        Tok::RBracket => {}
+                        _ => return Err(self.error_here("`,` or `]`")),
+                    }
+                }
+            }
+            Tok::LParen => {
+                self.next();
+                let inner = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Tok::Ident(first) => {
+                let start = self.next().1;
+                let mut end = start;
+                let mut path = vec![first];
+                while *self.peek() == Tok::Dot {
+                    self.next();
+                    let seg = self.expect_ident("an identifier after `.`")?;
+                    end = seg.span;
+                    path.push(seg.value);
+                }
+                if *self.peek() == Tok::LParen {
+                    self.next();
+                    let mut args = Vec::new();
+                    loop {
+                        if *self.peek() == Tok::RParen {
+                            let close = self.next().1;
+                            return Ok(Spanned::new(
+                                Expr::Call { path, args },
+                                start.to(close),
+                            ));
+                        }
+                        args.push(self.expr()?);
+                        match self.peek() {
+                            Tok::Comma => {
+                                self.next();
+                            }
+                            Tok::RParen => {}
+                            _ => return Err(self.error_here("`,` or `)`")),
+                        }
+                    }
+                } else if path.len() == 1 && (path[0] == "true" || path[0] == "false") {
+                    Ok(Spanned::new(Expr::Bool(path[0] == "true"), start))
+                } else {
+                    Ok(Spanned::new(Expr::Path(path), start.to(end)))
+                }
+            }
+            _ => Err(self.error_here("an expression")),
+        }
+    }
+}
+
+/// True when `name` lexes back as a single bare identifier (so a printer
+/// may emit it unquoted).
+pub fn is_bare_ident(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_alphabetic() || first == '_')
+        && chars.all(|c| c.is_alphanumeric() || c == '_')
+        && name != "true"
+        && name != "false"
+}
+
+/// Escapes a string for use as a quoted literal.
+pub fn quote(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(text: &str) -> Document {
+        parse(text).expect("parses")
+    }
+
+    #[test]
+    fn empty_document() {
+        assert_eq!(parse_ok("").blocks.len(), 0);
+        assert_eq!(parse_ok("  # only a comment\n").blocks.len(), 0);
+    }
+
+    #[test]
+    fn block_with_labels_and_attrs() {
+        let doc = parse_ok(
+            "system \"SIMON\" {\n  category = monitoring\n  cost_usd = 2500\n}\n",
+        );
+        assert_eq!(doc.blocks.len(), 1);
+        let b = &doc.blocks[0];
+        assert_eq!(b.keyword.value, "system");
+        assert_eq!(b.label().unwrap().value, "SIMON");
+        assert_eq!(b.attr("category").unwrap().value.value, Expr::Path(vec!["monitoring".into()]));
+        assert_eq!(b.attr("cost_usd").unwrap().value.value, Expr::Int(2500));
+    }
+
+    #[test]
+    fn nested_blocks_and_lists() {
+        let doc = parse_ok(
+            "system \"X\" {\n  solves = [a, b, \"odd name\"]\n  requires \"r\" {\n    condition = true\n  }\n}\n",
+        );
+        let b = &doc.blocks[0];
+        let solves = b.attr("solves").unwrap();
+        match &solves.value.value {
+            Expr::List(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected list, got {other:?}"),
+        }
+        let nested: Vec<&Block> = b.blocks().collect();
+        assert_eq!(nested.len(), 1);
+        assert_eq!(nested[0].keyword.value, "requires");
+        assert_eq!(nested[0].label().unwrap().value, "r");
+    }
+
+    #[test]
+    fn expressions_parse_with_precedence() {
+        let doc = parse_ok("b { amount = 2 + 0.5 * num_flows }");
+        let expr = &doc.blocks[0].attr("amount").unwrap().value.value;
+        match expr {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => match &rhs.value {
+                Expr::Binary { op: BinOp::Mul, .. } => {}
+                other => panic!("expected mul on rhs, got {other:?}"),
+            },
+            other => panic!("expected add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_and_calls() {
+        let doc = parse_ok("o { when = link_speed_gbps >= 40\n cond = all(deployed(A), nics.have(F)) }");
+        let when = &doc.blocks[0].attr("when").unwrap().value.value;
+        assert!(matches!(when, Expr::Binary { op: BinOp::Ge, .. }));
+        let cond = &doc.blocks[0].attr("cond").unwrap().value.value;
+        match cond {
+            Expr::Call { path, args } => {
+                assert_eq!(path, &vec!["all".to_string()]);
+                assert_eq!(args.len(), 2);
+                assert!(matches!(&args[1].value, Expr::Call { path, .. } if path == &vec!["nics".to_string(), "have".to_string()]));
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ranges_and_negative_numbers() {
+        let doc = parse_ok("w { racks = 0..3\n delta = -4\n temp = -1.5 }");
+        let b = &doc.blocks[0];
+        assert_eq!(b.attr("racks").unwrap().value.value, Expr::Range(0, 3));
+        assert_eq!(b.attr("delta").unwrap().value.value, Expr::Int(-4));
+        assert_eq!(b.attr("temp").unwrap().value.value, Expr::Float(-1.5));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let doc = parse_ok("b { s = \"a\\\"b\\\\c\\nd\" }");
+        assert_eq!(
+            doc.blocks[0].attr("s").unwrap().value.value,
+            Expr::Str("a\"b\\c\nd".to_string())
+        );
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn spans_are_line_and_column_accurate() {
+        let err = parse("system \"X\" {\n  category = !\n}").unwrap_err();
+        assert_eq!(err.span.start.line, 2);
+        assert_eq!(err.span.start.col, 14);
+    }
+
+    #[test]
+    fn errors_never_panic_on_malformed_input() {
+        for text in [
+            "system {",
+            "system \"X\" { a = }",
+            "b { x = 1 .. }",
+            "b { x = \"unterminated",
+            "b { x = [1, }",
+            "}",
+            "b { x = 0..a }",
+            "b { x = - }",
+            "b { x = 99999999999999999999 }",
+            "b { \"label first\" { } }",
+            "b { k \"l\" = 2 }",
+        ] {
+            let err = parse(text).unwrap_err();
+            assert!(err.span.start.line >= 1, "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn unclosed_block_reports_the_opening_keyword() {
+        let err = parse("system \"X\" {\n  a = 1\n").unwrap_err();
+        assert!(err.message.contains("unclosed block"), "{err}");
+        assert_eq!(err.span.start.line, 1);
+    }
+
+    #[test]
+    fn bare_ident_classification() {
+        assert!(is_bare_ident("link_speed_gbps"));
+        assert!(is_bare_ident("_x9"));
+        assert!(!is_bare_ident(""));
+        assert!(!is_bare_ident("9lives"));
+        assert!(!is_bare_ident("has space"));
+        assert!(!is_bare_ident("has-dash"));
+        assert!(!is_bare_ident("true"));
+    }
+
+    #[test]
+    fn eof_is_sticky() {
+        // Repeated peeks past the end must not index out of bounds.
+        let err = parse("b { x = ").unwrap_err();
+        assert!(err.message.contains("expected"), "{err}");
+    }
+}

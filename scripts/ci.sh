@@ -22,6 +22,28 @@ else
     echo "WARNING: clippy not installed; lint step SKIPPED (set CI=1 to make this fatal)" >&2
 fi
 
+echo "== narch conformance =="
+# The committed .narch corpus must stay in lockstep with the Rust
+# builders: regenerate from the corpus crate and require a byte-identical
+# tree. A drift here means someone edited one side without the other.
+narch_tmp="$(mktemp -d)"
+trap 'rm -rf "$narch_tmp"' EXIT
+cargo run --release --offline -q --bin netarch -- export-narch "$narch_tmp" >/dev/null
+diff -r corpus "$narch_tmp"
+
+echo "== DSL frontend throughput =="
+# Parse + lower the full text corpus; asserts the lowered catalog matches
+# the Rust-built one and that a full load stays under a second.
+NETARCH_BENCH_DIR="$narch_tmp" \
+    cargo run --release --offline -q -p netarch-bench --bin exp_parse
+
+echo "== bench trajectory files =="
+# The committed BENCH_*.json perf summaries must parse and name their
+# experiment (full checks live in tests/bench_trajectory.rs, run above).
+for f in BENCH_scaling.json BENCH_incremental.json BENCH_portfolio.json BENCH_parse.json; do
+    [ -s "$f" ] || { echo "error: missing trajectory file $f" >&2; exit 1; }
+done
+
 echo "== proof-check =="
 # Solve a seeded UNSAT corpus (500+ instances) with DRAT logging on and
 # replay every proof through the independent checker; any rejection fails.
@@ -30,7 +52,9 @@ cargo run --release --offline -q -p netarch-bench --bin exp_proof_check
 echo "== incremental-session smoke =="
 # The 50-query differential workload: session answers must match
 # recompile-per-query answers, with zero recompiles and a ≥3× speedup.
-cargo run --release --offline -q -p netarch-bench --bin exp_incremental
+# (Trajectory output goes to the temp dir: CI must not dirty the tree.)
+NETARCH_BENCH_DIR="$narch_tmp" \
+    cargo run --release --offline -q -p netarch-bench --bin exp_incremental
 
 echo "== portfolio suite (2 threads) =="
 # The portfolio test files again, but with the engine's env-var path

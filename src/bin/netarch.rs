@@ -1,22 +1,31 @@
 //! `netarch` — command-line interface to the reasoning engine.
 //!
-//! Scenarios are self-contained JSON documents (catalog + workloads +
-//! inventory + objectives + pins), the machine-readable interchange
-//! format the paper's Listing 1 sketches.
+//! Scenarios come in two interchange formats, detected by extension and
+//! content: the declarative `.narch` text DSL (the paper's Listings 1–3
+//! surface syntax; see `docs/ENCODING_GUIDE.md`) and self-contained JSON
+//! documents. Every query command accepts either; `.narch` scenarios may
+//! be split across several files (catalog in one, workloads and the
+//! `scenario` block in another).
 //!
 //! ```text
-//! netarch demo > scenario.json          # the paper's §2.3 case study
-//! netarch check scenario.json           # feasibility + design or diagnosis
-//! netarch optimize scenario.json        # lexicographic Optimize(...)
-//! netarch capacity scenario.json 512    # minimal fleet size
-//! netarch enumerate scenario.json 8     # design equivalence classes
-//! netarch questions scenario.json       # §6 disambiguation plan
+//! netarch demo > scenario.json            # the paper's §2.3 case study (JSON)
+//! netarch demo --narch > scenario.narch   # the same case study as .narch text
+//! netarch load corpus/*.narch             # parse + lower, print a summary
+//! netarch validate scenario.narch         # referential integrity report
+//! netarch fmt scenario.narch              # canonical formatting to stdout
+//! netarch check scenario.narch            # feasibility + design or diagnosis
+//! netarch optimize scenario.json          # lexicographic Optimize(...)
+//! netarch capacity scenario.narch 512     # minimal fleet size
+//! netarch enumerate scenario.json 8       # design equivalence classes
+//! netarch questions scenario.narch        # §6 disambiguation plan
 //! netarch compare scenario.json SIMON PINGMESH monitoring-quality
-//! netarch export-catalog                # full knowledge corpus as JSON
+//! netarch export-catalog                  # full knowledge corpus as JSON
+//! netarch export-narch corpus             # regenerate the .narch corpus files
 //! ```
 
 use netarch::core::explain::render_diagnosis;
 use netarch::core::prelude::*;
+use netarch::dsl;
 use netarch_rt::jobj;
 use std::process::ExitCode;
 
@@ -37,14 +46,25 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  netarch demo                                  print the §2.3 case-study scenario as JSON
-  netarch export-catalog                        print the full knowledge corpus as JSON
-  netarch check <scenario.json>                 find a compliant design or a minimal conflict
-  netarch optimize <scenario.json>              lexicographic optimization over the objectives
-  netarch capacity <scenario.json> <max>        minimal server fleet up to <max>
-  netarch enumerate <scenario.json> <limit>     design equivalence classes
-  netarch questions <scenario.json>             disambiguation question plan
-  netarch compare <scenario.json> <A> <B> <dim> rule-of-thumb comparison\n\nappend --json to check/optimize/capacity for machine-readable output";
+  netarch demo [--narch]                  print the §2.3 case-study scenario (JSON, or .narch text)
+  netarch export-catalog                  print the full knowledge corpus as JSON
+  netarch export-narch <dir>              write the corpus as .narch files under <dir>
+  netarch load <file>...                  parse + lower scenario files, print a summary
+  netarch validate <file>...              check referential integrity, report problems
+  netarch fmt <file.narch>                reprint a .narch file in canonical form
+  netarch check <file>...                 find a compliant design or a minimal conflict
+  netarch optimize <file>...              lexicographic optimization over the objectives
+  netarch capacity <file>... <max>        minimal server fleet up to <max>
+  netarch enumerate <file>... <limit>     design equivalence classes
+  netarch questions <file>...             disambiguation question plan
+  netarch compare <file> <A> <B> <dim>    rule-of-thumb comparison
+
+scenario files are .narch text (the declarative DSL) or JSON; the format
+is detected from the extension, falling back to a content sniff (JSON
+documents start with `{`). A .narch scenario may span several files —
+every file is merged before the query runs.
+
+append --json to check/optimize/capacity for machine-readable output";
 
 /// Dispatches a command line; pure function for testability.
 pub fn run(args: &[&str]) -> Result<String, String> {
@@ -58,9 +78,40 @@ pub fn run(args: &[&str]) -> Result<String, String> {
             let scenario = netarch::corpus::case_study::scenario();
             Ok(netarch_rt::json::to_string_pretty(&scenario))
         }
+        ["demo", "--narch"] => {
+            Ok(dsl::print_scenario(&netarch::corpus::case_study::scenario()))
+        }
         ["export-catalog"] => Ok(netarch::corpus::catalog_json()),
-        ["check", path] => {
-            let mut engine = load_engine(path)?;
+        ["export-narch", dir] => export_narch(dir),
+        ["load", paths @ ..] if !paths.is_empty() => {
+            let doc = load_doc(paths)?;
+            Ok(summarize(&doc))
+        }
+        ["validate", paths @ ..] if !paths.is_empty() => {
+            let doc = load_doc(paths)?;
+            let errors = doc.catalog.validate();
+            if errors.is_empty() {
+                Ok(format!("OK\n{}", summarize(&doc)))
+            } else {
+                let mut out = String::from("catalog has dangling references:\n");
+                for e in &errors {
+                    out.push_str(&format!("  {e}\n"));
+                }
+                Err(out)
+            }
+        }
+        ["fmt", path] => {
+            let text = read_file(path)?;
+            if detect_format(path, &text) != Format::Narch {
+                return Err(format!(
+                    "{path} is not a .narch file; `fmt` formats DSL text only"
+                ));
+            }
+            let doc = lower_narch(&[(path, text)])?;
+            Ok(dsl::print_doc(&doc))
+        }
+        ["check", paths @ ..] if !paths.is_empty() => {
+            let mut engine = load_engine(paths)?;
             match engine.check().map_err(|e| e.to_string())? {
                 Outcome::Feasible(design) if json => {
                     Ok(netarch_rt::json::to_string_pretty(&design))
@@ -71,8 +122,8 @@ pub fn run(args: &[&str]) -> Result<String, String> {
                 }
             }
         }
-        ["optimize", path] => {
-            let mut engine = load_engine(path)?;
+        ["optimize", paths @ ..] if !paths.is_empty() => {
+            let mut engine = load_engine(paths)?;
             match engine.optimize().map_err(|e| e.to_string())? {
                 Ok(result) if json => {
                     Ok(netarch_rt::json::to_string_pretty(&result.design))
@@ -90,9 +141,9 @@ pub fn run(args: &[&str]) -> Result<String, String> {
                 Err(diagnosis) => Ok(format!("INFEASIBLE\n{}", render_diagnosis(&diagnosis))),
             }
         }
-        ["capacity", path, max] => {
+        ["capacity", paths @ .., max] if !paths.is_empty() => {
             let max: u64 = max.parse().map_err(|_| format!("bad fleet bound {max:?}"))?;
-            let mut engine = load_engine(path)?;
+            let mut engine = load_engine(paths)?;
             match engine.plan_capacity(max).map_err(|e| e.to_string())? {
                 Ok(plan) if json => Ok(netarch_rt::json::to_string_pretty(&jobj! {
                     "servers_needed": plan.servers_needed,
@@ -105,9 +156,9 @@ pub fn run(args: &[&str]) -> Result<String, String> {
                 Err(diagnosis) => Ok(format!("INFEASIBLE\n{}", render_diagnosis(&diagnosis))),
             }
         }
-        ["enumerate", path, limit] => {
+        ["enumerate", paths @ .., limit] if !paths.is_empty() => {
             let limit: usize = limit.parse().map_err(|_| format!("bad limit {limit:?}"))?;
-            let mut engine = load_engine(path)?;
+            let mut engine = load_engine(paths)?;
             let designs = engine
                 .enumerate_designs(limit, false)
                 .map_err(|e| e.to_string())?;
@@ -119,13 +170,13 @@ pub fn run(args: &[&str]) -> Result<String, String> {
             }
             Ok(out)
         }
-        ["questions", path] => {
-            let mut engine = load_engine(path)?;
+        ["questions", paths @ ..] if !paths.is_empty() => {
+            let mut engine = load_engine(paths)?;
             let plan = engine.disambiguate(256).map_err(|e| e.to_string())?;
             Ok(netarch::core::disambiguate::render_plan(&plan))
         }
         ["compare", path, a, b, dim] => {
-            let engine = load_engine(path)?;
+            let engine = load_engine(&[path])?;
             let dimension = parse_dimension(dim)?;
             let verdict = engine.compare(
                 &SystemId::new(*a),
@@ -139,12 +190,158 @@ pub fn run(args: &[&str]) -> Result<String, String> {
     }
 }
 
-fn load_engine(path: &str) -> Result<Engine, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
-    let scenario: Scenario = netarch_rt::json::from_str(&text)
-        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+// ---------------------------------------------------------------------------
+// Scenario loading: .narch or JSON, detected per file
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Format {
+    Json,
+    Narch,
+}
+
+/// Extension wins; otherwise sniff the first non-whitespace byte (JSON
+/// scenario documents are objects, so they open with `{`).
+fn detect_format(path: &str, text: &str) -> Format {
+    if path.ends_with(".narch") {
+        return Format::Narch;
+    }
+    if path.ends_with(".json") {
+        return Format::Json;
+    }
+    match text.trim_start().as_bytes().first() {
+        Some(b'{') => Format::Json,
+        _ => Format::Narch,
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn lower_narch(sources: &[(&str, String)]) -> Result<dsl::ScenarioDoc, String> {
+    let mut loader = dsl::Loader::new();
+    for (path, text) in sources {
+        loader.add_source(path, text).map_err(|e| e.to_string())?;
+    }
+    loader.finish().map_err(|e| e.to_string())
+}
+
+/// Loads one scenario document from one JSON file or any number of
+/// `.narch` files.
+fn load_doc(paths: &[&str]) -> Result<dsl::ScenarioDoc, String> {
+    let mut narch: Vec<(&str, String)> = Vec::new();
+    let mut json: Vec<(&str, String)> = Vec::new();
+    for path in paths {
+        let text = read_file(path)?;
+        match detect_format(path, &text) {
+            Format::Narch => narch.push((path, text)),
+            Format::Json => json.push((path, text)),
+        }
+    }
+    match (narch.is_empty(), json.len()) {
+        (false, 0) => lower_narch(&narch),
+        (true, 1) => {
+            let (path, text) = &json[0];
+            let scenario: Scenario = netarch_rt::json::from_str(text).map_err(|e| {
+                format!(
+                    "cannot parse {path} as a JSON scenario: {e}\n\
+                     (if this is DSL text, name it *.narch so the format is unambiguous)"
+                )
+            })?;
+            Ok(dsl::ScenarioDoc {
+                catalog: scenario.catalog.clone(),
+                workloads: scenario.workloads.clone(),
+                scenario: Some(scenario),
+                queries: Vec::new(),
+            })
+        }
+        (true, 0) => Err("no scenario files given".to_string()),
+        (true, _) => Err("more than one JSON scenario given; pass exactly one".to_string()),
+        (false, _) => {
+            Err("cannot mix JSON and .narch scenario files in one invocation".to_string())
+        }
+    }
+}
+
+fn load_engine(paths: &[&str]) -> Result<Engine, String> {
+    let doc = load_doc(paths)?;
+    let scenario = doc.require_scenario().map_err(|e| e.to_string())?.clone();
     Engine::new(scenario).map_err(|e| e.to_string())
+}
+
+fn summarize(doc: &dsl::ScenarioDoc) -> String {
+    let mut out = format!(
+        "{} systems, {} hardware models, {} ordering edges, {} workloads",
+        doc.catalog.num_systems(),
+        doc.catalog.num_hardware(),
+        doc.catalog.order().edges().len(),
+        doc.workloads.len(),
+    );
+    match &doc.scenario {
+        Some(s) => out.push_str(&format!(
+            "\nscenario: {} params, {} roles, {} objectives, {} pins",
+            s.params.len(),
+            s.roles.len(),
+            s.objectives.len(),
+            s.pins.len(),
+        )),
+        None => out.push_str("\nno scenario block (catalog-only document)"),
+    }
+    if !doc.queries.is_empty() {
+        let kinds: Vec<&str> = doc.queries.iter().map(|q| q.kind()).collect();
+        out.push_str(&format!("\nqueries: {}", kinds.join(", ")));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Corpus export: the generator for the committed corpus/*.narch files
+// ---------------------------------------------------------------------------
+
+/// Writes the Rust-built corpus as canonical `.narch` files under `dir`.
+/// The committed `corpus/` tree is this command's output; CI regenerates
+/// it and diffs to keep text and builders in lockstep.
+fn export_narch(dir: &str) -> Result<String, String> {
+    use netarch::corpus as c;
+    let files: Vec<(&str, String)> = vec![
+        ("systems/stacks.narch", dsl::print_systems(&c::stacks::systems())),
+        ("systems/congestion.narch", dsl::print_systems(&c::congestion::systems())),
+        ("systems/monitoring.narch", dsl::print_systems(&c::monitoring::systems())),
+        ("systems/firewalls.narch", dsl::print_systems(&c::firewalls::systems())),
+        ("systems/vswitches.narch", dsl::print_systems(&c::vswitches::systems())),
+        ("systems/load_balancers.narch", dsl::print_systems(&c::load_balancers::systems())),
+        ("systems/transports.narch", dsl::print_systems(&c::transports::systems())),
+        ("systems/misc.narch", dsl::print_systems(&c::misc::systems())),
+        ("hardware/switches.narch", dsl::print_hardware(&c::hardware::switches::specs())),
+        ("hardware/nics.narch", dsl::print_hardware(&c::hardware::nics::specs())),
+        ("hardware/servers.narch", dsl::print_hardware(&c::hardware::servers::specs())),
+        ("orderings.narch", dsl::print_orderings(&c::orderings::edges())),
+        ("case_study.narch", {
+            let mut text = dsl::print_scenario_inputs(&c::case_study::scenario());
+            text.push('\n');
+            text.push_str(&dsl::print_queries(&[
+                dsl::QuerySpec::Check,
+                dsl::QuerySpec::Optimize,
+            ]));
+            text
+        }),
+    ];
+    let root = std::path::Path::new(dir);
+    let mut report = String::new();
+    for (rel, body) in &files {
+        let path = root.join(rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        let header = "# Generated by `netarch export-narch` from the netarch-corpus crate.\n\
+             # Edit the Rust encodings and regenerate; CI diffs this file.\n\n";
+        std::fs::write(&path, format!("{header}{body}"))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        report.push_str(&format!("wrote {}\n", path.display()));
+    }
+    Ok(report)
 }
 
 fn parse_dimension(text: &str) -> Result<Dimension, String> {

@@ -1,6 +1,8 @@
 //! Facade crate re-exporting the netarch workspace.
 pub use netarch_core as core;
 pub use netarch_corpus as corpus;
+pub use netarch_dsl as dsl;
 pub use netarch_extract as extract;
 pub use netarch_logic as logic;
+pub use netarch_rt as rt;
 pub use netarch_sat as sat;

@@ -103,6 +103,174 @@ fn bad_usage_fails_with_help() {
     assert!(stderr.contains("cannot read"), "{stderr}");
 }
 
+// ---------------------------------------------------------------------------
+// .narch frontend: format detection, load/validate/fmt, parity with JSON
+// ---------------------------------------------------------------------------
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn corpus_narch_paths() -> Vec<String> {
+    let mut paths = Vec::new();
+    for dir in ["corpus/systems", "corpus/hardware"] {
+        for entry in std::fs::read_dir(repo_path(dir)).expect("corpus dir exists") {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "narch") {
+                paths.push(path.to_str().unwrap().to_string());
+            }
+        }
+    }
+    paths.push(repo_path("corpus/orderings.narch"));
+    paths.push(repo_path("corpus/case_study.narch"));
+    paths
+}
+
+#[test]
+fn check_accepts_narch_scenario_files() {
+    let (ok, stdout, stderr) = netarch(&["check", &repo_path("examples/minimal.narch")]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.starts_with("FEASIBLE"), "{stdout}");
+    assert!(stdout.contains("SIMON"), "{stdout}");
+}
+
+/// The tentpole acceptance criterion: a `.narch` scenario and its JSON
+/// equivalent produce byte-identical answers.
+#[test]
+fn narch_and_json_scenarios_answer_identically() {
+    let json_path = demo_scenario_path();
+    let (ok, narch_text, stderr) = netarch(&["demo", "--narch"]);
+    assert!(ok, "{stderr}");
+    let narch_path =
+        std::env::temp_dir().join(format!("netarch-cli-test-{}.narch", std::process::id()));
+    std::fs::write(&narch_path, narch_text).unwrap();
+
+    let from_json = netarch(&["check", json_path.to_str().unwrap()]);
+    let from_narch = netarch(&["check", narch_path.to_str().unwrap()]);
+    assert!(from_json.0 && from_narch.0);
+    assert_eq!(from_json.1, from_narch.1, "check answers diverge across formats");
+
+    let from_json = netarch(&["optimize", json_path.to_str().unwrap()]);
+    let from_narch = netarch(&["optimize", narch_path.to_str().unwrap()]);
+    std::fs::remove_file(&json_path).ok();
+    std::fs::remove_file(&narch_path).ok();
+    assert!(from_json.0 && from_narch.0);
+    assert_eq!(from_json.1, from_narch.1, "optimize answers diverge across formats");
+}
+
+#[test]
+fn format_detection_sniffs_content_without_extension() {
+    // A JSON scenario under a neutral extension still loads.
+    let (_, json_text, _) = netarch(&["demo"]);
+    let path = std::env::temp_dir().join(format!("netarch-sniff-{}.tmp", std::process::id()));
+    std::fs::write(&path, json_text).unwrap();
+    let (ok, stdout, stderr) = netarch(&["check", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stderr}");
+    assert!(stdout.starts_with("FEASIBLE"));
+
+    // Malformed JSON gets the format hint.
+    let path = std::env::temp_dir().join(format!("netarch-sniff2-{}.json", std::process::id()));
+    std::fs::write(&path, "{ not json").unwrap();
+    let (ok, _, stderr) = netarch(&["check", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(!ok);
+    assert!(stderr.contains("cannot parse"), "{stderr}");
+}
+
+#[test]
+fn load_merges_the_split_corpus_and_summarizes() {
+    let paths = corpus_narch_paths();
+    let args: Vec<&str> =
+        std::iter::once("load").chain(paths.iter().map(String::as_str)).collect();
+    let (ok, stdout, stderr) = netarch(&args);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("hardware models"), "{stdout}");
+    assert!(stdout.contains("queries: check, optimize"), "{stdout}");
+}
+
+#[test]
+fn validate_passes_corpus_and_catches_dangling_references() {
+    let paths = corpus_narch_paths();
+    let args: Vec<&str> =
+        std::iter::once("validate").chain(paths.iter().map(String::as_str)).collect();
+    let (ok, stdout, stderr) = netarch(&args);
+    assert!(ok, "{stderr}");
+    assert!(stdout.starts_with("OK"), "{stdout}");
+
+    let path = std::env::temp_dir().join(format!("netarch-dangling-{}.narch", std::process::id()));
+    std::fs::write(
+        &path,
+        "system \"A\" { category = transport  conflicts = [GHOST] }",
+    )
+    .unwrap();
+    let (ok, _, stderr) = netarch(&["validate", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(!ok);
+    assert!(stderr.contains("dangling"), "{stderr}");
+}
+
+#[test]
+fn fmt_is_canonical_and_idempotent() {
+    let (ok, once, stderr) = netarch(&["fmt", &repo_path("examples/minimal.narch")]);
+    assert!(ok, "{stderr}");
+    let path = std::env::temp_dir().join(format!("netarch-fmt-{}.narch", std::process::id()));
+    std::fs::write(&path, &once).unwrap();
+    let (ok, twice, _) = netarch(&["fmt", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    assert_eq!(once, twice, "fmt is not idempotent");
+
+    // fmt refuses JSON input.
+    let json_path = demo_scenario_path();
+    let (ok, _, stderr) = netarch(&["fmt", json_path.to_str().unwrap()]);
+    std::fs::remove_file(&json_path).ok();
+    assert!(!ok);
+    assert!(stderr.contains("formats DSL text only"), "{stderr}");
+}
+
+/// Golden spanned-error test: a syntax error reports `file:line:col` and
+/// the offending detail, and exits nonzero.
+#[test]
+fn narch_errors_carry_file_line_and_column() {
+    let path = std::env::temp_dir().join(format!("netarch-err-{}.narch", std::process::id()));
+    // Column 14 on line 2: `category` misspelled.
+    std::fs::write(
+        &path,
+        "system \"X\" {\n  categorie = monitoring\n}\n",
+    )
+    .unwrap();
+    let (ok, _, stderr) = netarch(&["check", path.to_str().unwrap()]);
+    assert!(!ok);
+    let expected = format!("{}:2:3: unknown attribute `categorie`", path.display());
+    assert!(stderr.contains(&expected), "missing spanned diagnostic; got:\n{stderr}");
+
+    // Lexer-level error, different position.
+    std::fs::write(&path, "system \"X\" {\n  cost_usd = @\n}\n").unwrap();
+    let (ok, _, stderr) = netarch(&["fmt", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(!ok);
+    assert!(stderr.contains(":2:14"), "missing lexer span; got:\n{stderr}");
+}
+
+#[test]
+fn export_narch_regenerates_committed_corpus_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("netarch-export-{}", std::process::id()));
+    let (ok, _, stderr) = netarch(&["export-narch", dir.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    for rel in [
+        "systems/stacks.narch",
+        "hardware/nics.narch",
+        "orderings.narch",
+        "case_study.narch",
+    ] {
+        let generated = std::fs::read_to_string(dir.join(rel)).unwrap();
+        let committed = std::fs::read_to_string(repo_path(&format!("corpus/{rel}"))).unwrap();
+        assert_eq!(generated, committed, "committed corpus/{rel} is stale — regenerate");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn json_flag_emits_machine_readable_designs() {
     let path = demo_scenario_path();
