@@ -180,11 +180,10 @@ fn main() {
         "bound": bound,
     };
     println!("RESULT_JSON: {}", netarch_rt::json::to_string(&summary));
-    if !smoke {
-        // Smoke runs (CI) use few instances; only full runs update the
-        // committed trajectory file.
-        netarch_bench::persist_result("portfolio", &summary);
-    }
+    // Smoke runs (CI) use few instances; they persist only into an
+    // explicit NETARCH_BENCH_DIR scratch dir, never over the committed
+    // trajectory file.
+    netarch_bench::persist_result_gated("portfolio", &summary, smoke);
 
     if disagreements > 0 {
         eprintln!("FAIL: {disagreements} verdict disagreement(s) between backends");

@@ -104,6 +104,19 @@ pub fn persist_result(area: &str, summary: &netarch_rt::Json) {
     }
 }
 
+/// Like [`persist_result`], but gated for smoke runs: a smoke summary is
+/// persisted only when `NETARCH_BENCH_DIR` is explicitly set (CI pointing
+/// the output at a scratch dir for shape checks and the regression gate).
+/// A bare smoke run never overwrites the committed trajectory files,
+/// whose numbers come from full runs only.
+pub fn persist_result_gated(area: &str, summary: &netarch_rt::Json, smoke: bool) {
+    if smoke && std::env::var_os("NETARCH_BENCH_DIR").is_none() {
+        println!("smoke run without NETARCH_BENCH_DIR: not persisting BENCH_{area}.json");
+        return;
+    }
+    persist_result(area, summary);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

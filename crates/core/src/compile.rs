@@ -68,6 +68,12 @@ pub struct CompileStats {
     /// Decisive one-shot solves dispatched to the parallel portfolio
     /// backend (0 under the default sequential backend).
     pub portfolio_solves: u64,
+    /// Conflicts resolved by the session solver over its lifetime.
+    pub conflicts: u64,
+    /// Learned clauses currently credited to the session solver — the
+    /// state a serving layer preserves when it caches compiled scenarios
+    /// and routes repeat traffic back to a warm session.
+    pub learnt_clauses: u64,
 }
 
 /// A scenario compiled to SAT, ready for queries.

@@ -55,6 +55,7 @@ pub mod condition;
 pub mod disambiguate;
 pub mod error;
 pub mod explain;
+pub mod fingerprint;
 pub mod ordering;
 pub mod query;
 pub mod scenario;
@@ -70,6 +71,9 @@ pub mod prelude {
     pub use crate::disambiguate::{plan_questions, render_plan, Disambiguation, Question};
     pub use crate::error::{CatalogError, CompileError};
     pub use crate::explain::{render_diagnosis, suggest_relaxations};
+    pub use crate::fingerprint::{
+        fingerprint_catalog, fingerprint_scenario, Fingerprint, ScenarioFingerprint,
+    };
     pub use crate::ordering::{Comparison, EdgeKind, OrderingEdge, PreferenceOrder};
     pub use crate::query::{CapacityPlan, Diagnosis, Engine, MeasurementAdvice, Outcome};
     pub use crate::scenario::{Inventory, Objective, Pin, RoleRule, Scenario};

@@ -180,6 +180,8 @@ impl Engine {
             session_solves: solver.solves,
             retired_activations: solver.retired_activations,
             portfolio_solves,
+            conflicts: solver.conflicts,
+            learnt_clauses: solver.learnt_clauses,
             ..self.compiled.stats
         }
     }

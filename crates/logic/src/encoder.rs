@@ -104,6 +104,12 @@ impl Encoder {
         &mut self.solver
     }
 
+    /// Snapshot of the session solver's counters — the learned-clause and
+    /// conflict totals a serving layer reports per cached session.
+    pub fn solver_stats(&self) -> netarch_sat::Stats {
+        *self.solver.stats()
+    }
+
     /// Number of auxiliary (Tseitin/cardinality) variables created.
     pub fn aux_var_count(&self) -> usize {
         self.aux_vars

@@ -51,7 +51,11 @@ impl ProofStep {
 /// to a writer, or compute statistics. Sinks observe *derived* clauses
 /// only: the original problem clauses are the CNF the proof is checked
 /// against, not part of the proof itself.
-pub trait ProofSink {
+///
+/// Sinks must be `Send`: a solver carrying one is a long-lived session
+/// object that serving layers hand off between worker threads, so the
+/// whole solver (sink included) has to be movable across threads.
+pub trait ProofSink: Send {
     /// A clause was derived (learned, strengthened, or concluded). The
     /// clause must be redundant with respect to the clauses accumulated so
     /// far (original CNF plus earlier additions, minus deletions).

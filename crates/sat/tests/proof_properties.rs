@@ -339,16 +339,18 @@ fn proof_logging_observably_off_by_default() {
 
 #[test]
 fn streaming_sink_receives_the_same_steps() {
-    struct CountingSink(std::rc::Rc<std::cell::RefCell<(usize, usize)>>);
+    // Arc<Mutex<…>>, not Rc<RefCell<…>>: ProofSink is Send (sinks travel
+    // inside solvers that serving layers move across threads).
+    struct CountingSink(std::sync::Arc<std::sync::Mutex<(usize, usize)>>);
     impl netarch_sat::ProofSink for CountingSink {
         fn add_clause(&mut self, _clause: &[Lit]) {
-            self.0.borrow_mut().0 += 1;
+            self.0.lock().unwrap().0 += 1;
         }
         fn delete_clause(&mut self, _clause: &[Lit]) {
-            self.0.borrow_mut().1 += 1;
+            self.0.lock().unwrap().1 += 1;
         }
     }
-    let counts = std::rc::Rc::new(std::cell::RefCell::new((0usize, 0usize)));
+    let counts = std::sync::Arc::new(std::sync::Mutex::new((0usize, 0usize)));
     let (num_vars, clauses) = pigeonhole_clauses(4);
 
     let mut recorder = recording_solver(num_vars, &clauses, SolverConfig::default());
@@ -366,7 +368,7 @@ fn streaming_sink_receives_the_same_steps() {
     assert!(streamer.take_proof().is_none());
     // …but it saw exactly the steps the recorder recorded (the solver is
     // deterministic for a fixed instance and configuration).
-    let (adds, deletes) = *counts.borrow();
+    let (adds, deletes) = *counts.lock().unwrap();
     assert_eq!(adds, proof.num_additions());
     assert_eq!(deletes, proof.num_deletions());
 }

@@ -40,7 +40,7 @@ NETARCH_BENCH_DIR="$narch_tmp" \
 echo "== bench trajectory files =="
 # The committed BENCH_*.json perf summaries must parse and name their
 # experiment (full checks live in tests/bench_trajectory.rs, run above).
-for f in BENCH_scaling.json BENCH_incremental.json BENCH_portfolio.json BENCH_parse.json; do
+for f in BENCH_scaling.json BENCH_incremental.json BENCH_portfolio.json BENCH_parse.json BENCH_serve.json; do
     [ -s "$f" ] || { echo "error: missing trajectory file $f" >&2; exit 1; }
 done
 
@@ -69,7 +69,29 @@ echo "== portfolio smoke =="
 # Reduced corpus: zero verdict disagreements and a ≥1.0× median speedup
 # for 4 diversified workers vs 1 (the full bound of ≥1.5× is asserted by
 # the un-flagged run, which CI skips for time).
-cargo run --release --offline -q -p netarch-bench --bin exp_portfolio -- --smoke
+NETARCH_BENCH_DIR="$narch_tmp" \
+    cargo run --release --offline -q -p netarch-bench --bin exp_portfolio -- --smoke
+
+echo "== serving suite (2 threads) =="
+# The sharded service under the portfolio backend: every shard count ×
+# cache mode must match fresh single-use engines, and seeded runs must
+# reproduce bit-identically modulo timing.
+NETARCH_THREADS=2 cargo test -q --offline -p netarch-serve \
+    --test service_differential --test service_determinism
+
+echo "== serving smoke =="
+# Reduced pool + tape through the sharded service with the full
+# differential oracle; persists BENCH_serve.json to the temp dir for the
+# regression gate below (the committed file only tracks full runs).
+NETARCH_BENCH_DIR="$narch_tmp" \
+    cargo run --release --offline -q -p netarch-bench --bin exp_serve -- --smoke
+
+echo "== bench regression gate =="
+# Compare the candidate trajectory written above against the committed
+# BENCH_*.json files: full-fidelity timings within the allowed factor,
+# smoke runs held to their own bounds and zero disagreements.
+NETARCH_BENCH_CANDIDATE="$narch_tmp" \
+    cargo test -q --offline --test bench_regression
 
 echo "== seeded-RNG policy =="
 # Solver, portfolio, and their tests must not read wall clock or ambient

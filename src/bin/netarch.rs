@@ -58,6 +58,16 @@ const USAGE: &str = "usage:
   netarch enumerate <file>... <limit>     design equivalence classes
   netarch questions <file>...             disambiguation question plan
   netarch compare <file> <A> <B> <dim>    rule-of-thumb comparison
+  netarch serve-replay <file>... [opts]   replay a seeded request tape through
+                                          the sharded multi-tenant service
+    opts: --spec <spec.json>   replay spec (seed/requests/mix weights)
+          --requests <n>       tape length           (default 64)
+          --seed <n>           tape PRNG seed        (default 0)
+          --shards <n>         worker shards         (default 2)
+          --sessions <n>       warm sessions/shard   (default 4)
+          --no-cache           compile every request (baseline mode)
+          --oracle             differentially check each answer against
+                               a fresh single-use engine
 
 scenario files are .narch text (the declarative DSL) or JSON; the format
 is detected from the extension, falling back to a content sniff (JSON
@@ -175,6 +185,7 @@ pub fn run(args: &[&str]) -> Result<String, String> {
             let plan = engine.disambiguate(256).map_err(|e| e.to_string())?;
             Ok(netarch::core::disambiguate::render_plan(&plan))
         }
+        ["serve-replay", rest @ ..] if !rest.is_empty() => serve_replay(rest, json),
         ["compare", path, a, b, dim] => {
             let engine = load_engine(&[path])?;
             let dimension = parse_dimension(dim)?;
@@ -188,6 +199,137 @@ pub fn run(args: &[&str]) -> Result<String, String> {
         [] => Err("no command given".to_string()),
         other => Err(format!("unrecognized command {:?}", other.join(" "))),
     }
+}
+
+// ---------------------------------------------------------------------------
+// serve-replay: deterministic load replay through the sharded service
+// ---------------------------------------------------------------------------
+
+/// Parses the serve-replay argument list (scenario paths interleaved
+/// with flags), builds the tape, runs the service, and reports.
+fn serve_replay(args: &[&str], json: bool) -> Result<String, String> {
+    use netarch::serve::{self, ReplaySpec, Service, ServiceConfig};
+
+    let mut paths: Vec<&str> = Vec::new();
+    let mut spec = ReplaySpec::default();
+    let mut spec_overrides: Vec<(&str, u64)> = Vec::new();
+    let mut shards = 2usize;
+    let mut sessions = 4usize;
+    let mut cache = true;
+    let mut oracle = false;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        let mut value = |flag: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .parse::<u64>()
+                .map_err(|_| format!("{flag} needs a non-negative integer"))
+        };
+        match arg {
+            "--spec" => {
+                let path = it.next().ok_or("--spec needs a file")?;
+                let text = read_file(path)?;
+                let parsed = netarch_rt::json::from_str(&text)
+                    .map_err(|e| format!("cannot parse {path}: {e}"))?;
+                spec = ReplaySpec::from_json(&parsed)?;
+            }
+            "--requests" => spec_overrides.push(("requests", value("--requests")?)),
+            "--seed" => spec_overrides.push(("seed", value("--seed")?)),
+            "--shards" => shards = value("--shards")?.max(1) as usize,
+            "--sessions" => sessions = value("--sessions")?.max(1) as usize,
+            "--no-cache" => cache = false,
+            "--oracle" => oracle = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown serve-replay flag {flag:?}"))
+            }
+            path => paths.push(path),
+        }
+    }
+    // CLI overrides win over the spec file regardless of argument order.
+    for (key, value) in spec_overrides {
+        match key {
+            "requests" => spec.requests = value as usize,
+            "seed" => spec.seed = value,
+            _ => unreachable!(),
+        }
+    }
+    if paths.is_empty() {
+        return Err("serve-replay needs at least one scenario file".to_string());
+    }
+
+    let doc = load_doc(&paths)?;
+    let scenario = doc.require_scenario().map_err(|e| e.to_string())?.clone();
+    let tape = serve::generate_tape(&spec, &[scenario]);
+    let config = ServiceConfig {
+        shards,
+        sessions_per_shard: sessions,
+        cache,
+        backend: netarch::logic::backend_from_env(),
+    };
+    let started = std::time::Instant::now();
+    let (responses, stats) = Service::run(config, tape.clone());
+    let elapsed_micros = started.elapsed().as_micros() as u64;
+
+    let mut disagreements = 0usize;
+    if oracle {
+        for (request, response) in tape.iter().zip(&responses) {
+            let expected = match Engine::new(request.scenario.clone()) {
+                Ok(mut engine) => serve::request::run_query(&mut engine, &request.query),
+                Err(e) => Err(e.to_string()),
+            };
+            if expected != response.answer {
+                disagreements += 1;
+            }
+        }
+    }
+
+    let summary = serve::report::summary(&responses, &stats, elapsed_micros);
+    if oracle && disagreements > 0 {
+        return Err(format!(
+            "{disagreements} response(s) disagreed with the fresh-engine oracle"
+        ));
+    }
+    if json {
+        return Ok(netarch_rt::json::to_string_pretty(&summary));
+    }
+    let count = |key: &str| summary.get(key).and_then(netarch_rt::Json::as_u64).unwrap_or(0);
+    let mut out = format!(
+        "replayed {} requests ({} cold / {} repeat / {} variant) on {} shard(s)\n",
+        count("requests"),
+        count("cold"),
+        count("repeat"),
+        count("variant"),
+        count("shards"),
+    );
+    out.push_str(&format!(
+        "cache: {} hits, {} misses, {} evictions, {} sessions retained\n",
+        count("cache_hits"),
+        count("cache_misses"),
+        count("evictions"),
+        count("sessions_retained"),
+    ));
+    let p = |path: [&str; 2]| {
+        summary
+            .get(path[0])
+            .and_then(|l| l.get(path[1]))
+            .and_then(netarch_rt::Json::as_u64)
+            .unwrap_or(0)
+    };
+    out.push_str(&format!(
+        "latency µs: p50 {} / p95 {} / p99 {} (warm p50 {}, cold p50 {})\n",
+        p(["latency", "p50_us"]),
+        p(["latency", "p95_us"]),
+        p(["latency", "p99_us"]),
+        p(["warm_latency", "p50_us"]),
+        p(["cold_latency", "p50_us"]),
+    ));
+    if count("errors") > 0 {
+        out.push_str(&format!("{} request(s) answered with errors\n", count("errors")));
+    }
+    if oracle {
+        out.push_str("oracle: every response matched a fresh single-use engine\n");
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------

@@ -16,7 +16,7 @@ fn load(area: &str) -> Json {
 
 #[test]
 fn every_trajectory_file_names_its_experiment() {
-    for area in ["scaling", "incremental", "portfolio", "parse"] {
+    for area in ["scaling", "incremental", "portfolio", "parse", "serve"] {
         let v = load(area);
         assert_eq!(
             v.get("experiment").and_then(Json::as_str),
@@ -33,6 +33,21 @@ fn portfolio_trajectory_comes_from_a_full_run() {
         v.get("smoke").and_then(Json::as_bool),
         Some(false),
         "only full (non --smoke) portfolio runs may update the trajectory"
+    );
+}
+
+#[test]
+fn serve_trajectory_comes_from_a_clean_full_run() {
+    let v = load("serve");
+    assert_eq!(
+        v.get("smoke").and_then(Json::as_bool),
+        Some(false),
+        "only full (non --smoke) serving runs may update the trajectory"
+    );
+    assert_eq!(
+        v.get("disagreements").and_then(Json::as_u64),
+        Some(0),
+        "the committed serving run must agree with the fresh-engine oracle"
     );
 }
 
