@@ -1,0 +1,244 @@
+//! Inprocessing ablation: restart-boundary simplification on vs off,
+//! measured on incremental query sessions.
+//!
+//! Each corpus entry is a padded formula — a random 3-SAT core plus
+//! redundant superset copies of every clause and single-use bridge
+//! variables — serving a stream of assumption queries, the same shape the
+//! `netarch-core` session engine produces. The configuration with
+//! inprocessing off pays for the dead weight on every query; the default
+//! configuration strips it at the first restart boundaries (subsumption
+//! deletes the supersets, bounded variable elimination resolves the bridge
+//! variables away) and answers the rest of the stream against the clean
+//! clause set. Core variables are frozen up front, as the freeze contract
+//! requires for variables that later appear in assumptions.
+//!
+//! Per-query verdicts of the two configurations must agree exactly; any
+//! disagreement exits nonzero. The figure of merit is the median
+//! whole-session wall-clock speedup, which averages out single-query
+//! trajectory noise.
+//!
+//! `--smoke` runs a reduced corpus with a conservative ≥1.0× median bound
+//! (vs ≥1.3× for the full run) so CI can gate on it without flaking.
+
+use netarch_rt::Rng;
+use netarch_sat::{Lit, SolveResult, Solver, SolverConfig, Stats, Var};
+use std::time::Instant;
+
+/// Random 3-SAT at the given ratio (both phases allowed).
+fn random_3sat(num_vars: usize, ratio: f64, rng: &mut Rng) -> Vec<Vec<Lit>> {
+    let num_clauses = (num_vars as f64 * ratio) as usize;
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let mut clause: Vec<Lit> = Vec::with_capacity(3);
+        while clause.len() < 3 {
+            let v = rng.gen_range(0..num_vars);
+            if clause.iter().all(|l| l.var().index() != v) {
+                clause.push(Lit::new(Var::from_index(v), rng.gen_bool(0.5)));
+            }
+        }
+        clauses.push(clause);
+    }
+    clauses
+}
+
+/// Pads a formula with `copies` redundant supersets of every clause, each
+/// widened by `extra` fresh-phase literals over the core variable range,
+/// plus one single-use bridge variable per core clause (`C ∨ b` and
+/// `C ∨ ¬b`). The padded formula is logically equivalent to the core;
+/// subsumption deletes every superset and variable elimination resolves
+/// every bridge away, while the off configuration drags both through the
+/// whole session.
+fn pad(
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    copies: usize,
+    extra: usize,
+    rng: &mut Rng,
+) -> (usize, Vec<Vec<Lit>>) {
+    let mut padded: Vec<Vec<Lit>> = clauses.to_vec();
+    for clause in clauses {
+        for _ in 0..copies {
+            let mut superset = clause.clone();
+            while superset.len() < clause.len() + extra {
+                let v = rng.gen_range(0..num_vars);
+                if superset.iter().all(|l| l.var().index() != v) {
+                    superset.push(Lit::new(Var::from_index(v), rng.gen_bool(0.5)));
+                }
+            }
+            padded.push(superset);
+        }
+    }
+    let mut next = num_vars;
+    for clause in clauses.iter() {
+        let b = Var::from_index(next).positive();
+        next += 1;
+        let mut with = clause.clone();
+        with.push(b);
+        let mut without = clause.clone();
+        without.push(!b);
+        padded.push(with);
+        padded.push(without);
+    }
+    (next, padded)
+}
+
+struct Session {
+    label: String,
+    core_vars: usize,
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    queries: usize,
+}
+
+fn corpus(smoke: bool) -> Vec<Session> {
+    let mut rng = Rng::seed_from_u64(0x1A9C_0CE5);
+    let shapes: &[(usize, f64, usize)] = if smoke {
+        &[(110, 3.9, 150), (120, 3.9, 150), (130, 3.9, 150)]
+    } else {
+        &[
+            (140, 3.9, 250),
+            (150, 3.9, 250),
+            (160, 3.9, 200),
+            (170, 3.9, 200),
+            (140, 4.0, 250),
+            (150, 4.0, 250),
+            (160, 3.8, 200),
+            (170, 3.8, 200),
+        ]
+    };
+    shapes
+        .iter()
+        .map(|&(vars, ratio, queries)| {
+            let core = random_3sat(vars, ratio, &mut rng);
+            let (num_vars, clauses) = pad(vars, &core, 10, 4, &mut rng);
+            Session {
+                label: format!("session/{vars}r{ratio}"),
+                core_vars: vars,
+                num_vars,
+                clauses,
+                queries,
+            }
+        })
+        .collect()
+}
+
+/// Runs the session's query stream and returns the wall time, the final
+/// solver statistics, and the verdict sequence. The query stream is seeded
+/// per session, so both configurations see identical assumptions.
+fn run_session(session: &Session, config: SolverConfig) -> (f64, Stats, Vec<SolveResult>) {
+    let mut s = Solver::with_config(config);
+    s.ensure_vars(session.num_vars);
+    for v in 0..session.core_vars {
+        s.freeze_var(Var::from_index(v));
+    }
+    for c in &session.clauses {
+        s.add_clause(c.iter().copied());
+    }
+    let mut rng = Rng::seed_from_u64(0x9E1D_0000);
+    let mut verdicts = Vec::with_capacity(session.queries);
+    let start = Instant::now();
+    for _ in 0..session.queries {
+        let n = rng.gen_range(2..=4usize);
+        let mut lits: Vec<Lit> = (0..n)
+            .map(|_| {
+                Lit::new(Var::from_index(rng.gen_range(0..session.core_vars)), rng.gen_bool(0.5))
+            })
+            .collect();
+        lits.sort_by_key(|l| l.var().index());
+        lits.dedup_by_key(|l| l.var().index());
+        verdicts.push(s.solve_with(&lits));
+    }
+    (start.elapsed().as_secs_f64(), *s.stats(), verdicts)
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values[values.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let bound = if smoke { 1.0 } else { 1.3 };
+    netarch_bench::section(if smoke {
+        "Inprocessing ablation (smoke corpus): default config vs inprocessing off"
+    } else {
+        "Inprocessing ablation: default config vs inprocessing off"
+    });
+
+    let off_config = SolverConfig { inprocessing_enabled: false, ..SolverConfig::default() };
+    let sessions = corpus(smoke);
+    let mut speedups = Vec::with_capacity(sessions.len());
+    let mut disagreements = 0usize;
+    let (mut subsumed, mut strengthened, mut eliminated, mut vivified) = (0u64, 0u64, 0u64, 0u64);
+    println!(
+        "  {:<18} {:>8} {:>10} {:>10} {:>8} {:>8} {:>6} {:>7}",
+        "session", "queries", "t-off", "t-on", "speedup", "subsume", "elim", "rounds"
+    );
+    for session in &sessions {
+        let (t_off, _, v_off) = run_session(session, off_config.clone());
+        let (t_on, stats, v_on) = run_session(session, SolverConfig::default());
+        let mismatches = v_off.iter().zip(&v_on).filter(|(a, b)| a != b).count();
+        if mismatches > 0 {
+            disagreements += mismatches;
+            eprintln!("DISAGREEMENT on {}: {mismatches} of {} queries", session.label, v_off.len());
+        }
+        subsumed += stats.subsumed;
+        strengthened += stats.strengthened;
+        eliminated += stats.eliminated_vars;
+        vivified += stats.vivified;
+        let speedup = t_off / t_on.max(1e-9);
+        speedups.push(speedup);
+        println!(
+            "  {:<18} {:>8} {:>9.1}ms {:>9.1}ms {:>7.2}x {:>8} {:>6} {:>7}",
+            session.label,
+            session.queries,
+            t_off * 1e3,
+            t_on * 1e3,
+            speedup,
+            stats.subsumed,
+            stats.eliminated_vars,
+            stats.inprocessings,
+        );
+    }
+
+    let med = median(&mut speedups);
+    println!("\n  sessions                    {:>8}", sessions.len());
+    println!("  verdict disagreements       {:>8}", disagreements);
+    println!("  clauses subsumed            {:>8}", subsumed);
+    println!("  clauses strengthened        {:>8}", strengthened);
+    println!("  variables eliminated        {:>8}", eliminated);
+    println!("  clauses vivified            {:>8}", vivified);
+    println!("  median session speedup      {med:>7.2}x (bound {bound:.1}x)");
+
+    let summary = netarch_rt::jobj! {
+        "experiment": "inprocess",
+        "smoke": smoke,
+        "sessions": sessions.len(),
+        "disagreements": disagreements,
+        "subsumed": subsumed,
+        "strengthened": strengthened,
+        "eliminated_vars": eliminated,
+        "vivified": vivified,
+        "median_speedup": med,
+        "bound": bound,
+    };
+    println!("RESULT_JSON: {}", netarch_rt::json::to_string(&summary));
+    // Smoke runs (CI) use few sessions; they persist only into an explicit
+    // NETARCH_BENCH_DIR scratch dir, never over the committed trajectory
+    // file.
+    netarch_bench::persist_result_gated("inprocess", &summary, smoke);
+
+    if disagreements > 0 {
+        eprintln!("FAIL: {disagreements} per-query verdict disagreement(s) between configurations");
+        std::process::exit(1);
+    }
+    if subsumed == 0 || eliminated == 0 {
+        eprintln!("FAIL: the corpus did not exercise subsumption and variable elimination");
+        std::process::exit(1);
+    }
+    if med < bound {
+        eprintln!("FAIL: median session speedup {med:.2}x below the {bound:.1}x bound");
+        std::process::exit(1);
+    }
+    println!("\nPASS: zero disagreements, median session speedup {med:.2}x ≥ {bound:.1}x.");
+}

@@ -74,7 +74,37 @@ pub struct CompileStats {
     /// state a serving layer preserves when it caches compiled scenarios
     /// and routes repeat traffic back to a warm session.
     pub learnt_clauses: u64,
+    /// Clauses deleted by inprocessing subsumption in the session solver.
+    pub subsumed: u64,
+    /// Clauses strengthened by self-subsumption resolution.
+    pub strengthened: u64,
+    /// Variables removed by bounded variable elimination. Frozen variables
+    /// (atoms, selectors, cardinality structure) are never counted here —
+    /// a nonzero value only ever reflects eliminable Tseitin auxiliaries.
+    pub eliminated_vars: u64,
+    /// Clauses shortened by vivification probes.
+    pub vivified: u64,
+    /// Conflicts resolved by chronological backtracking.
+    pub chrono_backtracks: u64,
 }
+
+netarch_rt::impl_json_struct!(CompileStats {
+    rules,
+    decision_atoms,
+    clauses,
+    solver_vars,
+    recompiles,
+    session_solves,
+    retired_activations,
+    portfolio_solves,
+    conflicts,
+    learnt_clauses,
+    subsumed,
+    strengthened,
+    eliminated_vars,
+    vivified,
+    chrono_backtracks,
+});
 
 /// A scenario compiled to SAT, ready for queries.
 pub struct Compiled {
@@ -218,6 +248,7 @@ fn compile_inner(
     let mut encoder = Encoder::with_config(netarch_logic::EncodeConfig {
         verify_proofs: netarch_logic::proofs_requested(),
         backend,
+        solver: netarch_logic::solver_config_from_env(),
         ..netarch_logic::EncodeConfig::default()
     });
     let server_count = capacity_mode

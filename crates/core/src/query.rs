@@ -167,9 +167,18 @@ impl Engine {
         &self.scenario
     }
 
-    /// Compilation size metrics plus session-reuse counters.
+    /// Compilation size metrics plus session-reuse counters. Solver-side
+    /// counters aggregate over the main session solver and the cached
+    /// capacity engine's solver (capacity probes are session solves too).
     pub fn stats(&self) -> CompileStats {
-        let solver = self.compiled.encoder.solver().stats();
+        let main = *self.compiled.encoder.solver().stats();
+        let capacity = self
+            .capacity_cache
+            .as_ref()
+            .map(|(_, cc)| *cc.compiled.encoder.solver().stats());
+        let merged = |f: fn(&netarch_sat::Stats) -> u64| {
+            f(&main) + capacity.as_ref().map_or(0, f)
+        };
         let portfolio_solves = self.compiled.encoder.portfolio_solve_count()
             + self
                 .capacity_cache
@@ -177,13 +186,29 @@ impl Engine {
                 .map_or(0, |(_, cc)| cc.compiled.encoder.portfolio_solve_count());
         CompileStats {
             recompiles: self.recompiles,
-            session_solves: solver.solves,
-            retired_activations: solver.retired_activations,
+            session_solves: merged(|s| s.solves),
+            retired_activations: merged(|s| s.retired_activations),
             portfolio_solves,
-            conflicts: solver.conflicts,
-            learnt_clauses: solver.learnt_clauses,
+            conflicts: merged(|s| s.conflicts),
+            learnt_clauses: merged(|s| s.learnt_clauses),
+            subsumed: merged(|s| s.subsumed),
+            strengthened: merged(|s| s.strengthened),
+            eliminated_vars: merged(|s| s.eliminated_vars),
+            vivified: merged(|s| s.vivified),
+            chrono_backtracks: merged(|s| s.chrono_backtracks),
             ..self.compiled.stats
         }
+    }
+
+    /// Forces one inprocessing round (subsumption, vivification, bounded
+    /// variable elimination) on the persistent session solver — the
+    /// compaction a serving layer can run on warm cached sessions between
+    /// queries. The encoder freezes every variable future queries can
+    /// mention, so subsequent queries answer on the same compilation with
+    /// zero recompiles. Returns `false` when the session's constraints are
+    /// unsatisfiable outright.
+    pub fn inprocess_session(&mut self) -> bool {
+        self.compiled.encoder.inprocess()
     }
 
     /// Retires a query's activation literal, dissolving its gated clauses,

@@ -67,11 +67,13 @@ impl Default for PortfolioOptions {
 impl PortfolioOptions {
     /// Lowers these options into a `netarch_sat` portfolio configuration.
     /// `verify_proofs` disables sharing inside the portfolio and makes every
-    /// worker log a DRAT proof.
-    pub fn to_portfolio_config(&self, verify_proofs: bool) -> PortfolioConfig {
+    /// worker log a DRAT proof. `base` is the solver configuration every
+    /// worker inherits before diversification — this is how inprocessing
+    /// and chronological-backtracking settings reach portfolio workers.
+    pub fn to_portfolio_config(&self, verify_proofs: bool, base: SolverConfig) -> PortfolioConfig {
         PortfolioConfig {
             num_threads: self.num_threads,
-            base: SolverConfig::default(),
+            base,
             lbd_threshold: self.lbd_threshold,
             deterministic: self.deterministic,
             verify_proofs,
@@ -93,6 +95,32 @@ pub fn backend_from_env() -> SolveBackend {
     match threads_requested() {
         Some(n) if n >= 2 => SolveBackend::portfolio(n),
         _ => SolveBackend::Sequential,
+    }
+}
+
+/// The session solver configuration selected by the environment: the
+/// default configuration, with inprocessing switched off when
+/// `NETARCH_INPROCESS` requests it (see [`parse_inprocess`]). Inprocessing
+/// is on by default; the knob exists for A/B comparisons and for bisecting
+/// suspected inprocessing bugs without a rebuild.
+pub fn solver_config_from_env() -> SolverConfig {
+    let mut config = SolverConfig::default();
+    if let Some(enabled) = parse_inprocess(std::env::var("NETARCH_INPROCESS").ok().as_deref()) {
+        config.inprocessing_enabled = enabled;
+    }
+    config
+}
+
+/// Interprets a raw `NETARCH_INPROCESS` value: `0`/`off`/`false` disable
+/// restart-boundary inprocessing, `1`/`on`/`true` force it on, anything
+/// else (including unset) leaves the default. Split out as a pure helper
+/// (like [`parse_threads`]) so tests avoid process-global environment
+/// mutation.
+fn parse_inprocess(value: Option<&str>) -> Option<bool> {
+    match value?.trim().to_ascii_lowercase().as_str() {
+        "0" | "off" | "false" | "no" => Some(false),
+        "1" | "on" | "true" | "yes" => Some(true),
+        _ => None,
     }
 }
 
@@ -131,13 +159,25 @@ mod tests {
     }
 
     #[test]
+    fn inprocess_parse_rules() {
+        assert_eq!(parse_inprocess(None), None);
+        assert_eq!(parse_inprocess(Some("")), None);
+        assert_eq!(parse_inprocess(Some("0")), Some(false));
+        assert_eq!(parse_inprocess(Some("off")), Some(false));
+        assert_eq!(parse_inprocess(Some(" FALSE ")), Some(false));
+        assert_eq!(parse_inprocess(Some("1")), Some(true));
+        assert_eq!(parse_inprocess(Some("on")), Some(true));
+        assert_eq!(parse_inprocess(Some("maybe")), None);
+    }
+
+    #[test]
     fn backend_construction() {
         assert!(!SolveBackend::Sequential.is_portfolio());
         let b = SolveBackend::portfolio(2);
         assert!(b.is_portfolio());
         if let SolveBackend::Portfolio(opts) = &b {
             assert_eq!(opts.num_threads, 2);
-            let cfg = opts.to_portfolio_config(true);
+            let cfg = opts.to_portfolio_config(true, SolverConfig::default());
             assert_eq!(cfg.num_threads, 2);
             assert!(cfg.verify_proofs);
         }

@@ -31,6 +31,11 @@ pub struct EncodeConfig {
     /// asserted clause (the workers need the CNF), so clauses injected
     /// through [`Encoder::solver_mut`] are unsupported while it is on.
     pub backend: SolveBackend,
+    /// Configuration for the underlying session solver (inprocessing
+    /// cadence, chronological backtracking, restart policy, …). Also the
+    /// base configuration inherited by every portfolio worker when the
+    /// portfolio backend is selected.
+    pub solver: netarch_sat::SolverConfig,
 }
 
 /// Encodes [`Formula`]s into a CDCL solver via the Tseitin transformation.
@@ -70,7 +75,7 @@ impl Encoder {
 
     /// Creates an encoder with explicit configuration.
     pub fn with_config(config: EncodeConfig) -> Encoder {
-        let mut solver = Solver::new();
+        let mut solver = Solver::with_config(config.solver.clone());
         if config.verify_proofs {
             solver.record_proof();
         }
@@ -110,6 +115,16 @@ impl Encoder {
         *self.solver.stats()
     }
 
+    /// Forces one inprocessing round (subsumption, vivification, bounded
+    /// variable elimination) on the session solver. Every variable the
+    /// encoder allocates for atoms, selectors, or cardinality structure is
+    /// frozen, so elimination only ever touches single-assertion Tseitin
+    /// auxiliaries and later assertions/assumptions stay valid. Returns
+    /// `false` when the instance is proved unsatisfiable at the root.
+    pub fn inprocess(&mut self) -> bool {
+        self.solver.inprocess()
+    }
+
     /// Number of auxiliary (Tseitin/cardinality) variables created.
     pub fn aux_var_count(&self) -> usize {
         self.aux_vars
@@ -118,6 +133,19 @@ impl Encoder {
     /// Number of clauses asserted through this encoder.
     pub fn clause_count(&self) -> usize {
         self.asserted_clauses
+    }
+
+    /// Allocates a solver variable that future clauses or assumptions may
+    /// reference, and freezes it so solver inprocessing (bounded variable
+    /// elimination) can never remove it — the freeze contract between the
+    /// incremental session layer and the solver (see `Solver::freeze_var`).
+    /// Atom variables, the global true literal, group selectors, and
+    /// cardinality/integer structure variables all go through here; only
+    /// single-assertion Tseitin definitions stay eliminable.
+    fn alloc_frozen_var(&mut self) -> Var {
+        let v = self.solver.new_var();
+        self.solver.freeze_var(v);
+        v
     }
 
     /// The solver variable backing `atom`, allocated on first use.
@@ -129,7 +157,7 @@ impl Encoder {
         match self.atom_vars[idx] {
             Some(v) => v,
             None => {
-                let v = self.solver.new_var();
+                let v = self.alloc_frozen_var();
                 self.atom_vars[idx] = Some(v);
                 v
             }
@@ -146,7 +174,7 @@ impl Encoder {
         match self.true_lit {
             Some(l) => l,
             None => {
-                let l = self.solver.new_var().positive();
+                let l = self.alloc_frozen_var().positive();
                 // The defining unit is global truth: it must hold even when
                 // allocated inside a gated scope, so it bypasses the gate.
                 self.add_clause_raw(&[l]);
@@ -279,7 +307,9 @@ impl Encoder {
     /// Allocates a fresh selector literal for assertion grouping.
     pub fn new_selector(&mut self) -> Lit {
         self.aux_vars += 1;
-        self.solver.new_var().positive()
+        // Selectors become assumptions and retirement units later, so they
+        // must survive inprocessing even before their first solve.
+        self.alloc_frozen_var().positive()
     }
 
     /// Permanently retires a selector/activation literal by asserting its
@@ -450,7 +480,9 @@ impl Encoder {
     fn solve_portfolio(&mut self, opts: &PortfolioOptions, assumptions: &[Lit]) -> SolveResult {
         self.model_override = None;
         self.portfolio_solves += 1;
-        let portfolio = Portfolio::new(opts.to_portfolio_config(self.config.verify_proofs));
+        let portfolio = Portfolio::new(
+            opts.to_portfolio_config(self.config.verify_proofs, self.config.solver.clone()),
+        );
         let out = portfolio.solve(self.solver.num_vars(), &self.cnf_mirror, assumptions);
         if self.config.verify_proofs {
             if let Err(e) = crate::verify::check_portfolio_outcome(
@@ -527,7 +559,10 @@ impl Encoder {
 impl ClauseSink for Encoder {
     fn fresh_var(&mut self) -> Var {
         self.aux_vars += 1;
-        self.solver.new_var()
+        // Cardinality/integer structure variables are constrained again by
+        // later incremental assertions (e.g. `OrderInt::assert_le` after
+        // construction), so they are frozen like atoms and selectors.
+        self.alloc_frozen_var()
     }
 
     fn add_clause(&mut self, lits: &[Lit]) {

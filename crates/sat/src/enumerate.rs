@@ -37,6 +37,12 @@ pub fn enumerate_projected(
     } else {
         projection.to_vec()
     };
+    // Blocking clauses mention the projection variables on every iteration,
+    // so they must be exempt from variable elimination (the freeze contract
+    // — see `Solver::freeze_var`).
+    for &v in &project_all {
+        solver.freeze_var(v);
+    }
     let mut models = Vec::new();
     let mut truncated = false;
     while models.len() < limit {

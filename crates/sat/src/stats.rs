@@ -38,6 +38,19 @@ pub struct Stats {
     pub interrupts: u64,
     /// Decisions taken by the seeded random policy instead of VSIDS.
     pub random_decisions: u64,
+    /// Inprocessing rounds executed at restart boundaries.
+    pub inprocessings: u64,
+    /// Clauses deleted because another live clause subsumes them.
+    pub subsumed: u64,
+    /// Clauses strengthened by self-subsumption resolution.
+    pub strengthened: u64,
+    /// Variables removed by bounded variable elimination.
+    pub eliminated_vars: u64,
+    /// Clauses shortened by vivification probes.
+    pub vivified: u64,
+    /// Conflicts resolved by chronological backtracking (one level) instead
+    /// of a far non-chronological backjump.
+    pub chrono_backtracks: u64,
 }
 
 impl fmt::Display for Stats {
@@ -46,7 +59,9 @@ impl fmt::Display for Stats {
             f,
             "solves={} decisions={} propagations={} conflicts={} restarts={} \
              learnt={} deleted={} minimized_lits={} retired={} gc={} \
-             exported={} imported={} interrupts={} random_decisions={}",
+             exported={} imported={} interrupts={} random_decisions={} \
+             inprocessings={} subsumed={} strengthened={} eliminated_vars={} \
+             vivified={} chrono_backtracks={}",
             self.solves,
             self.decisions,
             self.propagations,
@@ -61,6 +76,12 @@ impl fmt::Display for Stats {
             self.imported_clauses,
             self.interrupts,
             self.random_decisions,
+            self.inprocessings,
+            self.subsumed,
+            self.strengthened,
+            self.eliminated_vars,
+            self.vivified,
+            self.chrono_backtracks,
         )
     }
 }

@@ -1,0 +1,237 @@
+//! Differential stress sweep for restart-boundary inprocessing.
+//!
+//! Over seeded random formulas (SAT and UNSAT, half solved under
+//! assumptions), a solver with aggressive inprocessing — subsumption,
+//! vivification, and bounded variable elimination every restart, plus
+//! chronological backtracking — must agree verdict-for-verdict with a
+//! plain solver that has inprocessing off. SAT models must satisfy the
+//! original formula (exercising model reconstruction across eliminated
+//! variables), UNSAT cores must be sound, and every UNSAT verdict must
+//! carry a DRAT proof the independent checker accepts, so the
+//! strengthening/deletion/resolvent traffic inprocessing emits is
+//! certified end-to-end.
+//!
+//! All randomness is seeded — running the sweep twice explores the same
+//! formulas.
+
+use netarch_rt::Rng;
+use netarch_sat::{
+    check_refutation, check_refutation_under_assumptions, Lit, SolveResult, Solver, SolverConfig,
+    Var,
+};
+
+const CASES: usize = 160;
+
+struct Case {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    assumptions: Vec<Lit>,
+}
+
+fn gen_case(rng: &mut Rng) -> Case {
+    // Near the 3-SAT phase transition (ratio ≈ 3.5–6.0) with enough
+    // variables that the solver restarts for real — tiny formulas learn
+    // only units, never restart, and so never reach the inprocessing hook.
+    let num_vars = rng.gen_range(18..=40usize);
+    let ratio = 3.5 + rng.gen_range(0..=25u32) as f64 / 10.0;
+    let num_clauses = (num_vars as f64 * ratio) as usize;
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let len = 3usize;
+        let mut clause: Vec<Lit> = Vec::with_capacity(len);
+        while clause.len() < len {
+            let v = rng.gen_range(0..num_vars);
+            if clause.iter().all(|l: &Lit| l.var().index() != v) {
+                clause.push(Lit::new(Var::from_index(v), rng.gen_bool(0.5)));
+            }
+        }
+        clauses.push(clause);
+    }
+    let assumptions = if rng.gen_bool(0.5) {
+        let n = rng.gen_range(1..=3usize);
+        let mut lits: Vec<Lit> = (0..n)
+            .map(|_| Lit::new(Var::from_index(rng.gen_range(0..num_vars)), rng.gen_bool(0.5)))
+            .collect();
+        lits.sort_by_key(|l| l.var().index());
+        lits.dedup_by_key(|l| l.var().index());
+        lits
+    } else {
+        Vec::new()
+    };
+    Case { num_vars, clauses, assumptions }
+}
+
+/// Inprocessing every restart with restarts forced early, plus one-level
+/// chronological backtracking on every long backjump — the most hostile
+/// schedule the configuration space allows.
+fn aggressive_config() -> SolverConfig {
+    SolverConfig {
+        inprocessing_enabled: true,
+        inprocess_interval: 1,
+        restart_base: 1,
+        chrono_threshold: 1,
+        ..SolverConfig::default()
+    }
+}
+
+fn plain_config() -> SolverConfig {
+    SolverConfig {
+        inprocessing_enabled: false,
+        chrono_threshold: 0,
+        ..SolverConfig::default()
+    }
+}
+
+fn build(case: &Case, config: SolverConfig, record: bool) -> Solver {
+    let mut s = Solver::with_config(config);
+    if record {
+        s.record_proof();
+    }
+    s.ensure_vars(case.num_vars);
+    for c in &case.clauses {
+        s.add_clause(c.iter().copied());
+    }
+    s
+}
+
+fn model_satisfies(s: &Solver, case: &Case) -> bool {
+    let lit_true = |l: &Lit| s.model_lit_value(*l) == Some(true);
+    case.clauses.iter().all(|c| c.iter().any(lit_true))
+        && case.assumptions.iter().all(lit_true)
+}
+
+fn core_is_sound(case: &Case, core: &[Lit]) -> bool {
+    if !core.iter().all(|l| case.assumptions.contains(l)) {
+        return false;
+    }
+    let mut s = build(case, plain_config(), false);
+    s.solve_with(core) == SolveResult::Unsat
+}
+
+#[test]
+fn aggressive_inprocessing_agrees_with_plain_solver() {
+    let mut rng = Rng::seed_from_u64(0x1A9C_0FF5);
+    let mut sat = 0usize;
+    let mut unsat = 0usize;
+    let mut inprocessings = 0u64;
+    let mut eliminated = 0u64;
+    for case_idx in 0..CASES {
+        let case = gen_case(&mut rng);
+        let mut plain = build(&case, plain_config(), false);
+        let expected = plain.solve_with(&case.assumptions);
+        match expected {
+            SolveResult::Sat => sat += 1,
+            SolveResult::Unsat => unsat += 1,
+            SolveResult::Unknown => panic!("unbounded solve returned Unknown"),
+        }
+        let mut s = build(&case, aggressive_config(), true);
+        let got = s.solve_with(&case.assumptions);
+        assert_eq!(got, expected, "case {case_idx}: inprocessing changed the verdict");
+        inprocessings += s.stats().inprocessings;
+        eliminated += s.stats().eliminated_vars;
+        match got {
+            SolveResult::Sat => {
+                assert!(
+                    model_satisfies(&s, &case),
+                    "case {case_idx}: reconstructed model violates the formula"
+                );
+            }
+            SolveResult::Unsat => {
+                let proof = s.recorded_proof().expect("recording was enabled");
+                if case.assumptions.is_empty() {
+                    assert_eq!(
+                        check_refutation(case.num_vars, &case.clauses, proof),
+                        Ok(()),
+                        "case {case_idx}: checker rejected an inprocessed refutation"
+                    );
+                } else {
+                    let core = s.unsat_core().to_vec();
+                    assert!(core_is_sound(&case, &core), "case {case_idx}: unsound core");
+                    assert_eq!(
+                        check_refutation_under_assumptions(
+                            case.num_vars,
+                            &case.clauses,
+                            proof,
+                            &core,
+                        ),
+                        Ok(()),
+                        "case {case_idx}: checker rejected the core certificate"
+                    );
+                }
+            }
+            SolveResult::Unknown => unreachable!(),
+        }
+    }
+    // The sweep must exercise both verdicts and actually inprocess, or it
+    // proves nothing about the passes under test.
+    assert!(sat >= 20, "degenerate sweep: only {sat} SAT cases");
+    assert!(unsat >= 20, "degenerate sweep: only {unsat} UNSAT cases");
+    assert!(inprocessings > 0, "sweep never reached an inprocessing round");
+    assert!(eliminated > 0, "sweep never eliminated a variable");
+}
+
+#[test]
+fn explicit_inprocess_between_incremental_solves_is_transparent() {
+    // Force a full inprocessing round between solve calls: verdicts under
+    // fresh assumptions must match a plain solver's, and assumption
+    // variables (auto-frozen by earlier solves) must survive elimination.
+    let mut rng = Rng::seed_from_u64(0xD1FF_5EED);
+    for round in 0..60 {
+        let case = gen_case(&mut rng);
+        let mut s = build(&case, SolverConfig::default(), false);
+        let mut reference = build(&case, plain_config(), false);
+        let first = s.solve_with(&case.assumptions);
+        assert_eq!(first, reference.solve_with(&case.assumptions), "round {round}");
+        let consistent = s.inprocess();
+        let second = s.solve_with(&case.assumptions);
+        let expected = reference.solve_with(&case.assumptions);
+        assert_eq!(second, expected, "round {round}: inprocess changed a verdict");
+        if !consistent {
+            assert_eq!(s.solve(), SolveResult::Unsat, "round {round}");
+        }
+        for l in &case.assumptions {
+            assert!(
+                !s.is_eliminated(l.var()),
+                "round {round}: assumption variable eliminated despite freeze"
+            );
+        }
+        if second == SolveResult::Sat {
+            assert!(model_satisfies(&s, &case), "round {round}: bad model after inprocess");
+        }
+    }
+}
+
+#[test]
+fn inprocessing_counters_fire_on_redundant_formulas() {
+    // A formula deliberately padded with subsumed supersets and a chain of
+    // implications: one explicit inprocessing round must exercise all three
+    // passes (the statistics are the observable contract the engine's
+    // `--json` stats surface builds on).
+    let mut s = Solver::with_config(SolverConfig::default());
+    let vars: Vec<Var> = (0..30).map(|_| s.new_var()).collect();
+    let lit = |i: usize| vars[i].positive();
+    // Frozen tail vars keep the clauses below alive through BVE so the
+    // subsumption/vivification counters are attributable.
+    for &v in &vars[..12] {
+        s.freeze_var(v);
+    }
+    // Implication chain for vivification: x0 → x1 → … → x5.
+    for i in 0..5 {
+        s.add_clause([!lit(i), lit(i + 1)]);
+    }
+    // A clause with a vivifiable tail: (¬x0 ∨ x5 ∨ x6 ∨ x7).
+    s.add_clause([!lit(0), lit(5), lit(6), lit(7)]);
+    // Subsumed supersets of (x8 ∨ x9).
+    s.add_clause([lit(8), lit(9)]);
+    s.add_clause([lit(8), lit(9), lit(10)]);
+    s.add_clause([lit(8), lit(9), lit(11), lit(10)]);
+    // Eliminable auxiliaries: x20 bridges two frozen vars.
+    s.add_clause([lit(4), vars[20].positive()]);
+    s.add_clause([lit(6), vars[20].negative()]);
+    assert!(s.inprocess());
+    let stats = *s.stats();
+    assert!(stats.subsumed >= 2, "expected subsumption work: {stats}");
+    assert!(stats.vivified >= 1, "expected vivification work: {stats}");
+    assert!(stats.eliminated_vars >= 1, "expected BVE work: {stats}");
+    assert_eq!(s.solve(), SolveResult::Sat);
+}

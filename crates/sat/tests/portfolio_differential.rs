@@ -130,6 +130,63 @@ fn portfolio_agrees_with_sequential_across_seeds() {
 }
 
 #[test]
+fn inprocessing_portfolio_agrees_with_plain_sequential() {
+    // Workers inherit inprocessing through the base configuration. With
+    // the most hostile schedule (inprocess every restart, restarts every
+    // conflict, chronological backtracking on) the portfolio at 1, 2, and
+    // 4 threads must still agree with a plain sequential solver that has
+    // inprocessing off, with valid models and sound cores.
+    use netarch_sat::SolverConfig;
+    let mut rng = Rng::seed_from_u64(0x1A9C_BA5E);
+    let plain = SolverConfig { inprocessing_enabled: false, ..SolverConfig::default() };
+    let aggressive = SolverConfig {
+        inprocess_interval: 1,
+        restart_base: 1,
+        chrono_threshold: 1,
+        ..SolverConfig::default()
+    };
+    for case_idx in 0..80 {
+        let case = gen_case(&mut rng);
+        let mut seq = Solver::with_config(plain.clone());
+        seq.ensure_vars(case.num_vars);
+        for c in &case.clauses {
+            seq.add_clause(c.iter().copied());
+        }
+        let expected = seq.solve_with(&case.assumptions);
+        for threads in [1usize, 2, 4] {
+            let portfolio = Portfolio::new(PortfolioConfig {
+                num_threads: threads,
+                base: aggressive.clone(),
+                seed: case_idx as u64,
+                ..Default::default()
+            });
+            let out = portfolio.solve(case.num_vars, &case.clauses, &case.assumptions);
+            assert_eq!(
+                out.result, expected,
+                "case {case_idx} at {threads} threads: inprocessing changed the verdict"
+            );
+            match out.result {
+                SolveResult::Sat => {
+                    let model = out.model.as_ref().expect("SAT must carry a model");
+                    assert!(
+                        model_satisfies(model, &case.clauses, &case.assumptions),
+                        "case {case_idx} at {threads} threads: invalid model"
+                    );
+                }
+                SolveResult::Unsat if !case.assumptions.is_empty() => {
+                    assert!(
+                        core_is_sound(&case, &out.core),
+                        "case {case_idx} at {threads} threads: unsound core {:?}",
+                        out.core
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
 fn one_thread_portfolio_matches_sequential_stats() {
     // Worker 0 runs the unmodified base configuration, so a 1-thread
     // portfolio is search-identical to a plain sequential solver.

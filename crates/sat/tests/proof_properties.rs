@@ -326,6 +326,118 @@ fn unsat_on_satisfiable_formula_is_rejected() {
 }
 
 #[test]
+fn aggressive_inprocessing_keeps_proofs_checkable() {
+    // Inprocessing every restart with restarts forced every conflict: the
+    // proof stream now carries subsumption deletions, strengthenings,
+    // vivification rewrites, and BVE resolvents, and must stay checkable.
+    prop::check(&Config::with_cases(128), gen_formula, |f| {
+        let (num_vars, raw) = normalize(f);
+        let clauses = to_lits(&raw);
+        let config = SolverConfig {
+            inprocess_interval: 1,
+            restart_base: 1,
+            chrono_threshold: 1,
+            ..SolverConfig::default()
+        };
+        let mut s = recording_solver(num_vars, &clauses, config);
+        if s.solve() == SolveResult::Unsat {
+            let proof = s.recorded_proof().expect("recording was enabled");
+            prop_assert_eq!(
+                check_refutation(num_vars, &clauses, proof),
+                Ok(()),
+                "checker rejected an inprocessed refutation"
+            );
+        }
+        Ok(())
+    });
+}
+
+/// A formula whose refutation needs real resolution: BVE on `x` over
+/// `(a ∨ x) ∧ (b ∨ ¬x)` yields the resolvent `(a ∨ b)`, and the 2×2 block
+/// over `p, q` is unsatisfiable but not unit-refutable, so no tampered
+/// step can lean on pre-existing units being propagated for free. The
+/// clauses `(¬a ∨ r)` and `(¬b ∨ s)` give `¬a`/`¬b` live occurrences, so
+/// a forged clause with pivot `a` cannot slip through the checker's RAT
+/// fallback as a vacuous pure-literal case.
+fn bve_shaped_formula() -> (usize, Vec<Vec<Lit>>) {
+    let v = |i: usize| Var::from_index(i).positive();
+    let (a, b, x, p, q, r, s) = (v(0), v(1), v(2), v(3), v(4), v(5), v(6));
+    let clauses = vec![
+        vec![a, x],
+        vec![b, !x],
+        vec![!a, r],
+        vec![!b, s],
+        vec![p, q],
+        vec![p, !q],
+        vec![!p, q],
+        vec![!p, !q],
+    ];
+    (7, clauses)
+}
+
+/// The honest certificate for [`bve_shaped_formula`]: the BVE resolvent,
+/// deletion of its parents, then the unit `p` and the empty clause.
+fn bve_shaped_proof() -> Vec<ProofStep> {
+    let v = |i: usize| Var::from_index(i).positive();
+    let (a, b, x, p) = (v(0), v(1), v(2), v(3));
+    vec![
+        ProofStep::Add(vec![a, b]), // resolvent of (a ∨ x) and (b ∨ ¬x) on x
+        ProofStep::Delete(vec![a, x]),
+        ProofStep::Delete(vec![b, !x]),
+        ProofStep::Add(vec![p]),
+        ProofStep::Add(vec![]),
+    ]
+}
+
+#[test]
+fn tampered_bve_resolvent_is_rejected() {
+    let (num_vars, clauses) = bve_shaped_formula();
+    // The honest BVE-shaped certificate is accepted…
+    let mut honest = DratProof::new();
+    for step in bve_shaped_proof() {
+        honest.push(step);
+    }
+    assert_eq!(check_refutation(num_vars, &clauses, &honest), Ok(()));
+    // …but a resolvent that drops a literal (claiming `a` instead of
+    // `a ∨ b`) is not RUP — nothing propagates `b`'s clause into conflict —
+    // and must be rejected at exactly that step.
+    let v = |i: usize| Var::from_index(i).positive();
+    let mut tampered = DratProof::new();
+    for (i, step) in bve_shaped_proof().into_iter().enumerate() {
+        tampered.push(if i == 0 { ProofStep::Add(vec![v(0)]) } else { step });
+    }
+    assert!(
+        matches!(
+            check_refutation(num_vars, &clauses, &tampered),
+            Err(CheckError::NotRedundant { step: 0, .. })
+        ),
+        "checker accepted a tampered BVE resolvent"
+    );
+}
+
+#[test]
+fn forged_deletion_of_needed_clause_is_rejected() {
+    // DRAT deletions are permissive in isolation, so forging a deletion of
+    // a clause later steps still need must surface as a failed RUP check on
+    // the first step that relied on it. Here the deleted `(p ∨ q)` is the
+    // clause that makes the unit `p` RUP.
+    let (num_vars, clauses) = bve_shaped_formula();
+    let v = |i: usize| Var::from_index(i).positive();
+    let (p, q) = (v(3), v(4));
+    let mut forged = DratProof::new();
+    forged.push(ProofStep::Delete(vec![p, q]));
+    forged.push(ProofStep::Add(vec![p]));
+    forged.push(ProofStep::Add(vec![]));
+    assert!(
+        matches!(
+            check_refutation(num_vars, &clauses, &forged),
+            Err(CheckError::NotRedundant { step: 1, .. })
+        ),
+        "checker accepted a unit derived from a deleted reason clause"
+    );
+}
+
+#[test]
 fn proof_logging_observably_off_by_default() {
     let mut s = Solver::new();
     let v = s.new_var();

@@ -124,7 +124,10 @@ pub fn run(args: &[&str]) -> Result<String, String> {
             let mut engine = load_engine(paths)?;
             match engine.check().map_err(|e| e.to_string())? {
                 Outcome::Feasible(design) if json => {
-                    Ok(netarch_rt::json::to_string_pretty(&design))
+                    Ok(netarch_rt::json::to_string_pretty(&jobj! {
+                        "design": design,
+                        "stats": engine.stats(),
+                    }))
                 }
                 Outcome::Feasible(design) => Ok(format!("FEASIBLE\n{design}")),
                 Outcome::Infeasible(diagnosis) => {
@@ -136,7 +139,10 @@ pub fn run(args: &[&str]) -> Result<String, String> {
             let mut engine = load_engine(paths)?;
             match engine.optimize().map_err(|e| e.to_string())? {
                 Ok(result) if json => {
-                    Ok(netarch_rt::json::to_string_pretty(&result.design))
+                    Ok(netarch_rt::json::to_string_pretty(&jobj! {
+                        "design": result.design,
+                        "stats": engine.stats(),
+                    }))
                 }
                 Ok(result) => {
                     let mut out = format!("OPTIMAL\n{}", result.design);
@@ -158,6 +164,7 @@ pub fn run(args: &[&str]) -> Result<String, String> {
                 Ok(plan) if json => Ok(netarch_rt::json::to_string_pretty(&jobj! {
                     "servers_needed": plan.servers_needed,
                     "design": plan.design,
+                    "stats": engine.stats(),
                 })),
                 Ok(plan) => Ok(format!(
                     "SERVERS NEEDED: {}\n{}",

@@ -13,8 +13,9 @@
 //!   and corpus), so candidate-vs-committed wall time is meaningful.
 //!   The candidate must stay within `factor ×` the committed value
 //!   (default 2×, override with `NETARCH_BENCH_REGRESSION_FACTOR`).
-//! * **Self-bounded metrics** — `portfolio/median_speedup` and
-//!   `serve/warm_over_cold`. CI runs these in `--smoke` shape, whose
+//! * **Self-bounded metrics** — `portfolio/median_speedup`,
+//!   `inprocess/median_speedup`, and `serve/warm_over_cold`. CI runs
+//!   these in `--smoke` shape, whose
 //!   absolute numbers are not comparable to the committed full runs;
 //!   instead the gate holds the candidate to the bound it recorded for
 //!   itself and to zero verdict disagreements, so a silently edited or
@@ -73,6 +74,23 @@ fn committed_trajectory_metrics_are_sane() {
             >= metric(&portfolio, "portfolio", "bound"),
         "committed portfolio run is below its own bound"
     );
+    let inprocess = committed("inprocess");
+    assert!(
+        metric(&inprocess, "inprocess", "median_speedup")
+            >= metric(&inprocess, "inprocess", "bound"),
+        "committed inprocessing run is below its own bound"
+    );
+    assert_eq!(
+        inprocess.get("disagreements").and_then(Json::as_u64),
+        Some(0),
+        "committed inprocessing run recorded verdict disagreements"
+    );
+    for key in ["subsumed", "eliminated_vars"] {
+        assert!(
+            inprocess.get(key).and_then(Json::as_u64).unwrap_or(0) > 0,
+            "committed inprocessing run did not exercise '{key}'"
+        );
+    }
     let serve = committed("serve");
     assert!(
         metric(&serve, "serve", "warm_over_cold") >= metric(&serve, "serve", "bound"),
@@ -116,6 +134,18 @@ fn candidate_run_does_not_regress() {
         metric(&portfolio, "portfolio", "median_speedup")
             >= metric(&portfolio, "portfolio", "bound"),
         "candidate portfolio speedup fell below its own bound"
+    );
+
+    let inprocess = load_from(dir, "inprocess");
+    assert_eq!(
+        inprocess.get("disagreements").and_then(Json::as_u64),
+        Some(0),
+        "candidate inprocessing run disagreed between configurations"
+    );
+    assert!(
+        metric(&inprocess, "inprocess", "median_speedup")
+            >= metric(&inprocess, "inprocess", "bound"),
+        "candidate inprocessing speedup fell below its own bound"
     );
 
     let serve = load_from(dir, "serve");

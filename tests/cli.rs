@@ -277,9 +277,14 @@ fn json_flag_emits_machine_readable_designs() {
     let p = path.to_str().unwrap().to_string();
     let (ok, stdout, stderr) = netarch(&["check", &p, "--json"]);
     assert!(ok, "{stderr}");
-    let design: netarch::core::solution::Design =
-        netarch_rt::json::from_str(&stdout).expect("valid design JSON");
+    let value: netarch_rt::Json = netarch_rt::json::from_str(&stdout).expect("valid JSON");
+    use netarch_rt::json::FromJson;
+    let design = netarch::core::solution::Design::from_json(&value["design"])
+        .expect("valid design JSON");
     assert!(!design.selections.is_empty());
+    // Solver/session counters ride along with every design verdict.
+    assert!(value["stats"]["session_solves"].as_u64().unwrap_or(0) >= 1);
+    assert!(value["stats"]["eliminated_vars"].as_u64().is_some());
 
     let (ok, stdout, _) = netarch(&["capacity", &p, "512", "--json"]);
     std::fs::remove_file(&path).ok();
@@ -287,4 +292,5 @@ fn json_flag_emits_machine_readable_designs() {
     let value: netarch_rt::Json = netarch_rt::json::from_str(&stdout).expect("valid JSON");
     assert_eq!(value["servers_needed"].as_u64(), Some(44));
     assert!(value["design"]["hardware"]["Server"].is_string());
+    assert!(value["stats"]["session_solves"].as_u64().unwrap_or(0) >= 1);
 }
