@@ -38,6 +38,12 @@ use netarch_sat::{Lit, SolveResult};
 /// clause database (dropping root-satisfied gated clauses).
 const GC_EVERY: u32 = 8;
 
+/// Capacity side-sessions kept warm at once. Each entry is a full compiled
+/// engine for one fleet bound, so the cap bounds memory; four covers the
+/// alternating-bound access patterns seen in practice (e.g. comparing a
+/// couple of candidate fleet sizes back and forth).
+const CAPACITY_CACHE_CAP: usize = 4;
+
 /// A rule implicated in an infeasibility.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ConflictRule {
@@ -120,9 +126,11 @@ pub struct Engine {
     /// Memoized enumerations, keyed by `(limit, include_hardware)` — pure
     /// for the same reason `optimize` is.
     enumerate_cache: Vec<((usize, bool), Vec<Design>)>,
-    /// Capacity-mode side compilation, cached per fleet bound; replaced
-    /// (and counted as a recompile) only when the bound changes.
-    capacity_cache: Option<(u64, CompiledCapacity)>,
+    /// Capacity-mode side compilations, keyed by fleet bound in LRU order
+    /// (most recent first, capped at [`CAPACITY_CACHE_CAP`]). Alternating
+    /// bounds each keep their warm session; only a bound absent from the
+    /// cache compiles (and counts as a recompile).
+    capacity_cache: Vec<(u64, CompiledCapacity)>,
     /// Post-construction recompilations (see [`CompileStats::recompiles`]).
     recompiles: u64,
     /// Activation literals retired since the last garbage collection.
@@ -155,7 +163,7 @@ impl Engine {
             parsimony_cache: None,
             optimize_cache: None,
             enumerate_cache: Vec::new(),
-            capacity_cache: None,
+            capacity_cache: Vec::new(),
             recompiles: 0,
             retired_since_gc: 0,
             backend,
@@ -168,34 +176,31 @@ impl Engine {
     }
 
     /// Compilation size metrics plus session-reuse counters. Solver-side
-    /// counters aggregate over the main session solver and the cached
-    /// capacity engine's solver (capacity probes are session solves too).
+    /// counters aggregate over the main session solver, every cached
+    /// capacity engine's solver (capacity probes are session solves too),
+    /// and the worker solvers of the parallel query loops — effort done on
+    /// throwaway probe/cube workers is absorbed rather than lost.
     pub fn stats(&self) -> CompileStats {
-        let main = *self.compiled.encoder.solver().stats();
-        let capacity = self
-            .capacity_cache
-            .as_ref()
-            .map(|(_, cc)| *cc.compiled.encoder.solver().stats());
-        let merged = |f: fn(&netarch_sat::Stats) -> u64| {
-            f(&main) + capacity.as_ref().map_or(0, f)
-        };
-        let portfolio_solves = self.compiled.encoder.portfolio_solve_count()
-            + self
-                .capacity_cache
-                .as_ref()
-                .map_or(0, |(_, cc)| cc.compiled.encoder.portfolio_solve_count());
+        let mut total = *self.compiled.encoder.solver().stats();
+        total.absorb(&self.compiled.encoder.parallel_worker_stats());
+        let mut portfolio_solves = self.compiled.encoder.portfolio_solve_count();
+        for (_, cc) in &self.capacity_cache {
+            total.absorb(cc.compiled.encoder.solver().stats());
+            total.absorb(&cc.compiled.encoder.parallel_worker_stats());
+            portfolio_solves += cc.compiled.encoder.portfolio_solve_count();
+        }
         CompileStats {
             recompiles: self.recompiles,
-            session_solves: merged(|s| s.solves),
-            retired_activations: merged(|s| s.retired_activations),
+            session_solves: total.solves,
+            retired_activations: total.retired_activations,
             portfolio_solves,
-            conflicts: merged(|s| s.conflicts),
-            learnt_clauses: merged(|s| s.learnt_clauses),
-            subsumed: merged(|s| s.subsumed),
-            strengthened: merged(|s| s.strengthened),
-            eliminated_vars: merged(|s| s.eliminated_vars),
-            vivified: merged(|s| s.vivified),
-            chrono_backtracks: merged(|s| s.chrono_backtracks),
+            conflicts: total.conflicts,
+            learnt_clauses: total.learnt_clauses,
+            subsumed: total.subsumed,
+            strengthened: total.strengthened,
+            eliminated_vars: total.eliminated_vars,
+            vivified: total.vivified,
+            chrono_backtracks: total.chrono_backtracks,
             ..self.compiled.stats
         }
     }
@@ -390,13 +395,54 @@ impl Engine {
         {
             return Ok(cached.clone());
         }
+        // Cube-and-conquer path: with parallel seats available, split the
+        // projection space on a small cube of decision literals and
+        // enumerate each cube on its own worker over the mirrored CNF. The
+        // workers are throwaway (their blocking clauses die with them), so
+        // no gate enters the session, and the merge is in cube-index order
+        // — the same deterministic class *set* as the sequential walk.
+        let atoms = self.compiled.decision_atoms(include_hardware);
+        if self.compiled.encoder.parallel_seats() >= 2 && !atoms.is_empty() {
+            let assumptions = self.compiled.all_selectors();
+            let vars = self.compiled.encoder.projection_vars(&atoms);
+            if let Some(out) =
+                self.compiled
+                    .encoder
+                    .enumerate_cubes_backend(&vars, &assumptions, limit)
+            {
+                let designs: Vec<Design> = out
+                    .models
+                    .iter()
+                    .map(|model| {
+                        Design::from_model(
+                            &self.scenario,
+                            |id| {
+                                self.compiled
+                                    .system_atoms
+                                    .get(id)
+                                    .and_then(|&a| self.compiled.encoder.atom_value_in(a, model))
+                                    .unwrap_or(false)
+                            },
+                            |id| {
+                                self.compiled
+                                    .hardware_atoms
+                                    .get(id)
+                                    .and_then(|&a| self.compiled.encoder.atom_value_in(a, model))
+                                    .unwrap_or(false)
+                            },
+                        )
+                    })
+                    .collect();
+                self.enumerate_cache.push(((limit, include_hardware), designs.clone()));
+                return Ok(designs);
+            }
+        }
         // Session enumeration: every blocking clause is gated behind a
         // per-query activation literal, so retiring it afterwards hands
         // the unblocked model space back to the next query.
         let mut assumptions = self.compiled.all_selectors();
         let gate = self.compiled.encoder.new_selector();
         assumptions.push(gate);
-        let atoms = self.compiled.decision_atoms(include_hardware);
         let atom_lits: Vec<Lit> = atoms
             .iter()
             .map(|&a| self.compiled.encoder.atom_lit(a))
@@ -545,18 +591,26 @@ impl Engine {
         max_servers: u64,
     ) -> Result<Result<CapacityPlan, Diagnosis>, CompileError> {
         // The capacity query itself is purely assumption-based, so its
-        // side compilation is a reusable session too — cached until the
-        // fleet bound changes.
-        let cached = matches!(&self.capacity_cache, Some((m, _)) if *m == max_servers);
-        if !cached {
-            if self.capacity_cache.is_some() {
+        // side compilation is a reusable session too — kept in a small LRU
+        // keyed by fleet bound, so alternating bounds (64 → 32 → 64 → …)
+        // each hit their warm session instead of recompiling every call.
+        if let Some(pos) = self
+            .capacity_cache
+            .iter()
+            .position(|(m, _)| *m == max_servers)
+        {
+            let entry = self.capacity_cache.remove(pos);
+            self.capacity_cache.insert(0, entry);
+        } else {
+            if !self.capacity_cache.is_empty() {
                 self.recompiles += 1;
             }
             let cc =
                 compile_capacity_with_backend(&self.scenario, max_servers, self.backend.clone())?;
-            self.capacity_cache = Some((max_servers, cc));
+            self.capacity_cache.insert(0, (max_servers, cc));
+            self.capacity_cache.truncate(CAPACITY_CACHE_CAP);
         }
-        let (_, cc) = self.capacity_cache.as_mut().expect("ensured above");
+        let (_, cc) = self.capacity_cache.first_mut().expect("ensured above");
         let compiled = &mut cc.compiled;
         let n = &cc.server_count;
         let selectors = compiled.all_selectors();
@@ -575,6 +629,13 @@ impl Engine {
         };
         let mut best = read_n(compiled, n);
         let mut lo = n.lo();
+        // Speculative pass: probe several fleet bounds per round on worker
+        // seats, shrinking [lo, best) faster than one midpoint at a time.
+        // The sequential loop below still finishes the search, so the
+        // speculative pass only needs to make progress.
+        if compiled.encoder.parallel_seats() >= 2 {
+            speculative_capacity_search(compiled, n, &selectors, &mut lo, &mut best);
+        }
         while lo < best {
             let mid = lo + (best - lo) / 2;
             let mut assumptions = selectors.clone();
@@ -640,6 +701,87 @@ pub struct CapacityPlan {
     pub servers_needed: u64,
     /// A compliant design at that fleet size.
     pub design: Design,
+}
+
+/// One speculative pass of the capacity binary search. Each round spreads
+/// up to `seats` probe bounds evenly across the open interval `[lo, best)`
+/// and races them on persistent workers: SAT at bound `m` lowers `best` to
+/// the probed model's fleet size (≤ m), UNSAT raises `lo` past `m`. Both
+/// facts are monotone — the fleet sizes form a feasibility staircase — so
+/// folding decisive answers in ascending-bound order is timing-independent,
+/// and the sequential finisher loop preserves the exact-optimum invariant.
+fn speculative_capacity_search(
+    compiled: &mut Compiled,
+    n: &netarch_logic::OrderInt,
+    selectors: &[Lit],
+    lo: &mut u64,
+    best: &mut u64,
+) {
+    // Probes assume the selectors plus order-encoding thresholds; declare
+    // them all so no seat's inprocessing eliminates one mid-search.
+    let mut assumable = selectors.to_vec();
+    assumable.extend(n.thresholds().iter().copied());
+    let Some(mut pool) = compiled.encoder.probe_pool(&assumable) else {
+        return;
+    };
+    let mut rounds = 0u64;
+    loop {
+        if *best <= *lo || *best - *lo < 2 {
+            break; // 0 or 1 open values: the sequential loop finishes.
+        }
+        let width = (pool.seats() as u64).min(*best - *lo - 1);
+        let mut mids: Vec<u64> = (1..=width)
+            .map(|j| *lo + (*best - *lo) * j / (width + 1))
+            .collect();
+        mids.sort_unstable();
+        mids.dedup();
+        mids.retain(|&m| m >= *lo && m < *best);
+        if mids.is_empty() {
+            break;
+        }
+        let mut probes = Vec::with_capacity(mids.len());
+        let mut probed = Vec::with_capacity(mids.len());
+        for &mid in &mids {
+            // Assume "fleet ≤ mid" via the order encoding; mids inside the
+            // open interval always map to a literal, but stay defensive.
+            let netarch_logic::Bound::Lit(q) = n.ge_const(mid + 1) else {
+                continue;
+            };
+            let mut assumptions = selectors.to_vec();
+            assumptions.push(!q);
+            probes.push(assumptions);
+            probed.push(mid);
+        }
+        if probes.is_empty() {
+            break;
+        }
+        let outcomes = pool.solve_round(&probes);
+        rounds += 1;
+        let mut progressed = false;
+        for (&mid, outcome) in probed.iter().zip(&outcomes) {
+            match outcome.result {
+                SolveResult::Sat => {
+                    let model = outcome.model.as_deref().expect("SAT probes carry a model");
+                    let achieved = n.value(&|l| netarch_sat::lit_value_in(model, l)).min(mid);
+                    if achieved < *best {
+                        *best = achieved;
+                        progressed = true;
+                    }
+                }
+                SolveResult::Unsat => {
+                    if mid + 1 > *lo {
+                        *lo = mid + 1;
+                        progressed = true;
+                    }
+                }
+                SolveResult::Unknown => {}
+            }
+        }
+        if !progressed {
+            break; // all probes cancelled/inconclusive: fall back.
+        }
+    }
+    compiled.encoder.absorb_parallel(&pool.finish(), rounds);
 }
 
 /// Maps an impossible mid-optimization MaxSAT outcome to a typed error.
@@ -1215,5 +1357,50 @@ mod tests {
         let p3 = engine.plan_capacity(32).unwrap().expect("feasible");
         assert_eq!(p3.servers_needed, 8);
         assert_eq!(engine.stats().recompiles, 1, "changed bound re-derives once");
+    }
+
+    #[test]
+    fn alternating_capacity_bounds_reuse_cached_sessions() {
+        // Regression: the capacity cache used to hold a single bound, so an
+        // alternating 64 → 32 → 64 → 32 pattern recompiled every call. The
+        // LRU keeps both warm: exactly one recompile (the first 32), zero
+        // after that.
+        use crate::condition::AmountExpr;
+        use crate::types::Resource;
+        let mut catalog = Catalog::new();
+        catalog
+            .add_system(
+                SystemSpec::builder("MONITOR", Category::Monitoring)
+                    .solves("monitoring")
+                    .consumes(Resource::Cores, AmountExpr::constant(40))
+                    .build(),
+            )
+            .unwrap();
+        catalog
+            .add_hardware(
+                HardwareSpec::builder("SRV32", HardwareKind::Server)
+                    .numeric("cores", 32.0)
+                    .build(),
+            )
+            .unwrap();
+        let scenario = Scenario::new(catalog)
+            .with_workload(Workload::builder("app").needs("monitoring").peak_cores(200).build())
+            .with_inventory(Inventory {
+                server_candidates: vec![HardwareId::new("SRV32")],
+                num_servers: 1,
+                ..Inventory::default()
+            });
+        let mut engine = Engine::new(scenario).unwrap();
+        for round in 0..3 {
+            let p64 = engine.plan_capacity(64).unwrap().expect("feasible");
+            let p32 = engine.plan_capacity(32).unwrap().expect("feasible");
+            assert_eq!(p64.servers_needed, 8, "round {round}");
+            assert_eq!(p32.servers_needed, 8, "round {round}");
+        }
+        assert_eq!(
+            engine.stats().recompiles,
+            1,
+            "alternating bounds must hit the LRU after the initial compiles"
+        );
     }
 }

@@ -1,0 +1,225 @@
+//! Differential property sweep for the three parallel query loops at the
+//! engine level: racing MaxSAT descent (`optimize`), cube-and-conquer
+//! projected enumeration (`enumerate_designs`), and speculative capacity
+//! binary search (`plan_capacity`).
+//!
+//! Each query runs on the sequential backend as the oracle and on 1-, 2-,
+//! and 4-seat portfolio backends; answers must be identical — same
+//! selections, same per-level penalties, same design-class *sets* (the
+//! cube merge may reorder classes but never add or drop one), same fleet
+//! sizes. Deterministic portfolio runs must also be bit-identical across
+//! repeats, merged enumeration order included.
+
+use netarch_core::prelude::*;
+use netarch_core::solution::Design;
+use netarch_logic::{PortfolioOptions, SolveBackend};
+
+fn portfolio_backend(num_threads: usize, deterministic: bool) -> SolveBackend {
+    SolveBackend::Portfolio(PortfolioOptions {
+        num_threads,
+        deterministic,
+        ..PortfolioOptions::default()
+    })
+}
+
+/// Monitoring scenario with enough slack that several design classes
+/// exist: two interchangeable monitors, an optional load balancer role,
+/// and two NIC models.
+fn monitoring_scenario() -> Scenario {
+    let mut catalog = Catalog::new();
+    catalog
+        .add_system(
+            SystemSpec::builder("SIMON", Category::Monitoring)
+                .solves("detect_queue_length")
+                .requires("needs-nic-timestamps", Condition::nics_have("NIC_TIMESTAMPS"))
+                .cost(400)
+                .build(),
+        )
+        .unwrap();
+    catalog
+        .add_system(
+            SystemSpec::builder("PINGMESH", Category::Monitoring)
+                .solves("detect_queue_length")
+                .cost(100)
+                .build(),
+        )
+        .unwrap();
+    catalog
+        .add_system(
+            SystemSpec::builder("ECMP", Category::LoadBalancer).solves("load_balancing").build(),
+        )
+        .unwrap();
+    catalog
+        .add_ordering(OrderingEdge::strict("SIMON", "PINGMESH", Dimension::MonitoringQuality))
+        .unwrap();
+    catalog
+        .add_hardware(
+            HardwareSpec::builder("NIC_TS", HardwareKind::Nic)
+                .feature("NIC_TIMESTAMPS")
+                .cost(900)
+                .build(),
+        )
+        .unwrap();
+    catalog
+        .add_hardware(HardwareSpec::builder("NIC_PLAIN", HardwareKind::Nic).cost(300).build())
+        .unwrap();
+    Scenario::new(catalog)
+        .with_workload(Workload::builder("app").needs("detect_queue_length").build())
+        .with_role(Category::Monitoring, RoleRule::Required)
+        .with_inventory(Inventory {
+            nic_candidates: vec![HardwareId::new("NIC_TS"), HardwareId::new("NIC_PLAIN")],
+            num_servers: 4,
+            ..Inventory::default()
+        })
+}
+
+fn capacity_scenario(peak_cores: u64) -> Scenario {
+    let mut catalog = Catalog::new();
+    catalog
+        .add_system(
+            SystemSpec::builder("MONITOR", Category::Monitoring)
+                .solves("monitoring")
+                .consumes(Resource::Cores, AmountExpr::constant(40))
+                .build(),
+        )
+        .unwrap();
+    catalog
+        .add_hardware(
+            HardwareSpec::builder("SRV32", HardwareKind::Server)
+                .numeric("cores", 32.0)
+                .cost(5_000)
+                .build(),
+        )
+        .unwrap();
+    Scenario::new(catalog)
+        .with_workload(Workload::builder("app").needs("monitoring").peak_cores(peak_cores).build())
+        .with_inventory(Inventory {
+            server_candidates: vec![HardwareId::new("SRV32")],
+            num_servers: 1,
+            ..Inventory::default()
+        })
+}
+
+/// Design classes as a backend-order-independent sorted set. Hardware is
+/// part of a class's identity only when it was projected on
+/// (`include_hardware`); otherwise the hardware in a class is an
+/// incidental witness choice and must not enter the comparison.
+fn design_set(designs: &[Design], include_hardware: bool) -> Vec<String> {
+    let mut keys: Vec<String> = designs
+        .iter()
+        .map(|d| {
+            if include_hardware {
+                format!("{:?}|{:?}", d.selections, d.hardware)
+            } else {
+                format!("{:?}", d.selections)
+            }
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+#[test]
+fn racing_descent_matches_sequential_optimize() {
+    let scenario = monitoring_scenario().with_objective(Objective::MinimizeCost);
+    let mut seq = Engine::with_backend(scenario.clone(), SolveBackend::Sequential).unwrap();
+    let expected = seq.optimize().unwrap().expect("feasible");
+    for threads in [1usize, 2, 4] {
+        for deterministic in [true, false] {
+            let mut engine = Engine::with_backend(
+                scenario.clone(),
+                portfolio_backend(threads, deterministic),
+            )
+            .unwrap();
+            let got = engine.optimize().unwrap().expect("feasible");
+            let label = format!("threads={threads} det={deterministic}");
+            assert_eq!(expected.design.selections, got.design.selections, "{label}");
+            assert_eq!(expected.design.hardware, got.design.hardware, "{label}");
+            assert_eq!(expected.levels, got.levels, "{label}: per-level penalties disagree");
+        }
+    }
+}
+
+#[test]
+fn cube_enumeration_matches_sequential_design_classes() {
+    for include_hardware in [false, true] {
+        let scenario = monitoring_scenario();
+        let mut seq = Engine::with_backend(scenario.clone(), SolveBackend::Sequential).unwrap();
+        let expected =
+            design_set(&seq.enumerate_designs(64, include_hardware).unwrap(), include_hardware);
+        assert!(expected.len() >= 2, "scenario must admit several classes: {expected:?}");
+        for threads in [1usize, 2, 4] {
+            for deterministic in [true, false] {
+                let mut engine = Engine::with_backend(
+                    scenario.clone(),
+                    portfolio_backend(threads, deterministic),
+                )
+                .unwrap();
+                let got = design_set(
+                    &engine.enumerate_designs(64, include_hardware).unwrap(),
+                    include_hardware,
+                );
+                assert_eq!(
+                    expected, got,
+                    "threads={threads} det={deterministic} hw={include_hardware}: \
+                     design-class sets disagree"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn merged_enumeration_order_is_deterministic() {
+    // The cube merge rule (cube-index order, discovery order within a
+    // cube) must make the *ordered* result reproducible run-to-run under
+    // the deterministic backend — not just the set.
+    let run = || {
+        let mut engine =
+            Engine::with_backend(monitoring_scenario(), portfolio_backend(4, true)).unwrap();
+        engine.enumerate_designs(64, true).unwrap()
+    };
+    let first = run();
+    assert!(first.len() >= 2);
+    for _ in 0..2 {
+        assert_eq!(first, run(), "merged enumeration order drifted between runs");
+    }
+}
+
+#[test]
+fn speculative_capacity_search_matches_sequential_plans() {
+    for peak in [100u64, 200, 500, 1000] {
+        let mut seq =
+            Engine::with_backend(capacity_scenario(peak), SolveBackend::Sequential).unwrap();
+        let expected = seq.plan_capacity(64).unwrap().expect("feasible");
+        for threads in [1usize, 2, 4] {
+            for deterministic in [true, false] {
+                let mut engine = Engine::with_backend(
+                    capacity_scenario(peak),
+                    portfolio_backend(threads, deterministic),
+                )
+                .unwrap();
+                let got = engine.plan_capacity(64).unwrap().expect("feasible");
+                assert_eq!(
+                    expected.servers_needed, got.servers_needed,
+                    "peak={peak} threads={threads} det={deterministic}"
+                );
+                assert_eq!(expected.design.selections, got.design.selections);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_loops_fold_worker_effort_into_engine_stats() {
+    // Workers spawned by the parallel loops do real solving; their effort
+    // must show up in the engine's aggregate statistics rather than
+    // silently vanishing.
+    let mut engine =
+        Engine::with_backend(monitoring_scenario(), portfolio_backend(4, true)).unwrap();
+    engine.optimize().unwrap().expect("feasible");
+    engine.enumerate_designs(64, false).unwrap();
+    let stats = engine.stats();
+    assert!(stats.portfolio_solves > 0, "parallel loops must be counted: {stats:?}");
+    assert!(stats.session_solves > 0, "session totals must include worker solves: {stats:?}");
+}

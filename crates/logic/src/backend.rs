@@ -51,6 +51,11 @@ pub struct PortfolioOptions {
     pub deterministic: bool,
     /// Diversification seed threaded into every worker's RNG.
     pub seed: u64,
+    /// Gates the parallel *query loops* (racing MaxSAT descent,
+    /// cube-and-conquer enumeration, speculative capacity search)
+    /// independently of one-shot probe routing. On by default; turn off to
+    /// fall back to sequential loops while keeping portfolio probes.
+    pub parallel_queries: bool,
 }
 
 impl Default for PortfolioOptions {
@@ -60,6 +65,7 @@ impl Default for PortfolioOptions {
             lbd_threshold: 4,
             deterministic: false,
             seed: 0,
+            parallel_queries: true,
         }
     }
 }
@@ -91,32 +97,49 @@ pub fn threads_requested() -> Option<usize> {
 
 /// The backend selected by the environment: a portfolio when
 /// `NETARCH_THREADS` requests two or more workers, sequential otherwise.
+/// Two further knobs refine a portfolio backend: `NETARCH_PARALLEL_QUERIES`
+/// (`0`/`off` keeps the query loops sequential while one-shot probes still
+/// use the portfolio) and `NETARCH_DETERMINISTIC` (`1`/`on` selects
+/// deterministic arbitration — bit-identical runs, no cancellation).
 pub fn backend_from_env() -> SolveBackend {
     match threads_requested() {
-        Some(n) if n >= 2 => SolveBackend::portfolio(n),
+        Some(n) if n >= 2 => {
+            let mut opts = PortfolioOptions {
+                num_threads: n,
+                ..PortfolioOptions::default()
+            };
+            if let Some(on) = parse_switch(std::env::var("NETARCH_PARALLEL_QUERIES").ok().as_deref())
+            {
+                opts.parallel_queries = on;
+            }
+            if let Some(on) = parse_switch(std::env::var("NETARCH_DETERMINISTIC").ok().as_deref()) {
+                opts.deterministic = on;
+            }
+            SolveBackend::Portfolio(opts)
+        }
         _ => SolveBackend::Sequential,
     }
 }
 
 /// The session solver configuration selected by the environment: the
 /// default configuration, with inprocessing switched off when
-/// `NETARCH_INPROCESS` requests it (see [`parse_inprocess`]). Inprocessing
+/// `NETARCH_INPROCESS` requests it (see [`parse_switch`]). Inprocessing
 /// is on by default; the knob exists for A/B comparisons and for bisecting
 /// suspected inprocessing bugs without a rebuild.
 pub fn solver_config_from_env() -> SolverConfig {
     let mut config = SolverConfig::default();
-    if let Some(enabled) = parse_inprocess(std::env::var("NETARCH_INPROCESS").ok().as_deref()) {
+    if let Some(enabled) = parse_switch(std::env::var("NETARCH_INPROCESS").ok().as_deref()) {
         config.inprocessing_enabled = enabled;
     }
     config
 }
 
-/// Interprets a raw `NETARCH_INPROCESS` value: `0`/`off`/`false` disable
-/// restart-boundary inprocessing, `1`/`on`/`true` force it on, anything
-/// else (including unset) leaves the default. Split out as a pure helper
-/// (like [`parse_threads`]) so tests avoid process-global environment
-/// mutation.
-fn parse_inprocess(value: Option<&str>) -> Option<bool> {
+/// Interprets a boolean environment switch (`NETARCH_INPROCESS`,
+/// `NETARCH_PARALLEL_QUERIES`, `NETARCH_DETERMINISTIC`): `0`/`off`/`false`/
+/// `no` disable, `1`/`on`/`true`/`yes` enable, anything else (including
+/// unset) leaves the default. Split out as a pure helper (like
+/// [`parse_threads`]) so tests avoid process-global environment mutation.
+fn parse_switch(value: Option<&str>) -> Option<bool> {
     match value?.trim().to_ascii_lowercase().as_str() {
         "0" | "off" | "false" | "no" => Some(false),
         "1" | "on" | "true" | "yes" => Some(true),
@@ -159,15 +182,24 @@ mod tests {
     }
 
     #[test]
-    fn inprocess_parse_rules() {
-        assert_eq!(parse_inprocess(None), None);
-        assert_eq!(parse_inprocess(Some("")), None);
-        assert_eq!(parse_inprocess(Some("0")), Some(false));
-        assert_eq!(parse_inprocess(Some("off")), Some(false));
-        assert_eq!(parse_inprocess(Some(" FALSE ")), Some(false));
-        assert_eq!(parse_inprocess(Some("1")), Some(true));
-        assert_eq!(parse_inprocess(Some("on")), Some(true));
-        assert_eq!(parse_inprocess(Some("maybe")), None);
+    fn switch_parse_rules() {
+        assert_eq!(parse_switch(None), None);
+        assert_eq!(parse_switch(Some("")), None);
+        assert_eq!(parse_switch(Some("0")), Some(false));
+        assert_eq!(parse_switch(Some("off")), Some(false));
+        assert_eq!(parse_switch(Some(" FALSE ")), Some(false));
+        assert_eq!(parse_switch(Some("no")), Some(false));
+        assert_eq!(parse_switch(Some("1")), Some(true));
+        assert_eq!(parse_switch(Some("on")), Some(true));
+        assert_eq!(parse_switch(Some("yes")), Some(true));
+        assert_eq!(parse_switch(Some("maybe")), None);
+    }
+
+    #[test]
+    fn default_options_enable_parallel_queries() {
+        let opts = PortfolioOptions::default();
+        assert!(opts.parallel_queries);
+        assert!(!opts.deterministic);
     }
 
     #[test]

@@ -9,7 +9,11 @@ use crate::ast::{Atom, Formula};
 use crate::backend::{PortfolioOptions, SolveBackend};
 use crate::cardinality::{self, CardEncoding};
 use crate::sink::ClauseSink;
-use netarch_sat::{Lit, Portfolio, SolveResult, Solver, Var};
+use netarch_sat::{
+    enumerate_projected_cubes, CubeEnumeration, Lit, Portfolio, ProbePool, ProbePoolConfig,
+    SolveResult, Solver, Stats, Var,
+};
+use std::sync::Arc;
 
 /// Encoder configuration.
 #[derive(Clone, Debug, Default)]
@@ -59,6 +63,11 @@ pub struct Encoder {
     model_override: Option<Vec<Option<bool>>>,
     /// Number of solves routed to the portfolio backend.
     portfolio_solves: u64,
+    /// Accumulated counters from throwaway parallel-query workers (probe
+    /// pools, cube enumerators), folded in via
+    /// [`Encoder::absorb_parallel`] so session totals never lose work done
+    /// off the session solver.
+    worker_stats: Stats,
 }
 
 impl Default for Encoder {
@@ -90,6 +99,7 @@ impl Encoder {
             cnf_mirror: Vec::new(),
             model_override: None,
             portfolio_solves: 0,
+            worker_stats: Stats::default(),
         }
     }
 
@@ -475,6 +485,122 @@ impl Encoder {
     /// Number of solves routed to the portfolio backend so far.
     pub fn portfolio_solve_count(&self) -> u64 {
         self.portfolio_solves
+    }
+
+    /// Number of worker seats available to the parallel query loops
+    /// (racing MaxSAT descent, cube-and-conquer enumeration, speculative
+    /// capacity search), or 1 when those loops must run sequentially: the
+    /// backend is sequential, `parallel_queries` is switched off, or
+    /// verified solving is on (the loops' throwaway workers do not feed the
+    /// per-solve DRAT check pipeline, so proof mode keeps every solve on
+    /// individually certified paths).
+    pub fn parallel_seats(&self) -> usize {
+        match &self.config.backend {
+            SolveBackend::Portfolio(opts)
+                if opts.parallel_queries
+                    && opts.num_threads >= 2
+                    && !self.config.verify_proofs =>
+            {
+                opts.num_threads
+            }
+            _ => 1,
+        }
+    }
+
+    /// Spawns a [`ProbePool`] over the mirrored CNF for a parallel query
+    /// loop, or `None` when [`Encoder::parallel_seats`] says the loop must
+    /// stay sequential. `assumable` must cover every literal any round may
+    /// assume: the seats freeze those variables at startup so their
+    /// restart-boundary inprocessing never eliminates a variable a later
+    /// round assumes. The caller owns the pool's lifecycle: dispatch
+    /// rounds, then hand `finish()`'s stats back through
+    /// [`Encoder::absorb_parallel`].
+    pub fn probe_pool(&self, assumable: &[Lit]) -> Option<ProbePool> {
+        let seats = self.parallel_seats();
+        if seats < 2 {
+            return None;
+        }
+        let SolveBackend::Portfolio(opts) = &self.config.backend else {
+            return None;
+        };
+        let mut frozen: Vec<Var> = assumable.iter().map(|l| l.var()).collect();
+        frozen.sort_unstable();
+        frozen.dedup();
+        Some(ProbePool::new(ProbePoolConfig {
+            seats,
+            num_vars: self.solver.num_vars(),
+            clauses: Arc::new(self.cnf_mirror.clone()),
+            base: self.config.solver.clone(),
+            frozen,
+            deterministic: opts.deterministic,
+            seed: opts.seed,
+            conflict_budget: None,
+        }))
+    }
+
+    /// Cube-and-conquer projected enumeration over the mirrored CNF, or
+    /// `None` when the loop must stay sequential. Splits on
+    /// `log2(seats)` projection variables (each cube enumerated on its own
+    /// worker) and merges models in cube-index order — a deterministic rule,
+    /// so the merged order is reproducible in every mode. Worker counters
+    /// are folded into the session totals before returning.
+    pub fn enumerate_cubes_backend(
+        &mut self,
+        projection: &[Var],
+        assumptions: &[Lit],
+        limit: usize,
+    ) -> Option<CubeEnumeration> {
+        let seats = self.parallel_seats();
+        if seats < 2 || projection.is_empty() {
+            return None;
+        }
+        let bits = (usize::BITS - 1 - seats.leading_zeros()) as usize;
+        let bits = bits.min(projection.len());
+        let out = enumerate_projected_cubes(
+            self.solver.num_vars(),
+            &self.cnf_mirror,
+            &self.config.solver,
+            projection,
+            assumptions,
+            limit,
+            bits,
+        );
+        self.absorb_parallel(&out.stats, 1);
+        Some(out)
+    }
+
+    /// Value of `atom` in a raw worker model vector (as returned by probe
+    /// pools and cube enumeration), without touching the session model.
+    pub fn atom_value_in(&self, atom: Atom, model: &[Option<bool>]) -> Option<bool> {
+        let v = (*self.atom_vars.get(atom.index())?)?;
+        netarch_sat::lit_value_in(model, v.positive())
+    }
+
+    /// Installs a worker model as the session's model override — exactly
+    /// what a winning one-shot portfolio dispatch does — so
+    /// [`Encoder::atom_value`] and [`Encoder::model_lit_value`] read it
+    /// until the next sequential solve clears it. The parallel query loops
+    /// use this to restore a witness they already hold instead of paying a
+    /// fresh solve to rediscover it.
+    pub(crate) fn install_model_override(&mut self, model: Vec<Option<bool>>) {
+        self.model_override = Some(model);
+    }
+
+    /// Folds worker-solver counters from a finished parallel query loop
+    /// into the session totals, and counts `rounds` parallel dispatches
+    /// toward [`Encoder::portfolio_solve_count`].
+    pub fn absorb_parallel(&mut self, workers: &[Stats], rounds: u64) {
+        for w in workers {
+            self.worker_stats.absorb(w);
+        }
+        self.portfolio_solves += rounds;
+    }
+
+    /// Accumulated counters from parallel-query workers (see
+    /// [`Encoder::absorb_parallel`]); add these to
+    /// [`Encoder::solver_stats`] for a complete effort total.
+    pub fn parallel_worker_stats(&self) -> Stats {
+        self.worker_stats
     }
 
     fn solve_portfolio(&mut self, opts: &PortfolioOptions, assumptions: &[Lit]) -> SolveResult {

@@ -21,7 +21,7 @@ use crate::cardinality::{self, CardEncoding};
 use crate::encoder::Encoder;
 use crate::pb::{gte_outputs, PbTerm};
 use crate::sink::ClauseSink;
-use netarch_sat::{Lit, SolveResult};
+use netarch_sat::{Lit, ProbePool, SolveResult};
 
 /// A soft constraint: violating `formula` costs `weight`.
 #[derive(Clone, Debug)]
@@ -184,10 +184,48 @@ pub fn minimize_under(
     context.extend_from_slice(base);
     context.push(gate);
     context.push(compiled.activation);
+    // When the backend grants parallel seats, the entire search —
+    // feasibility, bound probes, witness restoration — runs on one
+    // persistent probe pool, so every worker builds the CNF exactly once.
+    // The sequential path below defines the semantics; the pooled path must
+    // return exactly its answers.
+    if encoder.parallel_seats() >= 2 {
+        // Every probe assumes a subset of the context plus negated
+        // totalizer outputs; declare them all so no seat eliminates one.
+        let mut assumable = context.clone();
+        assumable.extend(compiled.outputs.iter().map(|&(_, l)| l));
+        if let Some(pool) = encoder.probe_pool(&assumable) {
+            return minimize_under_pooled(encoder, compiled, &context, gate, pool);
+        }
+    }
+    minimize_under_sequential(encoder, compiled, &context, gate)
+}
+
+/// Assumptions forcing this objective's violated weight to at most
+/// `target`: the solve context plus the negation of every totalizer output
+/// whose threshold exceeds the target.
+fn bound_assumptions(compiled: &CompiledSofts, context: &[Lit], target: u64) -> Vec<Lit> {
+    let mut assumptions = context.to_vec();
+    assumptions.extend(
+        compiled
+            .outputs
+            .iter()
+            .filter(|&&(s, _)| s > target)
+            .map(|&(_, l)| !l),
+    );
+    assumptions
+}
+
+fn minimize_under_sequential(
+    encoder: &mut Encoder,
+    compiled: &CompiledSofts,
+    context: &[Lit],
+    gate: Lit,
+) -> MaxSatOutcome {
     // Decisive one-shot probes route through the configured backend (the
     // portfolio pays off exactly here); core/MUS-bearing paths elsewhere
     // stay on the sequential session solver.
-    if encoder.solve_with_backend(&context) != SolveResult::Sat {
+    if encoder.solve_with_backend(context) != SolveResult::Sat {
         return MaxSatOutcome::HardUnsat;
     }
     if compiled.softs.is_empty() {
@@ -210,15 +248,7 @@ pub fn minimize_under(
         }
         let mid = (lo + hi) / 2;
         let target = candidates[mid];
-        let mut assumptions = context.clone();
-        assumptions.extend(
-            compiled
-                .outputs
-                .iter()
-                .filter(|&&(s, _)| s > target)
-                .map(|&(_, l)| !l),
-        );
-        match encoder.solve_with_backend(&assumptions) {
+        match encoder.solve_with_backend(&bound_assumptions(compiled, context, target)) {
             SolveResult::Sat => {
                 let cost = model_cost(encoder, &compiled.softs);
                 debug_assert!(cost <= target, "model violates assumed bound");
@@ -237,8 +267,158 @@ pub fn minimize_under(
             ClauseSink::add_clause(encoder, &[!gate, !l]);
         }
     }
-    let restored = encoder.solve_with_backend(&context);
+    let restored = encoder.solve_with_backend(context);
     debug_assert_eq!(restored, SolveResult::Sat);
+    MaxSatOutcome::Optimal { cost: best_cost, violated: best_violated }
+}
+
+/// The racing descent. Feasibility, every bound probe, and the final
+/// witness all come from one persistent [`ProbePool`], so each seat builds
+/// the CNF once and keeps its learnt clauses warm across rounds — routing
+/// each probe through a one-shot portfolio dispatch would instead rebuild
+/// the mirror on every cold worker three times over (feasibility, descent,
+/// restore), and on formulas with a large objective totalizer that rebuild
+/// tax dominates the solving itself.
+///
+/// Each round probes a window of candidate bounds — the midpoint (the
+/// sequential probe), the quarter-point, and the most aggressive open
+/// candidate — with idle seats joining the window's probes round-robin, so
+/// a short window still races diversified solvers on every seat. Every
+/// probe sits at or below the midpoint on purpose: in racing mode only the
+/// fastest seat may come back decisive, and a window reaching above the
+/// midpoint (e.g. a `best - 1` probe) would let an easy barely-below-best
+/// SAT answer win round after round while contributing almost no progress.
+/// Capping at the midpoint guarantees any surviving SAT verdict bisects
+/// the open range and any surviving UNSAT verdict advances `lo`, so a race
+/// can only speed convergence up, never degrade it below the sequential
+/// bisection rate.
+///
+/// SAT at a bound tightens `best_cost` (exactness comes from the model,
+/// exactly as in the sequential loop); UNSAT at a bound raises `lo` past
+/// it. Both facts are monotone, so folding them in fixed seat order keeps
+/// the final state independent of which seat answered first — deterministic
+/// mode is bit-identical run to run. The optimal witness is the best model
+/// a worker already produced, installed as the session's model override
+/// (exactly a one-shot portfolio win) rather than re-discovered with a
+/// final solve.
+fn minimize_under_pooled(
+    encoder: &mut Encoder,
+    compiled: &CompiledSofts,
+    context: &[Lit],
+    gate: Lit,
+    mut pool: ProbePool,
+) -> MaxSatOutcome {
+    let seats = pool.seats();
+    let mut rounds = 1u64;
+    // Feasibility: broadcast the same unbounded probe to every seat.
+    let feasible = pool.solve_round(&vec![context.to_vec(); seats]);
+    let Some(sat) = feasible.iter().find(|o| o.result == SolveResult::Sat) else {
+        let unsat = feasible.iter().any(|o| o.result == SolveResult::Unsat);
+        encoder.absorb_parallel(&pool.finish(), rounds);
+        if unsat {
+            return MaxSatOutcome::HardUnsat;
+        }
+        // Every seat inconclusive — impossible without a conflict budget,
+        // but never guess: rerun the whole search sequentially.
+        return minimize_under_sequential(encoder, compiled, context, gate);
+    };
+    let mut best_model = sat.model.clone().expect("SAT probes carry a model");
+    if compiled.softs.is_empty() {
+        encoder.absorb_parallel(&pool.finish(), rounds);
+        encoder.install_model_override(best_model);
+        return MaxSatOutcome::Optimal { cost: 0, violated: Vec::new() };
+    }
+    let mut best_cost = model_cost_in(encoder, &compiled.softs, &best_model);
+    let mut best_violated = violated_indices_in(encoder, &compiled.softs, &best_model);
+
+    let mut candidates: Vec<u64> = Vec::with_capacity(compiled.outputs.len() + 1);
+    candidates.push(0);
+    candidates.extend(compiled.outputs.iter().map(|&(s, _)| s));
+    let mut lo = 0usize;
+    let mut pooled_ok = true;
+    while pooled_ok && best_cost > 0 {
+        let hi = candidates.partition_point(|&c| c < best_cost);
+        if lo >= hi {
+            break; // nothing achievable below best_cost
+        }
+        let mid = (lo + hi) / 2;
+        let mut window = vec![mid, lo + (hi - lo) / 4, lo];
+        window.sort_unstable();
+        window.dedup();
+        window.truncate(seats);
+        let targets: Vec<usize> = (0..seats).map(|i| window[i % window.len()]).collect();
+        let probes: Vec<Vec<Lit>> = targets
+            .iter()
+            .map(|&idx| bound_assumptions(compiled, context, candidates[idx]))
+            .collect();
+        let outcomes = pool.solve_round(&probes);
+        rounds += 1;
+        let mut progressed = false;
+        for (&idx, outcome) in targets.iter().zip(&outcomes) {
+            match outcome.result {
+                SolveResult::Sat => {
+                    let model = outcome.model.as_deref().expect("SAT probes carry a model");
+                    let cost = model_cost_in(encoder, &compiled.softs, model);
+                    debug_assert!(cost <= candidates[idx], "model violates assumed bound");
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best_violated = violated_indices_in(encoder, &compiled.softs, model);
+                        best_model = model.to_vec();
+                        progressed = true;
+                    }
+                }
+                SolveResult::Unsat => {
+                    if idx + 1 > lo {
+                        lo = idx + 1;
+                        progressed = true;
+                    }
+                }
+                SolveResult::Unknown => {}
+            }
+        }
+        // A wholly inconclusive round cannot happen without a conflict
+        // budget; if it somehow does, stop racing rather than spin.
+        pooled_ok = progressed;
+    }
+    encoder.absorb_parallel(&pool.finish(), rounds);
+    if !pooled_ok {
+        // Safety net: discharge the remaining proof obligation on the
+        // session solver so the returned bound is still a proven optimum.
+        while best_cost > 0 {
+            let hi = candidates.partition_point(|&c| c < best_cost);
+            if lo >= hi {
+                break;
+            }
+            let mid = (lo + hi) / 2;
+            let target = candidates[mid];
+            match encoder.solve_with(&bound_assumptions(compiled, context, target)) {
+                SolveResult::Sat => {
+                    let cost = model_cost(encoder, &compiled.softs);
+                    best_cost = cost.min(target);
+                    best_violated = violated_indices(encoder, &compiled.softs);
+                }
+                SolveResult::Unsat | SolveResult::Unknown => {
+                    lo = mid + 1;
+                }
+            }
+        }
+    }
+    for &(s, l) in &compiled.outputs {
+        if s > best_cost {
+            ClauseSink::add_clause(encoder, &[!gate, !l]);
+        }
+    }
+    if pooled_ok {
+        debug_assert_eq!(
+            model_cost_in(encoder, &compiled.softs, &best_model),
+            best_cost,
+            "retained witness must achieve the optimum"
+        );
+        encoder.install_model_override(best_model);
+    } else {
+        let restored = encoder.solve_with(context);
+        debug_assert_eq!(restored, SolveResult::Sat);
+    }
     MaxSatOutcome::Optimal { cost: best_cost, violated: best_violated }
 }
 
@@ -258,12 +438,32 @@ fn model_cost(encoder: &Encoder, soft: &[Soft]) -> u64 {
         .sum()
 }
 
+/// [`violated_indices`] against a raw worker model instead of the session
+/// model (unmapped atoms count as false, matching projected semantics).
+fn violated_indices_in(encoder: &Encoder, soft: &[Soft], model: &[Option<bool>]) -> Vec<usize> {
+    soft.iter()
+        .enumerate()
+        .filter(|(_, s)| !s.formula.eval(&|a| encoder.atom_value_in(a, model).unwrap_or(false)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn model_cost_in(encoder: &Encoder, soft: &[Soft], model: &[Option<bool>]) -> u64 {
+    violated_indices_in(encoder, soft, model)
+        .into_iter()
+        .map(|i| soft[i].weight)
+        .sum()
+}
+
 /// Destructive linear descent: compiles the totalizer in place and hardens
 /// the optimum permanently. The gate is the always-true literal, so the
 /// gated hardening clauses in [`minimize_under`] strip to permanent units
 /// at level 0 — identical behavior to a dedicated ungated implementation.
 fn linear_gte(encoder: &mut Encoder, soft: &[Soft]) -> MaxSatOutcome {
-    if encoder.solve() != SolveResult::Sat {
+    // Routed through the backend so a portfolio races the initial
+    // feasibility check too — on hard theories it is as expensive as any
+    // bound probe.
+    if encoder.solve_with_backend(&[]) != SolveResult::Sat {
         return MaxSatOutcome::HardUnsat;
     }
     if soft.is_empty() {

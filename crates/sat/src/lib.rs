@@ -42,13 +42,16 @@ pub mod enumerate;
 mod heap;
 mod lit;
 pub mod portfolio;
+pub mod probes;
 pub mod proof;
 mod solver;
 mod stats;
 
 pub use checker::{check_refutation, check_refutation_under_assumptions, CheckError, Checker};
+pub use enumerate::{enumerate_projected_cubes, CubeEnumeration};
 pub use lit::{LBool, Lit, Var};
 pub use portfolio::{Portfolio, PortfolioConfig, PortfolioResult, PortfolioStats};
+pub use probes::{lit_value_in, ProbeOutcome, ProbePool, ProbePoolConfig};
 pub use proof::{DratProof, ProofSink, ProofStep};
 pub use solver::{ClauseExchange, SolveResult, Solver, SolverConfig};
 pub use stats::Stats;

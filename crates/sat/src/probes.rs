@@ -1,0 +1,363 @@
+//! Persistent probe workers for parallel query loops.
+//!
+//! The portfolio ([`crate::Portfolio`]) races N diversified solvers on *one*
+//! decisive verdict and then throws the workers away. The query loops that
+//! PR extends — MaxSAT descent, the capacity binary search — instead issue a
+//! *sequence of related probes* over one fixed formula: same CNF, different
+//! assumption sets, round after round. A [`ProbePool`] keeps one solver per
+//! seat alive across the whole loop, so the CNF is built once per worker and
+//! every learnt clause stays warm for the next round's probe.
+//!
+//! Within a round the seats race under the portfolio's first-winner-cancels
+//! protocol: any seat reaching a decisive verdict raises the shared
+//! interrupt flag, and the other seats abandon their (now redundant) probes
+//! at the next poll. Because the caller races probes at *different* bounds,
+//! one decisive answer usually re-anchors the whole search window — the
+//! interrupted probes' answers would have been subsumed anyway.
+//!
+//! In deterministic mode there is no interrupt flag: every seat runs its
+//! probe to completion (or its conflict budget), so seat `i`'s outcome is a
+//! pure function of the formula and the sequence of probes dispatched to
+//! seat `i`. A caller that dispatches probes positionally and folds results
+//! in a fixed order gets bit-identical runs.
+
+use crate::lit::{Lit, Var};
+use crate::portfolio::diversified_config;
+use crate::solver::{SolveResult, Solver, SolverConfig};
+use crate::stats::Stats;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+/// Configuration for a [`ProbePool`].
+#[derive(Clone, Debug)]
+pub struct ProbePoolConfig {
+    /// Number of worker seats (clamped to at least 1).
+    pub seats: usize,
+    /// Variable count of the formula.
+    pub num_vars: usize,
+    /// The formula every seat loads once at startup.
+    pub clauses: Arc<Vec<Vec<Lit>>>,
+    /// Base solver configuration; seat 0 runs it unmodified, later seats
+    /// run seeded variations (see [`diversified_config`]).
+    pub base: SolverConfig,
+    /// Variables any round's probe may assume, frozen in every seat at
+    /// startup. The session solver freezes assumption variables lazily at
+    /// first use, but pool seats see a *different* assumption set each
+    /// round — a variable only assumed in round N could be eliminated by a
+    /// seat's restart-boundary inprocessing during rounds 1..N, and
+    /// assuming an eliminated variable is a protocol violation. Callers
+    /// must declare the full assumable set up front.
+    pub frozen: Vec<Var>,
+    /// Deterministic mode: no cancellation; each seat's outcome depends
+    /// only on its own probe sequence.
+    pub deterministic: bool,
+    /// Diversification seed (as in the portfolio).
+    pub seed: u64,
+    /// Optional per-probe conflict budget; exhausted probes report
+    /// [`SolveResult::Unknown`].
+    pub conflict_budget: Option<u64>,
+}
+
+/// Outcome of one probe on one seat.
+#[derive(Clone, Debug)]
+pub struct ProbeOutcome {
+    /// The probe verdict (`Unknown` when interrupted or budget-bounded).
+    pub result: SolveResult,
+    /// Full model (indexed by variable) when the verdict is SAT.
+    pub model: Option<Vec<Option<bool>>>,
+}
+
+/// Reads a literal's value out of a raw model vector (as carried by
+/// [`ProbeOutcome::model`] and the portfolio result).
+pub fn lit_value_in(model: &[Option<bool>], lit: Lit) -> Option<bool> {
+    model
+        .get(lit.var().index())
+        .copied()
+        .flatten()
+        .map(|b| if lit.is_positive() { b } else { !b })
+}
+
+struct Seat {
+    jobs: mpsc::Sender<Vec<Lit>>,
+    handle: thread::JoinHandle<Stats>,
+}
+
+/// A pool of persistent probe workers over one formula. See the
+/// [module docs](self).
+pub struct ProbePool {
+    seats: Vec<Seat>,
+    results: mpsc::Receiver<(usize, ProbeOutcome)>,
+    interrupt: Arc<AtomicBool>,
+}
+
+impl ProbePool {
+    /// Spawns the worker seats; each builds its solver from the shared
+    /// formula once and then waits for probes.
+    pub fn new(config: ProbePoolConfig) -> ProbePool {
+        let n = config.seats.max(1);
+        let interrupt = Arc::new(AtomicBool::new(false));
+        let (results_tx, results) = mpsc::channel::<(usize, ProbeOutcome)>();
+        let mut seats = Vec::with_capacity(n);
+        for seat in 0..n {
+            let (jobs_tx, jobs_rx) = mpsc::channel::<Vec<Lit>>();
+            let seat_config = diversified_config(&config.base, seat, config.seed);
+            let clauses = Arc::clone(&config.clauses);
+            let interrupt = Arc::clone(&interrupt);
+            let results_tx = results_tx.clone();
+            let num_vars = config.num_vars;
+            let deterministic = config.deterministic;
+            let budget = config.conflict_budget;
+            let frozen = config.frozen.clone();
+            let handle = thread::spawn(move || {
+                let mut solver = Solver::with_config(seat_config);
+                solver.ensure_vars(num_vars);
+                for clause in clauses.iter() {
+                    if !solver.add_clause(clause.iter().copied()) {
+                        break;
+                    }
+                }
+                for &v in &frozen {
+                    solver.freeze_var(v);
+                }
+                solver.set_conflict_budget(budget);
+                if !deterministic {
+                    solver.set_interrupt(Arc::clone(&interrupt));
+                }
+                while let Ok(assumptions) = jobs_rx.recv() {
+                    let result = solver.solve_with(&assumptions);
+                    if matches!(result, SolveResult::Sat | SolveResult::Unsat) && !deterministic {
+                        // Decisive: cancel the other seats' probes. The
+                        // caller resets the flag before the next round.
+                        interrupt.store(true, Ordering::Relaxed);
+                    }
+                    let model = if result == SolveResult::Sat {
+                        Some(
+                            (0..num_vars)
+                                .map(|i| solver.model_value(Var::from_index(i)))
+                                .collect(),
+                        )
+                    } else {
+                        None
+                    };
+                    if results_tx.send((seat, ProbeOutcome { result, model })).is_err() {
+                        break;
+                    }
+                }
+                *solver.stats()
+            });
+            seats.push(Seat { jobs: jobs_tx, handle });
+        }
+        ProbePool { seats, results, interrupt }
+    }
+
+    /// Number of worker seats.
+    pub fn seats(&self) -> usize {
+        self.seats.len()
+    }
+
+    /// Races one round of probes: probe `i` runs on seat `i`, and the
+    /// returned outcomes are positional (`outcomes[i]` answers `probes[i]`).
+    /// At most [`ProbePool::seats`] probes per round.
+    ///
+    /// In racing mode the first decisive seat interrupts the rest, whose
+    /// probes then come back `Unknown`; in deterministic mode every seat
+    /// finishes. The call blocks until all of the round's probes report.
+    pub fn solve_round(&mut self, probes: &[Vec<Lit>]) -> Vec<ProbeOutcome> {
+        assert!(
+            probes.len() <= self.seats.len(),
+            "round of {} probes exceeds {} seats",
+            probes.len(),
+            self.seats.len()
+        );
+        self.interrupt.store(false, Ordering::Relaxed);
+        for (seat, probe) in self.seats.iter().zip(probes) {
+            seat.jobs
+                .send(probe.clone())
+                .expect("probe worker exited before the pool was finished");
+        }
+        let mut outcomes: Vec<Option<ProbeOutcome>> = Vec::with_capacity(probes.len());
+        outcomes.resize_with(probes.len(), || None);
+        for _ in 0..probes.len() {
+            let (seat, outcome) = self
+                .results
+                .recv()
+                .expect("probe worker exited before answering its probe");
+            outcomes[seat] = Some(outcome);
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every dispatched seat reports exactly once"))
+            .collect()
+    }
+
+    /// Shuts the pool down and returns each seat's accumulated solver
+    /// statistics, so callers can fold worker effort into session totals.
+    pub fn finish(self) -> Vec<Stats> {
+        let ProbePool { seats, results, .. } = self;
+        drop(results);
+        seats
+            .into_iter()
+            .map(|seat| {
+                drop(seat.jobs); // closes the job queue; the worker loop ends
+                seat.handle.join().expect("probe worker panicked")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(seats: usize, clauses: Vec<Vec<Lit>>, num_vars: usize, deterministic: bool) -> ProbePool {
+        ProbePool::new(ProbePoolConfig {
+            seats,
+            num_vars,
+            clauses: Arc::new(clauses),
+            base: SolverConfig::default(),
+            frozen: (0..num_vars).map(Var::from_index).collect(),
+            deterministic,
+            seed: 7,
+            conflict_budget: None,
+        })
+    }
+
+    #[test]
+    fn probes_answer_positionally() {
+        // x0 ∨ x1; probe A assumes ¬x0 (SAT via x1), probe B assumes
+        // ¬x0 ∧ ¬x1 (UNSAT). In deterministic mode both finish; in racing
+        // mode the first decisive seat may cancel the other to `Unknown`,
+        // but a decisive answer must still be the correct one.
+        let v = |i: usize| Var::from_index(i);
+        let clauses = vec![vec![v(0).positive(), v(1).positive()]];
+        for deterministic in [false, true] {
+            let mut p = pool(2, clauses.clone(), 2, deterministic);
+            let outcomes = p.solve_round(&[
+                vec![v(0).negative()],
+                vec![v(0).negative(), v(1).negative()],
+            ]);
+            match outcomes[0].result {
+                SolveResult::Sat => {
+                    let model = outcomes[0].model.as_ref().expect("SAT carries a model");
+                    assert_eq!(lit_value_in(model, v(1).positive()), Some(true));
+                }
+                SolveResult::Unknown => assert!(!deterministic, "only cancellation yields Unknown"),
+                SolveResult::Unsat => panic!("probe A is satisfiable"),
+            }
+            match outcomes[1].result {
+                SolveResult::Unsat => assert!(outcomes[1].model.is_none()),
+                SolveResult::Unknown => assert!(!deterministic, "only cancellation yields Unknown"),
+                SolveResult::Sat => panic!("probe B is unsatisfiable"),
+            }
+            assert!(
+                outcomes.iter().any(|o| o.result != SolveResult::Unknown),
+                "at least one seat reaches a decisive verdict"
+            );
+            let stats = p.finish();
+            assert_eq!(stats.len(), 2);
+            assert_eq!(stats[0].solves, 1);
+            assert_eq!(stats[1].solves, 1);
+        }
+    }
+
+    #[test]
+    fn seats_persist_across_rounds() {
+        let v = |i: usize| Var::from_index(i);
+        let clauses = vec![vec![v(0).positive(), v(1).positive()]];
+        let mut p = pool(2, clauses, 2, true);
+        for _ in 0..3 {
+            let outcomes = p.solve_round(&[vec![v(0).negative()], vec![v(1).negative()]]);
+            assert_eq!(outcomes[0].result, SolveResult::Sat);
+            assert_eq!(outcomes[1].result, SolveResult::Sat);
+        }
+        let stats = p.finish();
+        // One solver per seat survived all three rounds.
+        assert_eq!(stats[0].solves, 3);
+        assert_eq!(stats[1].solves, 3);
+    }
+
+    #[test]
+    fn deterministic_rounds_repeat_bit_identically() {
+        let v = |i: usize| Var::from_index(i);
+        // A slightly constrained formula so models are nontrivial.
+        let clauses = vec![
+            vec![v(0).positive(), v(1).positive(), v(2).positive()],
+            vec![v(0).negative(), v(3).positive()],
+        ];
+        let run = || {
+            let mut p = pool(3, clauses.clone(), 4, true);
+            let mut transcripts = Vec::new();
+            for _ in 0..2 {
+                let outcomes =
+                    p.solve_round(&[vec![], vec![v(1).negative()], vec![v(2).negative()]]);
+                transcripts.extend(
+                    outcomes.into_iter().map(|o| (o.result, o.model)),
+                );
+            }
+            (transcripts, p.finish())
+        };
+        let (t1, s1) = run();
+        let (t2, s2) = run();
+        for ((r1, m1), (r2, m2)) in t1.iter().zip(&t2) {
+            assert_eq!(r1, r2);
+            assert_eq!(m1, m2);
+        }
+        assert_eq!(s1, s2, "per-seat stats must be timing-independent");
+    }
+
+    #[test]
+    fn declared_assumables_survive_seat_inprocessing() {
+        // Regression: a variable assumed only in a *later* round must not
+        // be BVE-eliminated by a seat's restart-boundary inprocessing
+        // during an earlier round. The config forces inprocessing after
+        // the very first conflict; (x0 ∨ x1) ∧ (x0 ∨ ¬x1) yields that
+        // conflict under the all-false default polarity, and x2 — touched
+        // by no round-1 assumption — is a prime BVE target via
+        // (x2 ∨ x3) ∧ (¬x2 ∨ x4). Declaring x2 up front keeps round 2's
+        // assumption legal; without the declaration the seat panics on an
+        // eliminated-variable assumption.
+        let v = |i: usize| Var::from_index(i);
+        let clauses = vec![
+            vec![v(0).positive(), v(1).positive()],
+            vec![v(0).positive(), v(1).negative()],
+            vec![v(2).positive(), v(3).positive()],
+            vec![v(2).negative(), v(4).positive()],
+        ];
+        let mut p = ProbePool::new(ProbePoolConfig {
+            seats: 2,
+            num_vars: 5,
+            clauses: Arc::new(clauses),
+            base: SolverConfig {
+                restart_base: 1,
+                inprocess_interval: 1,
+                ..SolverConfig::default()
+            },
+            frozen: vec![v(2)],
+            deterministic: true,
+            seed: 7,
+            conflict_budget: None,
+        });
+        let first = p.solve_round(&[vec![], vec![]]);
+        assert!(first.iter().all(|o| o.result == SolveResult::Sat));
+        let second = p.solve_round(&[vec![v(2).positive()], vec![v(2).negative()]]);
+        assert_eq!(second[0].result, SolveResult::Sat);
+        assert_eq!(second[1].result, SolveResult::Sat);
+        let model = second[0].model.as_ref().expect("SAT probes carry a model");
+        assert_eq!(lit_value_in(model, v(2).positive()), Some(true));
+        p.finish();
+    }
+
+    #[test]
+    fn short_rounds_use_a_prefix_of_seats() {
+        let v = |i: usize| Var::from_index(i);
+        let mut p = pool(4, vec![vec![v(0).positive()]], 1, true);
+        let outcomes = p.solve_round(&[vec![]]);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].result, SolveResult::Sat);
+        let stats = p.finish();
+        assert_eq!(stats[0].solves, 1);
+        assert_eq!(stats[1].solves, 0, "idle seats stay idle");
+    }
+}

@@ -410,6 +410,22 @@ impl Solver {
         self.frozen[var.index()] = true;
     }
 
+    /// Re-admits a variable to bounded variable elimination, undoing
+    /// [`Solver::freeze_var`].
+    ///
+    /// The caller asserts that no *future* `add_clause` or `solve_with`
+    /// call will mention the variable (or that it will be re-frozen first):
+    /// once a later inprocessing round eliminates it, mentioning it panics.
+    /// This is how temporary pins — e.g. enumeration projections, which
+    /// only need their variables alive while blocking clauses are being
+    /// added — avoid exempting those variables from elimination for the
+    /// rest of an incremental session. Note that [`Solver::solve_with`]
+    /// freezes assumption variables permanently; thawing one of those
+    /// breaks that contract and is the caller's responsibility.
+    pub fn thaw_var(&mut self, var: Var) {
+        self.frozen[var.index()] = false;
+    }
+
     /// True when the variable is exempt from variable elimination.
     pub fn is_frozen(&self, var: Var) -> bool {
         self.frozen[var.index()]

@@ -53,6 +53,36 @@ pub struct Stats {
     pub chrono_backtracks: u64,
 }
 
+impl Stats {
+    /// Adds every counter from `other` into `self`. The parallel query
+    /// loops use this to fold worker-solver statistics into one session
+    /// total, so counters never silently vanish with the throwaway workers.
+    pub fn absorb(&mut self, other: &Stats) {
+        self.solves += other.solves;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.learnt_literals += other.learnt_literals;
+        self.minimized_literals += other.minimized_literals;
+        self.reductions += other.reductions;
+        self.deleted_clauses += other.deleted_clauses;
+        self.retired_activations += other.retired_activations;
+        self.garbage_collected_clauses += other.garbage_collected_clauses;
+        self.exported_clauses += other.exported_clauses;
+        self.imported_clauses += other.imported_clauses;
+        self.interrupts += other.interrupts;
+        self.random_decisions += other.random_decisions;
+        self.inprocessings += other.inprocessings;
+        self.subsumed += other.subsumed;
+        self.strengthened += other.strengthened;
+        self.eliminated_vars += other.eliminated_vars;
+        self.vivified += other.vivified;
+        self.chrono_backtracks += other.chrono_backtracks;
+    }
+}
+
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -89,6 +119,21 @@ impl fmt::Display for Stats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn absorb_adds_fieldwise() {
+        let mut a = Stats { solves: 2, conflicts: 7, eliminated_vars: 1, ..Stats::default() };
+        let b = Stats { solves: 3, conflicts: 5, interrupts: 4, ..Stats::default() };
+        a.absorb(&b);
+        assert_eq!(a.solves, 5);
+        assert_eq!(a.conflicts, 12);
+        assert_eq!(a.eliminated_vars, 1);
+        assert_eq!(a.interrupts, 4);
+        // Absorbing the default is the identity.
+        let before = a;
+        a.absorb(&Stats::default());
+        assert_eq!(a, before);
+    }
 
     #[test]
     fn display_mentions_key_counters() {

@@ -1,0 +1,181 @@
+//! Differential property sweep for cube-and-conquer projected enumeration.
+//!
+//! Over seeded random formulas, [`enumerate_projected_cubes`] with 0, 1,
+//! and 2 cube bits must produce exactly the sequential
+//! [`enumerate_projected`] walk's projected model *set* (the cube merge
+//! reorders classes, never adds or drops them), agree on truncation when
+//! the limit is not binding, and be bit-identical across repeat runs (the
+//! merge rule is deterministic in every mode).
+//!
+//! All randomness is seeded — running the sweep twice explores the same
+//! formulas.
+
+use netarch_rt::Rng;
+use netarch_sat::enumerate::enumerate_projected;
+use netarch_sat::{enumerate_projected_cubes, Lit, Solver, SolverConfig, Var};
+
+struct Case {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    projection: Vec<Var>,
+    assumptions: Vec<Lit>,
+}
+
+fn gen_case(rng: &mut Rng) -> Case {
+    let num_vars = rng.gen_range(6..=14usize);
+    // Sparse 2/3-clauses keep the projected model count nontrivial.
+    let num_clauses = rng.gen_range(4..=(2 * num_vars));
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let len = if rng.gen_bool(0.5) { 2 } else { 3 };
+        let mut clause: Vec<Lit> = Vec::with_capacity(len);
+        while clause.len() < len {
+            let v = rng.gen_range(0..num_vars);
+            if clause.iter().all(|l: &Lit| l.var().index() != v) {
+                clause.push(Lit::new(Var::from_index(v), rng.gen_bool(0.5)));
+            }
+        }
+        clauses.push(clause);
+    }
+    let proj_len = rng.gen_range(1..=4usize.min(num_vars));
+    let mut projection: Vec<Var> = Vec::new();
+    while projection.len() < proj_len {
+        let v = Var::from_index(rng.gen_range(0..num_vars));
+        if !projection.contains(&v) {
+            projection.push(v);
+        }
+    }
+    let assumptions = if rng.gen_bool(0.3) {
+        let v = rng.gen_range(0..num_vars);
+        if projection.iter().any(|p| p.index() == v) {
+            Vec::new()
+        } else {
+            vec![Lit::new(Var::from_index(v), rng.gen_bool(0.5))]
+        }
+    } else {
+        Vec::new()
+    };
+    Case { num_vars, clauses, projection, assumptions }
+}
+
+/// Projected models from the sequential walk, as a sorted set of
+/// `(var, value)` assignments.
+fn sequential_model_set(case: &Case, limit: usize) -> (Vec<Vec<(usize, bool)>>, bool) {
+    let mut s = Solver::with_config(SolverConfig::default());
+    s.ensure_vars(case.num_vars);
+    for c in &case.clauses {
+        s.add_clause(c.iter().copied());
+    }
+    let out = enumerate_projected(&mut s, &case.projection, &case.assumptions, limit);
+    let mut set: Vec<Vec<(usize, bool)>> = out
+        .models
+        .iter()
+        .map(|m| m.iter().map(|&(v, b)| (v.index(), b)).collect())
+        .collect();
+    set.sort();
+    (set, out.truncated)
+}
+
+/// Projected models from the cube walk, restricted to the projection vars.
+fn cube_model_set(case: &Case, limit: usize, bits: usize) -> (Vec<Vec<(usize, bool)>>, bool) {
+    let out = enumerate_projected_cubes(
+        case.num_vars,
+        &case.clauses,
+        &SolverConfig::default(),
+        &case.projection,
+        &case.assumptions,
+        limit,
+        bits,
+    );
+    let mut set: Vec<Vec<(usize, bool)>> = out
+        .models
+        .iter()
+        .map(|m| {
+            case.projection
+                .iter()
+                .map(|&v| (v.index(), m[v.index()].unwrap_or(false)))
+                .collect()
+        })
+        .collect();
+    set.sort();
+    (set, out.truncated)
+}
+
+#[test]
+fn cube_split_matches_sequential_enumeration() {
+    let mut rng = Rng::seed_from_u64(0xC0BE_5EED);
+    let mut nonempty = 0usize;
+    for case_idx in 0..40 {
+        let case = gen_case(&mut rng);
+        // A limit larger than the projected space (2^projection) so the
+        // model sets must match exactly, truncation included.
+        let limit = 1usize << case.projection.len();
+        let (seq, seq_truncated) = sequential_model_set(&case, limit + 1);
+        if !seq.is_empty() {
+            nonempty += 1;
+        }
+        assert!(!seq_truncated, "case {case_idx}: limit was meant to cover the space");
+        for bits in 0..=2usize.min(case.projection.len()) {
+            let (cubes, cube_truncated) = cube_model_set(&case, limit + 1, bits);
+            assert_eq!(
+                seq, cubes,
+                "case {case_idx} bits={bits}: projected model sets disagree"
+            );
+            assert!(!cube_truncated, "case {case_idx} bits={bits}: phantom truncation");
+        }
+    }
+    assert!(nonempty >= 10, "degenerate sweep: only {nonempty} satisfiable cases");
+}
+
+#[test]
+fn cube_enumeration_respects_the_global_limit() {
+    let mut rng = Rng::seed_from_u64(0x0011_B17E);
+    for case_idx in 0..20 {
+        let case = gen_case(&mut rng);
+        let space = 1usize << case.projection.len();
+        let (seq, _) = sequential_model_set(&case, space + 1);
+        if seq.len() < 2 {
+            continue;
+        }
+        let limit = seq.len() - 1;
+        for bits in 0..=2usize.min(case.projection.len()) {
+            let (cubes, truncated) = cube_model_set(&case, limit, bits);
+            assert_eq!(
+                cubes.len(),
+                limit,
+                "case {case_idx} bits={bits}: limit not honored"
+            );
+            assert!(truncated, "case {case_idx} bits={bits}: truncation unreported");
+            // Every returned class is a real class.
+            for m in &cubes {
+                assert!(seq.contains(m), "case {case_idx} bits={bits}: phantom class {m:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn cube_merge_order_is_bit_identical_across_runs() {
+    let mut rng = Rng::seed_from_u64(0x0DE7_C0BE);
+    for case_idx in 0..15 {
+        let case = gen_case(&mut rng);
+        let run = |bits: usize| {
+            enumerate_projected_cubes(
+                case.num_vars,
+                &case.clauses,
+                &SolverConfig::default(),
+                &case.projection,
+                &case.assumptions,
+                1 << case.projection.len(),
+                bits,
+            )
+        };
+        for bits in [1usize, 2] {
+            let bits = bits.min(case.projection.len());
+            let a = run(bits);
+            let b = run(bits);
+            assert_eq!(a.models, b.models, "case {case_idx} bits={bits}: merge order drifted");
+            assert_eq!(a.truncated, b.truncated);
+        }
+    }
+}

@@ -235,3 +235,35 @@ fn inprocessing_counters_fire_on_redundant_formulas() {
     assert!(stats.eliminated_vars >= 1, "expected BVE work: {stats}");
     assert_eq!(s.solve(), SolveResult::Sat);
 }
+
+#[test]
+fn enumeration_projection_vars_are_eliminable_again_afterwards() {
+    // Regression for the freeze/thaw balance in `enumerate_projected`: the
+    // projection freeze used to be permanent, pinning projection variables
+    // against BVE for the rest of a session's life. After the fix,
+    // enumeration thaws what it froze, so a later inprocessing round can
+    // eliminate a variable that only ever served as a projection target.
+    use netarch_sat::enumerate::enumerate_projected;
+    let mut s = Solver::with_config(SolverConfig::default());
+    let b = s.new_var();
+    let c = s.new_var();
+    let v1 = s.new_var();
+    let a = s.new_var();
+    s.freeze_var(b);
+    s.freeze_var(c);
+    // v1 bridges two frozen vars: (b ∨ v1) ∧ (c ∨ ¬v1) resolves to
+    // (b ∨ c), so BVE can eliminate v1 — unless a stale freeze pins it.
+    s.add_clause([b.positive(), v1.positive()]);
+    s.add_clause([c.positive(), v1.negative()]);
+    // Enumerate projected onto v1 under an unsatisfied assumption so the
+    // walk terminates immediately and adds no blocking clauses.
+    s.add_clause([a.positive()]);
+    let out = enumerate_projected(&mut s, &[v1], &[a.negative()], 10);
+    assert!(out.models.is_empty() && !out.truncated);
+    assert!(!s.is_frozen(v1), "enumeration must thaw its projection freeze");
+    assert!(s.inprocess());
+    assert!(
+        s.is_eliminated(v1),
+        "post-enumeration BVE should be able to eliminate the projection var"
+    );
+}

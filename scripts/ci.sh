@@ -40,7 +40,7 @@ NETARCH_BENCH_DIR="$narch_tmp" \
 echo "== bench trajectory files =="
 # The committed BENCH_*.json perf summaries must parse and name their
 # experiment (full checks live in tests/bench_trajectory.rs, run above).
-for f in BENCH_scaling.json BENCH_incremental.json BENCH_portfolio.json BENCH_parse.json BENCH_serve.json BENCH_inprocess.json; do
+for f in BENCH_scaling.json BENCH_incremental.json BENCH_portfolio.json BENCH_parse.json BENCH_serve.json BENCH_inprocess.json BENCH_parallel_queries.json; do
     [ -s "$f" ] || { echo "error: missing trajectory file $f" >&2; exit 1; }
 done
 
@@ -90,6 +90,25 @@ echo "== inprocessing smoke =="
 NETARCH_BENCH_DIR="$narch_tmp" \
     cargo run --release --offline -q -p netarch-bench --bin exp_inprocess -- --smoke
 
+echo "== parallel query loops (2 threads) =="
+# The three parallelized query loops — racing MaxSAT descent, cube-and-
+# conquer enumeration, speculative capacity search — re-run their
+# differential sweeps with the engine env-var path live: answers must
+# match the sequential oracle and deterministic runs must repeat
+# bit-identically.
+NETARCH_THREADS=2 cargo test -q --offline -p netarch-sat \
+    --test parallel_probes --test cube_enumeration
+NETARCH_THREADS=2 cargo test -q --offline -p netarch-logic --test parallel_descent
+NETARCH_THREADS=2 cargo test -q --offline -p netarch-core --test parallel_queries
+
+echo "== parallel query smoke =="
+# Toy shapes through all three loops with the full parallel-vs-sequential
+# oracle; persists BENCH_parallel_queries.json to the temp dir for the
+# regression gate below. Smoke gates correctness only — the ≥1.3× speedup
+# claim on 2 of 3 loops lives in the committed full run.
+NETARCH_BENCH_DIR="$narch_tmp" \
+    cargo run --release --offline -q -p netarch-bench --bin exp_parallel_queries -- --smoke
+
 echo "== serving suite (2 threads) =="
 # The sharded service under the portfolio backend: every shard count ×
 # cache mode must match fresh single-use engines, and seeded runs must
@@ -120,7 +139,10 @@ echo "== seeded-RNG policy =="
 # on all randomness flowing from explicit seeds.
 if grep -nE 'thread_rng|from_entropy|rand::random|SystemTime::now|Instant::now' \
     crates/sat/src/solver.rs crates/sat/src/simplify.rs crates/sat/src/portfolio.rs \
-    crates/sat/tests/portfolio_*.rs crates/sat/tests/inprocess_properties.rs; then
+    crates/sat/src/probes.rs crates/sat/src/enumerate.rs \
+    crates/sat/tests/portfolio_*.rs crates/sat/tests/inprocess_properties.rs \
+    crates/sat/tests/parallel_probes.rs crates/sat/tests/cube_enumeration.rs \
+    crates/logic/tests/parallel_descent.rs crates/core/tests/parallel_queries.rs; then
     echo "error: wall-clock or ambient-entropy source in solver/portfolio code" >&2
     exit 1
 fi

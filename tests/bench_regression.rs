@@ -14,8 +14,9 @@
 //!   The candidate must stay within `factor ×` the committed value
 //!   (default 2×, override with `NETARCH_BENCH_REGRESSION_FACTOR`).
 //! * **Self-bounded metrics** — `portfolio/median_speedup`,
-//!   `inprocess/median_speedup`, and `serve/warm_over_cold`. CI runs
-//!   these in `--smoke` shape, whose
+//!   `inprocess/median_speedup`, `serve/warm_over_cold`, and
+//!   `parallel_queries/loops_over_bound`. CI runs these in `--smoke`
+//!   shape, whose
 //!   absolute numbers are not comparable to the committed full runs;
 //!   instead the gate holds the candidate to the bound it recorded for
 //!   itself and to zero verdict disagreements, so a silently edited or
@@ -101,6 +102,22 @@ fn committed_trajectory_metrics_are_sane() {
         Some(0),
         "committed serving run recorded oracle disagreements"
     );
+    let parallel = committed("parallel_queries");
+    assert_eq!(
+        parallel.get("disagreements").and_then(Json::as_u64),
+        Some(0),
+        "committed parallel-queries run disagreed with the sequential oracle"
+    );
+    assert!(
+        parallel.get("loops_over_bound").and_then(Json::as_u64).unwrap_or(0) >= 2,
+        "committed parallel-queries run has fewer than 2 of 3 loops at its \
+         speedup bound"
+    );
+    assert_eq!(
+        parallel.get("smoke").and_then(Json::as_bool),
+        Some(false),
+        "committed parallel-queries numbers must come from a full run"
+    );
 }
 
 #[test]
@@ -162,5 +179,15 @@ fn candidate_run_does_not_regress() {
     assert!(
         metric(&serve, "serve", "warm_over_cold") >= metric(&serve, "serve", "bound"),
         "candidate warm-over-cold fell below its own bound"
+    );
+
+    // Smoke-shaped candidate: speedups on toy shapes are not comparable to
+    // the committed full run, but correctness is unconditional — any
+    // parallel-vs-sequential disagreement fails the gate.
+    let parallel = load_from(dir, "parallel_queries");
+    assert_eq!(
+        parallel.get("disagreements").and_then(Json::as_u64),
+        Some(0),
+        "candidate parallel-queries run disagreed with the sequential oracle"
     );
 }
