@@ -15,10 +15,14 @@
 //!   set, cutting total work toward `M²/2^bits` regardless of how many
 //!   cores execute the workers.
 //! * **Capacity** — speculative probing widens the fleet-bound search
-//!   window. On one core this is extra work for fewer rounds, so this
-//!   loop is *expected* to sit near (or below) 1× here; it is reported
-//!   honestly and the gate requires only two of the three loops over the
-//!   bound.
+//!   window, but its probe pool clones the CNF into every seat; on one
+//!   core the seats also serialize, so each round costs `seats` probes.
+//!   The engine's `Speculation::Auto` heuristic therefore engages the
+//!   pass only when the open interval is wide and physical cores back
+//!   the seats — on machines without them, what this loop measures is
+//!   the heuristic correctly standing down (≈1×, the portfolio's one-shot
+//!   probe overhead aside). It is reported honestly and the gate requires
+//!   only two of the three loops over the bound.
 //!
 //! Every parallel answer is checked against the sequential oracle — any
 //! disagreement (optimum cost, projected model set, fleet size) exits

@@ -76,7 +76,7 @@ pub mod prelude {
     };
     pub use crate::ordering::{Comparison, EdgeKind, OrderingEdge, PreferenceOrder};
     pub use crate::query::{CapacityPlan, Diagnosis, Engine, MeasurementAdvice, Outcome};
-    pub use crate::scenario::{Inventory, Objective, Pin, RoleRule, Scenario};
+    pub use crate::scenario::{Inventory, Objective, Pin, RoleRule, Scenario, ScenarioEdit};
     pub use crate::solution::Design;
     pub use crate::types::{
         Capability, Category, Dimension, Feature, HardwareId, HardwareKind, ParamName,

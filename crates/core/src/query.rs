@@ -31,7 +31,7 @@ use crate::scenario::Scenario;
 use crate::solution::Design;
 use crate::types::{Dimension, SystemId};
 use netarch_logic::maxsat::{compile_softs, minimize_under, MaxSatOutcome};
-use netarch_logic::{CompiledSofts, Formula, Soft};
+use netarch_logic::{CompiledSofts, Formula, Soft, Speculation};
 use netarch_sat::{Lit, SolveResult};
 
 /// Retired activation literals tolerated before the session compacts its
@@ -614,7 +614,25 @@ impl Engine {
         let compiled = &mut cc.compiled;
         let n = &cc.server_count;
         let selectors = compiled.all_selectors();
-        if compiled.encoder.solve_with_backend(&selectors) != SolveResult::Sat {
+        // One-shot portfolio probes spawn fresh diversified workers per
+        // solve. A bisection probe has no algorithmic angle for those
+        // workers to exploit — they race the *same* query — so the spawn
+        // cost pays off only when physical cores actually run the race
+        // concurrently. Without them, every solve in this query stays on
+        // the warm incremental session solver.
+        let probe_backend = match compiled.encoder.speculation() {
+            Speculation::Always => true,
+            Speculation::Never => false,
+            Speculation::Auto => portfolio_probes_pay_off(),
+        };
+        let solve = |compiled: &mut Compiled, assumptions: &[Lit]| {
+            if probe_backend {
+                compiled.encoder.solve_with_backend(assumptions)
+            } else {
+                compiled.encoder.solve_with(assumptions)
+            }
+        };
+        if solve(compiled, &selectors) != SolveResult::Sat {
             let ids = compiled.groups.ids();
             let mus = compiled
                 .groups
@@ -632,8 +650,18 @@ impl Engine {
         // Speculative pass: probe several fleet bounds per round on worker
         // seats, shrinking [lo, best) faster than one midpoint at a time.
         // The sequential loop below still finishes the search, so the
-        // speculative pass only needs to make progress.
-        if compiled.encoder.parallel_seats() >= 2 {
+        // speculative pass only needs to make progress — but its pool
+        // clones the session CNF into every seat, so it engages only when
+        // the policy (and, under Auto, the cost heuristic) says that setup
+        // cost can pay for itself.
+        let seats = compiled.encoder.parallel_seats();
+        let engage = seats >= 2
+            && match compiled.encoder.speculation() {
+                Speculation::Always => true,
+                Speculation::Never => false,
+                Speculation::Auto => speculation_pays_off(seats, lo, best),
+            };
+        if engage {
             speculative_capacity_search(compiled, n, &selectors, &mut lo, &mut best);
         }
         while lo < best {
@@ -644,7 +672,7 @@ impl Engine {
                 netarch_logic::Bound::AlwaysFalse => {}
                 netarch_logic::Bound::AlwaysTrue => break,
             }
-            match compiled.encoder.solve_with_backend(&assumptions) {
+            match solve(compiled, &assumptions) {
                 SolveResult::Sat => best = read_n(compiled, n).min(mid),
                 SolveResult::Unsat | SolveResult::Unknown => lo = mid + 1,
             }
@@ -654,7 +682,7 @@ impl Engine {
         if let netarch_logic::Bound::Lit(q) = n.ge_const(best + 1) {
             assumptions.push(!q);
         }
-        let restored = compiled.encoder.solve_with_backend(&assumptions);
+        let restored = solve(compiled, &assumptions);
         debug_assert_eq!(restored, SolveResult::Sat);
         // Extract the design against a scenario sized at the optimum.
         let mut sized = self.scenario.clone();
@@ -701,6 +729,34 @@ pub struct CapacityPlan {
     pub servers_needed: u64,
     /// A compliant design at that fleet size.
     pub design: Design,
+}
+
+/// Below this open-interval width the sequential finisher needs at most
+/// `log2(SPECULATION_MIN_WIDTH)` incremental probes on the already-warm
+/// session solver — cheaper than cloning the CNF into a worker pool, so
+/// speculation cannot pay for itself.
+const SPECULATION_MIN_WIDTH: u64 = 64;
+
+/// The `Speculation::Auto` cost heuristic. The probe pool wins only when
+/// (a) the open interval `[lo, best)` is wide enough that the saved
+/// bisection rounds amortize the per-seat CNF clones, and (b) the machine
+/// has enough physical cores to actually run the seats concurrently —
+/// oversubscribed seats serialize, turning each round into `seats`
+/// sequential probes, which always loses to one midpoint at a time.
+fn speculation_pays_off(seats: usize, lo: u64, best: u64) -> bool {
+    best.saturating_sub(lo) >= SPECULATION_MIN_WIDTH && physical_cores() >= seats
+}
+
+/// Whether one-shot portfolio probes can win a race at all: with a single
+/// physical core the freshly-spawned workers serialize, so racing `k`
+/// identical probes costs up to `k×` one warm incremental solve.
+fn portfolio_probes_pay_off() -> bool {
+    physical_cores() >= 2
+}
+
+/// Physical cores available to back parallel work (1 when undetectable).
+fn physical_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// One speculative pass of the capacity binary search. Each round spreads

@@ -210,6 +210,63 @@ impl Scenario {
     }
 }
 
+/// One mechanical change to a scenario, produced by the sweep layer when
+/// materializing an enumerated variant. Edits are deliberately coarse —
+/// each one overwrites a whole knob — so that applying the same edit list
+/// to the same base scenario is trivially deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioEdit {
+    /// Pin a system into the design (`Pin::Require`).
+    RequireSystem(SystemId),
+    /// Pin a system out of the design (`Pin::Forbid`).
+    ForbidSystem(SystemId),
+    /// Replace the NIC candidate list.
+    NicCandidates(Vec<HardwareId>),
+    /// Replace the server candidate list.
+    ServerCandidates(Vec<HardwareId>),
+    /// Replace the switch candidate list.
+    SwitchCandidates(Vec<HardwareId>),
+    /// Set the server count.
+    NumServers(u64),
+    /// Set (or override) a numeric parameter.
+    SetParam(ParamName, f64),
+}
+
+impl Scenario {
+    /// Returns a copy of `self` with `edits` applied in order. Later edits
+    /// to the same knob win, matching the stream order the sweep
+    /// enumerator emits.
+    pub fn with_edits(&self, edits: &[ScenarioEdit]) -> Scenario {
+        let mut out = self.clone();
+        for edit in edits {
+            match edit {
+                ScenarioEdit::RequireSystem(id) => {
+                    out.pins.push(Pin::Require(id.clone()));
+                }
+                ScenarioEdit::ForbidSystem(id) => {
+                    out.pins.push(Pin::Forbid(id.clone()));
+                }
+                ScenarioEdit::NicCandidates(ids) => {
+                    out.inventory.nic_candidates = ids.clone();
+                }
+                ScenarioEdit::ServerCandidates(ids) => {
+                    out.inventory.server_candidates = ids.clone();
+                }
+                ScenarioEdit::SwitchCandidates(ids) => {
+                    out.inventory.switch_candidates = ids.clone();
+                }
+                ScenarioEdit::NumServers(n) => {
+                    out.inventory.num_servers = *n;
+                }
+                ScenarioEdit::SetParam(name, value) => {
+                    out.params.insert(name.clone(), *value);
+                }
+            }
+        }
+        out
+    }
+}
+
 impl StaticContext for Scenario {
     fn param(&self, name: &ParamName) -> Option<f64> {
         self.param_value(name)
@@ -254,6 +311,24 @@ mod tests {
             .with_workload(Workload::builder("w").property("wan_traffic").build());
         assert!(s.workload_has(&Property::new("wan_traffic")));
         assert!(!s.workload_has(&Property::new("short_flows")));
+    }
+
+    #[test]
+    fn edits_apply_in_order_and_leave_base_untouched() {
+        let base = Scenario::new(Catalog::new()).with_param("link_speed_gbps", 10.0);
+        let edited = base.with_edits(&[
+            ScenarioEdit::RequireSystem(SystemId::new("SONATA")),
+            ScenarioEdit::NumServers(4),
+            ScenarioEdit::SetParam(ParamName::new("link_speed_gbps"), 40.0),
+            ScenarioEdit::SetParam(ParamName::new("link_speed_gbps"), 100.0),
+            ScenarioEdit::NicCandidates(vec![HardwareId::new("NIC_A")]),
+        ]);
+        assert_eq!(edited.pins, vec![Pin::Require(SystemId::new("SONATA"))]);
+        assert_eq!(edited.inventory.num_servers, 4);
+        assert_eq!(edited.param_value(&ParamName::new("link_speed_gbps")), Some(100.0));
+        assert_eq!(edited.inventory.nic_candidates, vec![HardwareId::new("NIC_A")]);
+        assert_eq!(base.inventory.num_servers, 0);
+        assert!(base.pins.is_empty());
     }
 
     #[test]

@@ -366,3 +366,88 @@ fn acceptance_interleaving_runs_on_one_compile() {
     };
     session_agrees_with_fresh_engines(&seed).unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Adversarial query orderings over a sweep-style variant grid
+// ---------------------------------------------------------------------------
+
+/// All permutations of `tape`, in a stable order (recursive insertion).
+fn permutations(tape: &[u8]) -> Vec<Vec<u8>> {
+    if tape.len() <= 1 {
+        return vec![tape.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in tape.iter().enumerate() {
+        let mut rest = tape.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// The canonical tape: one op of every kind. Byte 11 decodes to
+/// `Subset(2)` so the rule-subset query carries a non-trivial mask.
+const CANONICAL_TAPE: [u8; 4] = [0, 1, 2, 11];
+
+#[test]
+fn every_ordering_of_the_canonical_tape_agrees() {
+    // A sweep-style grid over scenario knobs (workload needs × required
+    // roles × NIC features — the same axes a `sweep` block's choice
+    // groups vary) crossed with *every* ordering of the canonical
+    // four-op tape. Fail-fast: the first divergent ordering panics with
+    // enough context to replay it.
+    let orderings = permutations(&CANONICAL_TAPE);
+    assert_eq!(orderings.len(), 24);
+    for (needs_mask, required_roles) in [(0b011u8, 0b001u8), (0b001, 0b011), (0b111, 0b000)] {
+        for nic_features in [[true, false], [false, false]] {
+            for ops in &orderings {
+                let seed = Seed {
+                    systems_per_category: vec![2, 2, 1],
+                    feature_mask: 0b0101,
+                    conflict_mask: 0b0010,
+                    nic_features,
+                    needs_mask,
+                    pins_mask: 0,
+                    required_roles,
+                    ops: ops.clone(),
+                };
+                if let Err(e) = session_agrees_with_fresh_engines(&seed) {
+                    panic!(
+                        "ordering {ops:?} diverged (needs={needs_mask:#05b} \
+                         roles={required_roles:#05b} nic={nic_features:?}): {e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Random scenario × adversarially chosen tape ordering, with shrinking:
+/// a failure minimizes both the scenario knobs and the permutation index.
+#[derive(Debug, Clone)]
+struct OrderingSeed {
+    scenario: Seed,
+    perm: u8,
+}
+
+impl_shrink_struct!(OrderingSeed { scenario, perm });
+
+#[test]
+fn random_variants_survive_adversarial_orderings() {
+    let orderings = permutations(&CANONICAL_TAPE);
+    prop::check(
+        &Config::with_cases(24),
+        |rng| OrderingSeed {
+            scenario: gen_seed(rng),
+            perm: rng.gen_range(0..24u8),
+        },
+        |seed| {
+            let mut scenario = seed.scenario.clone();
+            scenario.ops = orderings[usize::from(seed.perm) % orderings.len()].clone();
+            session_agrees_with_fresh_engines(&scenario)
+        },
+    );
+}

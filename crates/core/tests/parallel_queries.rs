@@ -12,12 +12,24 @@
 
 use netarch_core::prelude::*;
 use netarch_core::solution::Design;
-use netarch_logic::{PortfolioOptions, SolveBackend};
+use netarch_logic::{PortfolioOptions, SolveBackend, Speculation};
 
 fn portfolio_backend(num_threads: usize, deterministic: bool) -> SolveBackend {
     SolveBackend::Portfolio(PortfolioOptions {
         num_threads,
         deterministic,
+        ..PortfolioOptions::default()
+    })
+}
+
+/// A portfolio backend with the speculative capacity pass forced on, so
+/// the pass itself is exercised even on machines whose core count makes
+/// the `Auto` heuristic (correctly) skip it.
+fn speculating_backend(num_threads: usize, deterministic: bool) -> SolveBackend {
+    SolveBackend::Portfolio(PortfolioOptions {
+        num_threads,
+        deterministic,
+        speculation: Speculation::Always,
         ..PortfolioOptions::default()
     })
 }
@@ -194,19 +206,44 @@ fn speculative_capacity_search_matches_sequential_plans() {
         let expected = seq.plan_capacity(64).unwrap().expect("feasible");
         for threads in [1usize, 2, 4] {
             for deterministic in [true, false] {
-                let mut engine = Engine::with_backend(
-                    capacity_scenario(peak),
+                // Forced speculation exercises the probe-pool pass itself;
+                // the default backend exercises whatever the Auto heuristic
+                // chooses on this machine. Both must answer identically.
+                for backend in [
+                    speculating_backend(threads, deterministic),
                     portfolio_backend(threads, deterministic),
-                )
-                .unwrap();
-                let got = engine.plan_capacity(64).unwrap().expect("feasible");
-                assert_eq!(
-                    expected.servers_needed, got.servers_needed,
-                    "peak={peak} threads={threads} det={deterministic}"
-                );
-                assert_eq!(expected.design.selections, got.design.selections);
+                ] {
+                    let mut engine =
+                        Engine::with_backend(capacity_scenario(peak), backend).unwrap();
+                    let got = engine.plan_capacity(64).unwrap().expect("feasible");
+                    assert_eq!(
+                        expected.servers_needed, got.servers_needed,
+                        "peak={peak} threads={threads} det={deterministic}"
+                    );
+                    assert_eq!(expected.design.selections, got.design.selections);
+                }
             }
         }
+    }
+}
+
+#[test]
+fn speculation_policy_never_changes_the_answer() {
+    // Auto, Always, and Never are pure scheduling policies: the plan —
+    // fleet size and design — must be invariant across all three.
+    let mut oracle =
+        Engine::with_backend(capacity_scenario(800), SolveBackend::Sequential).unwrap();
+    let expected = oracle.plan_capacity(64).unwrap().expect("feasible");
+    for speculation in [Speculation::Auto, Speculation::Always, Speculation::Never] {
+        let backend = SolveBackend::Portfolio(PortfolioOptions {
+            num_threads: 4,
+            speculation,
+            ..PortfolioOptions::default()
+        });
+        let mut engine = Engine::with_backend(capacity_scenario(800), backend).unwrap();
+        let got = engine.plan_capacity(64).unwrap().expect("feasible");
+        assert_eq!(expected.servers_needed, got.servers_needed, "{speculation:?}");
+        assert_eq!(expected.design.selections, got.design.selections, "{speculation:?}");
     }
 }
 

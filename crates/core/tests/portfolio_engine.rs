@@ -9,7 +9,7 @@
 
 use netarch_core::prelude::*;
 use netarch_core::query::OptimizedDesign;
-use netarch_logic::{PortfolioOptions, SolveBackend};
+use netarch_logic::{PortfolioOptions, SolveBackend, Speculation};
 
 fn portfolio_backend(num_threads: usize) -> SolveBackend {
     SolveBackend::Portfolio(PortfolioOptions {
@@ -137,16 +137,30 @@ fn infeasibility_diagnosis_agrees_across_backends() {
 
 #[test]
 fn capacity_plans_agree_across_backends() {
+    // `Speculation::Always` forces the capacity probes through the
+    // portfolio so the probe-count assertion below holds on any machine;
+    // under the default `Auto` policy a core-starved host may (correctly)
+    // keep the probes on the warm session solver.
+    let speculating = SolveBackend::Portfolio(PortfolioOptions {
+        num_threads: 2,
+        speculation: Speculation::Always,
+        ..PortfolioOptions::default()
+    });
     for peak in [100, 200, 500] {
         let mut seq_engine =
             Engine::with_backend(capacity_scenario(peak), SolveBackend::Sequential).unwrap();
         let mut par_engine =
+            Engine::with_backend(capacity_scenario(peak), speculating.clone()).unwrap();
+        let mut auto_engine =
             Engine::with_backend(capacity_scenario(peak), portfolio_backend(2)).unwrap();
         let seq = seq_engine.plan_capacity(64).unwrap().expect("feasible");
         let par = par_engine.plan_capacity(64).unwrap().expect("feasible");
+        let auto = auto_engine.plan_capacity(64).unwrap().expect("feasible");
         assert_eq!(seq.servers_needed, par.servers_needed, "peak_cores={peak}");
         assert_eq!(seq.design.selections, par.design.selections);
-        // The portfolio engine actually used the portfolio for its probes.
+        assert_eq!(seq.servers_needed, auto.servers_needed, "peak_cores={peak}");
+        assert_eq!(seq.design.selections, auto.design.selections);
+        // The forced engine actually used the portfolio for its probes.
         assert!(par_engine.stats().portfolio_solves > 0);
         assert_eq!(seq_engine.stats().portfolio_solves, 0);
     }

@@ -65,12 +65,14 @@ pub mod error;
 pub mod lower;
 pub mod print;
 pub mod query;
+pub mod sweep;
 mod vocab;
 
 pub use error::DslError;
 pub use lower::{load_str, Loader, ScenarioDoc};
 pub use print::{
     print_catalog, print_doc, print_hardware, print_orderings, print_queries, print_scenario,
-    print_scenario_inputs, print_systems,
+    print_scenario_inputs, print_sweeps, print_systems,
 };
 pub use query::QuerySpec;
+pub use sweep::{AltRef, ChoiceGroup, ChoiceKind, SweepConstraint, SweepSpec};

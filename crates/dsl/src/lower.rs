@@ -9,6 +9,7 @@
 
 use crate::error::DslError;
 use crate::query::QuerySpec;
+use crate::sweep::{AltRef, ChoiceGroup, ChoiceKind, SweepConstraint, SweepSpec};
 use crate::vocab;
 use netarch_core::component::{HardwareSpec, Requirement, ResourceDemand, SystemSpec};
 use netarch_core::prelude::*;
@@ -28,6 +29,8 @@ pub struct ScenarioDoc {
     pub scenario: Option<Scenario>,
     /// Queries in document order.
     pub queries: Vec<QuerySpec>,
+    /// Sweeps in document order.
+    pub sweeps: Vec<SweepSpec>,
 }
 
 impl ScenarioDoc {
@@ -73,6 +76,7 @@ impl Loader {
         let mut workload_blocks: Vec<(&str, &Block)> = Vec::new();
         let mut scenario_blocks: Vec<(&str, &Block)> = Vec::new();
         let mut query_blocks: Vec<(&str, &Block)> = Vec::new();
+        let mut sweep_blocks: Vec<(&str, &Block)> = Vec::new();
         for (name, doc) in &self.sources {
             for block in &doc.blocks {
                 let bucket = match block.keyword.value.as_str() {
@@ -82,12 +86,13 @@ impl Loader {
                     "workload" => &mut workload_blocks,
                     "scenario" => &mut scenario_blocks,
                     "query" => &mut query_blocks,
+                    "sweep" => &mut sweep_blocks,
                     other => {
                         return Err(DslError::at(
                             block.keyword.span,
                             format!(
                                 "unknown block `{other}` (expected system, hardware, \
-                                 ordering, workload, scenario, or query)"
+                                 ordering, workload, scenario, query, or sweep)"
                             ),
                         )
                         .in_source(name))
@@ -142,7 +147,20 @@ impl Loader {
             queries.push(lower_query(block).map_err(|e| e.in_source(src))?);
         }
 
-        Ok(ScenarioDoc { catalog, workloads, scenario, queries })
+        let mut sweeps: Vec<SweepSpec> = Vec::new();
+        for (src, block) in &sweep_blocks {
+            let sweep = lower_sweep(block).map_err(|e| e.in_source(src))?;
+            if sweeps.iter().any(|s| s.name == sweep.name) {
+                return Err(DslError::at(
+                    block.keyword.span,
+                    format!("duplicate sweep `{}` across the loaded sources", sweep.name),
+                )
+                .in_source(src));
+            }
+            sweeps.push(sweep);
+        }
+
+        Ok(ScenarioDoc { catalog, workloads, scenario, queries, sweeps })
     }
 }
 
@@ -1191,6 +1209,293 @@ fn lower_query(block: &Block) -> Result<QuerySpec, DslError> {
             format!(
                 "unknown query kind `{other}` (check, optimize, capacity, enumerate, \
                  questions, compare)"
+            ),
+        )),
+    }
+}
+
+fn bool_of(e: &Spanned<Expr>, what: &str) -> Result<bool, DslError> {
+    match &e.value {
+        Expr::Bool(b) => Ok(*b),
+        other => Err(DslError::at(
+            e.span,
+            format!("expected {what} (true or false), found {}", describe(other)),
+        )),
+    }
+}
+
+fn lower_sweep(block: &Block) -> Result<SweepSpec, DslError> {
+    let label = require_one_label(block, "sweep-name")?;
+    let mut seed: Option<u64> = None;
+    let mut limit: Option<u64> = None;
+    let mut require: Option<Vec<SweepConstraint>> = None;
+    let mut forbid: Option<Vec<SweepConstraint>> = None;
+    let mut groups: Vec<ChoiceGroup> = Vec::new();
+    for item in &block.body {
+        match item {
+            text::Item::Attr(attr) => match attr.key.value.as_str() {
+                "seed" => set_once(&mut seed, &attr.key, u64_of(&attr.value, "a seed")?)?,
+                "limit" => {
+                    set_once(&mut limit, &attr.key, u64_of(&attr.value, "a variant cap")?)?
+                }
+                "require" => set_once(
+                    &mut require,
+                    &attr.key,
+                    lower_sweep_constraints(&attr.value)?,
+                )?,
+                "forbid" => set_once(
+                    &mut forbid,
+                    &attr.key,
+                    lower_sweep_constraints(&attr.value)?,
+                )?,
+                _ => return Err(unknown_attr(block, attr)),
+            },
+            text::Item::Block(nested) if nested.keyword.value == "choose" => {
+                let group = lower_choice_group(nested)?;
+                if groups.iter().any(|g| g.name == group.name) {
+                    return Err(DslError::at(
+                        nested.keyword.span,
+                        format!("duplicate choice group `{}`", group.name),
+                    ));
+                }
+                groups.push(group);
+            }
+            text::Item::Block(nested) => return Err(unknown_block(block, nested)),
+        }
+    }
+    let limit = limit.unwrap_or(256);
+    if limit == 0 {
+        return Err(DslError::at(block.keyword.span, "sweep `limit` must be at least 1"));
+    }
+    if groups.is_empty() {
+        return Err(DslError::at(
+            block.keyword.span,
+            "sweep has no `choose` groups; add at least one",
+        ));
+    }
+    let spec = SweepSpec {
+        name: label.value.clone(),
+        seed: seed.unwrap_or(0),
+        limit,
+        groups,
+        require: require.unwrap_or_default(),
+        forbid: forbid.unwrap_or_default(),
+    };
+    // References must resolve at lowering time: a `picked` over a group or
+    // alternative the sweep never defines is a typo, not an always-false
+    // atom.
+    for constraint in spec.require.iter().chain(&spec.forbid) {
+        check_sweep_refs(&spec, constraint, block.keyword.span)?;
+    }
+    Ok(spec)
+}
+
+fn check_sweep_refs(
+    spec: &SweepSpec,
+    constraint: &SweepConstraint,
+    span: Span,
+) -> Result<(), DslError> {
+    match constraint {
+        SweepConstraint::Picked { group, alternative } => {
+            let g = spec.groups.iter().find(|g| g.name == *group).ok_or_else(|| {
+                DslError::at(span, format!("constraint references unknown choice group `{group}`"))
+            })?;
+            if g.resolve(alternative).is_none() {
+                let alt = match alternative {
+                    AltRef::Name(n) => n.clone(),
+                    AltRef::Number(v) => crate::print::number_text(*v),
+                };
+                return Err(DslError::at(
+                    span,
+                    format!("group `{group}` has no alternative `{alt}`"),
+                ));
+            }
+            Ok(())
+        }
+        SweepConstraint::Not(inner) => check_sweep_refs(spec, inner, span),
+        SweepConstraint::All(parts) | SweepConstraint::Any(parts) => {
+            parts.iter().try_for_each(|c| check_sweep_refs(spec, c, span))
+        }
+    }
+}
+
+fn lower_choice_group(block: &Block) -> Result<ChoiceGroup, DslError> {
+    let label = require_one_label(block, "group-name")?;
+    let mut kind: Option<ChoiceKind> = None;
+    let mut optional: Option<bool> = None;
+    let mut param: Option<ParamName> = None;
+    let mut values: Option<Vec<f64>> = None;
+    let set_kind = |slot: &mut Option<ChoiceKind>,
+                        key: &Spanned<String>,
+                        k: ChoiceKind|
+     -> Result<(), DslError> {
+        if slot.is_some() {
+            return Err(DslError::at(
+                key.span,
+                "`choose` group already has an axis; pick exactly one of systems, nics, \
+                 servers, switches, num_servers, or param",
+            ));
+        }
+        *slot = Some(k);
+        Ok(())
+    };
+    for item in &block.body {
+        match item {
+            text::Item::Attr(attr) => match attr.key.value.as_str() {
+                "systems" => set_kind(
+                    &mut kind,
+                    &attr.key,
+                    ChoiceKind::Systems {
+                        candidates: names_list(&attr.value, "a system id")?,
+                        optional: false,
+                    },
+                )?,
+                "nics" => set_kind(
+                    &mut kind,
+                    &attr.key,
+                    ChoiceKind::Nics(names_list(&attr.value, "a hardware id")?),
+                )?,
+                "servers" => set_kind(
+                    &mut kind,
+                    &attr.key,
+                    ChoiceKind::Servers(names_list(&attr.value, "a hardware id")?),
+                )?,
+                "switches" => set_kind(
+                    &mut kind,
+                    &attr.key,
+                    ChoiceKind::Switches(names_list(&attr.value, "a hardware id")?),
+                )?,
+                "num_servers" => {
+                    let counts = list_of(&attr.value, "server counts")?
+                        .iter()
+                        .map(|e| u64_of(e, "a server count"))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    set_kind(&mut kind, &attr.key, ChoiceKind::NumServers(counts))?
+                }
+                "optional" => set_once(
+                    &mut optional,
+                    &attr.key,
+                    bool_of(&attr.value, "an optional flag")?,
+                )?,
+                "param" => {
+                    set_once(&mut param, &attr.key, lower_param_name(&attr.value)?)?
+                }
+                "values" => {
+                    let vs = list_of(&attr.value, "parameter values")?
+                        .iter()
+                        .map(|e| f64_of(e, "a parameter value"))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    set_once(&mut values, &attr.key, vs)?
+                }
+                _ => return Err(unknown_attr(block, attr)),
+            },
+            text::Item::Block(nested) => return Err(unknown_block(block, nested)),
+        }
+    }
+    let mut kind = match (kind, param, values) {
+        (Some(k), None, None) => k,
+        (None, Some(name), Some(values)) => ChoiceKind::Param { name, values },
+        (None, Some(_), None) => {
+            return Err(missing(block.keyword.span, "values"));
+        }
+        (None, None, Some(_)) => {
+            return Err(missing(block.keyword.span, "param"));
+        }
+        (None, None, None) => {
+            return Err(DslError::at(
+                block.keyword.span,
+                "`choose` group needs an axis: one of systems, nics, servers, switches, \
+                 num_servers, or param + values",
+            ));
+        }
+        (Some(_), _, _) => {
+            return Err(DslError::at(
+                block.keyword.span,
+                "`choose` group already has an axis; pick exactly one of systems, nics, \
+                 servers, switches, num_servers, or param",
+            ));
+        }
+    };
+    match (&mut kind, optional) {
+        (ChoiceKind::Systems { optional: slot, .. }, Some(flag)) => *slot = flag,
+        (_, None) => {}
+        (_, Some(_)) => {
+            return Err(DslError::at(
+                block.keyword.span,
+                "`optional` applies only to a `systems` group",
+            ));
+        }
+    }
+    let group = ChoiceGroup { name: label.value.clone(), kind };
+    if group.arity() == 0 {
+        return Err(DslError::at(
+            block.keyword.span,
+            "`choose` group lists no alternatives",
+        ));
+    }
+    Ok(group)
+}
+
+fn lower_sweep_constraints(e: &Spanned<Expr>) -> Result<Vec<SweepConstraint>, DslError> {
+    list_of(e, "sweep constraints")?.iter().map(lower_sweep_constraint).collect()
+}
+
+fn lower_sweep_constraint(e: &Spanned<Expr>) -> Result<SweepConstraint, DslError> {
+    match &e.value {
+        Expr::Call { path, args } => match path_text(path).as_str() {
+            "picked" => {
+                if args.len() != 2 {
+                    return Err(DslError::at(
+                        e.span,
+                        "`picked(...)` takes exactly two arguments (group, alternative)",
+                    ));
+                }
+                Ok(SweepConstraint::Picked {
+                    group: name_of(&args[0], "a choice-group name")?,
+                    alternative: lower_alt_ref(&args[1])?,
+                })
+            }
+            "not" => {
+                if args.len() != 1 {
+                    return Err(DslError::at(
+                        e.span,
+                        "`not(...)` takes exactly one argument (a constraint)",
+                    ));
+                }
+                Ok(SweepConstraint::Not(Box::new(lower_sweep_constraint(&args[0])?)))
+            }
+            "all" => Ok(SweepConstraint::All(
+                args.iter().map(lower_sweep_constraint).collect::<Result<_, _>>()?,
+            )),
+            "any" => Ok(SweepConstraint::Any(
+                args.iter().map(lower_sweep_constraint).collect::<Result<_, _>>()?,
+            )),
+            other => Err(DslError::at(
+                e.span,
+                format!(
+                    "unknown sweep constraint `{other}(...)` (expected picked, not, all, \
+                     or any)"
+                ),
+            )),
+        },
+        other => Err(DslError::at(
+            e.span,
+            format!("expected a sweep constraint, found {}", describe(other)),
+        )),
+    }
+}
+
+fn lower_alt_ref(e: &Spanned<Expr>) -> Result<AltRef, DslError> {
+    match &e.value {
+        Expr::Int(v) => Ok(AltRef::Number(*v as f64)),
+        Expr::Float(v) => Ok(AltRef::Number(*v)),
+        Expr::Str(s) => Ok(AltRef::Name(s.clone())),
+        Expr::Path(p) if p.len() == 1 => Ok(AltRef::Name(p[0].clone())),
+        other => Err(DslError::at(
+            e.span,
+            format!(
+                "expected an alternative (name or number), found {}",
+                describe(other)
             ),
         )),
     }

@@ -8,6 +8,7 @@
 
 use crate::lower::ScenarioDoc;
 use crate::query::QuerySpec;
+use crate::sweep::{AltRef, ChoiceKind, SweepConstraint, SweepSpec};
 use crate::vocab;
 use netarch_core::component::{HardwareSpec, SystemSpec};
 use netarch_core::prelude::*;
@@ -26,6 +27,9 @@ pub fn print_doc(doc: &ScenarioDoc) -> String {
     }
     for q in &doc.queries {
         p.query(q);
+    }
+    for s in &doc.sweeps {
+        p.sweep(s);
     }
     p.out
 }
@@ -94,6 +98,15 @@ pub fn print_queries<'a>(queries: impl IntoIterator<Item = &'a QuerySpec>) -> St
     let mut p = Printer::new();
     for q in queries {
         p.query(q);
+    }
+    p.out
+}
+
+/// Prints `sweep` blocks only.
+pub fn print_sweeps<'a>(sweeps: impl IntoIterator<Item = &'a SweepSpec>) -> String {
+    let mut p = Printer::new();
+    for s in sweeps {
+        p.sweep(s);
     }
     p.out
 }
@@ -359,6 +372,79 @@ impl Printer {
             }
         }
         self.close();
+    }
+
+    fn sweep(&mut self, s: &SweepSpec) {
+        self.open(&format!("sweep {}", quote(&s.name)));
+        if s.seed != 0 {
+            self.attr("seed", &s.seed.to_string());
+        }
+        if s.limit != 256 {
+            self.attr("limit", &s.limit.to_string());
+        }
+        for group in &s.groups {
+            self.open(&format!("choose {}", quote(&group.name)));
+            match &group.kind {
+                ChoiceKind::Systems { candidates, optional } => {
+                    self.attr("systems", &name_list(candidates.iter().map(|s| s.as_str())));
+                    if *optional {
+                        self.attr("optional", "true");
+                    }
+                }
+                ChoiceKind::Nics(ids) => {
+                    self.attr("nics", &name_list(ids.iter().map(|h| h.as_str())));
+                }
+                ChoiceKind::Servers(ids) => {
+                    self.attr("servers", &name_list(ids.iter().map(|h| h.as_str())));
+                }
+                ChoiceKind::Switches(ids) => {
+                    self.attr("switches", &name_list(ids.iter().map(|h| h.as_str())));
+                }
+                ChoiceKind::NumServers(counts) => {
+                    let parts: Vec<String> = counts.iter().map(u64::to_string).collect();
+                    self.attr("num_servers", &format!("[{}]", parts.join(", ")));
+                }
+                ChoiceKind::Param { name, values } => {
+                    self.attr("param", &param_ref_text(name));
+                    let parts: Vec<String> = values.iter().map(|v| number_text(*v)).collect();
+                    self.attr("values", &format!("[{}]", parts.join(", ")));
+                }
+            }
+            self.close();
+        }
+        if !s.require.is_empty() {
+            let entries: Vec<String> = s.require.iter().map(sweep_constraint_text).collect();
+            self.attr("require", &format!("[{}]", entries.join(", ")));
+        }
+        if !s.forbid.is_empty() {
+            let entries: Vec<String> = s.forbid.iter().map(sweep_constraint_text).collect();
+            self.attr("forbid", &format!("[{}]", entries.join(", ")));
+        }
+        self.close();
+    }
+}
+
+fn alt_ref_text(alt: &AltRef) -> String {
+    match alt {
+        AltRef::Name(n) => name_text(n),
+        AltRef::Number(v) => number_text(*v),
+    }
+}
+
+fn sweep_constraint_text(constraint: &SweepConstraint) -> String {
+    match constraint {
+        SweepConstraint::Picked { group, alternative } => {
+            format!("picked({}, {})", name_text(group), alt_ref_text(alternative))
+        }
+        SweepConstraint::Not(inner) => format!("not({})", sweep_constraint_text(inner)),
+        SweepConstraint::All(parts) => {
+            let inner: Vec<String> = parts.iter().map(sweep_constraint_text).collect();
+            format!("all({})", inner.join(", "))
+        }
+        SweepConstraint::Any(parts) => {
+            let inner: Vec<String> = parts.iter().map(sweep_constraint_text).collect();
+            format!("any({})", inner.join(", "))
+        }
     }
 }
 

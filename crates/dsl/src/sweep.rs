@@ -1,0 +1,167 @@
+//! Sweep blocks: a combinatorial scenario universe as declarative values.
+//!
+//! A `sweep "name" { … }` block describes a small constraint program over
+//! *choice atoms*: each `choose` group contributes exactly one alternative
+//! (systems to pin, hardware candidate lists, fleet sizes, numeric
+//! parameter values), and `require` / `forbid` prune combinations. The
+//! sweep crate compiles this to CNF and enumerates every admissible
+//! assignment through the projected-model enumerator, so the lowered form
+//! here stays purely syntactic — names are resolved against the document's
+//! catalog only when the sweep is compiled.
+
+use netarch_core::prelude::*;
+
+/// A lowered `sweep` block — one scenario universe the document defines.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepSpec {
+    /// The sweep's label.
+    pub name: String,
+    /// Seed for the deterministic stream shuffle (default 0).
+    pub seed: u64,
+    /// Cap on enumerated variants (default 256).
+    pub limit: u64,
+    /// Choice groups, in document order.
+    pub groups: Vec<ChoiceGroup>,
+    /// Constraints every variant must satisfy.
+    pub require: Vec<SweepConstraint>,
+    /// Constraints no variant may satisfy.
+    pub forbid: Vec<SweepConstraint>,
+}
+
+/// One `choose "name" { … }` group: exactly one alternative is picked.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ChoiceGroup {
+    /// The group's label, referenced by `picked(group, alt)` constraints.
+    pub name: String,
+    /// What the group varies.
+    pub kind: ChoiceKind,
+}
+
+/// The axis a choice group sweeps over.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ChoiceKind {
+    /// Pick one system to pin in (the rest are pinned out). With
+    /// `optional = true` an implicit extra `none` alternative pins every
+    /// candidate out instead.
+    Systems {
+        /// Candidate systems.
+        candidates: Vec<SystemId>,
+        /// Whether the implicit `none` alternative exists.
+        optional: bool,
+    },
+    /// Pick the NIC candidate list down to one model.
+    Nics(Vec<HardwareId>),
+    /// Pick the server candidate list down to one SKU.
+    Servers(Vec<HardwareId>),
+    /// Pick the switch candidate list down to one model.
+    Switches(Vec<HardwareId>),
+    /// Pick the fleet size.
+    NumServers(Vec<u64>),
+    /// Pick a numeric parameter's value.
+    Param {
+        /// The parameter set.
+        name: ParamName,
+        /// Values swept over.
+        values: Vec<f64>,
+    },
+}
+
+impl ChoiceGroup {
+    /// Alternative labels in pick-index order, matching the CNF variable
+    /// layout the sweep compiler uses. For an optional systems group the
+    /// final label is `none`.
+    pub fn alternative_labels(&self) -> Vec<String> {
+        match &self.kind {
+            ChoiceKind::Systems { candidates, optional } => {
+                let mut labels: Vec<String> =
+                    candidates.iter().map(|s| s.as_str().to_string()).collect();
+                if *optional {
+                    labels.push("none".to_string());
+                }
+                labels
+            }
+            ChoiceKind::Nics(ids) | ChoiceKind::Servers(ids) | ChoiceKind::Switches(ids) => {
+                ids.iter().map(|h| h.as_str().to_string()).collect()
+            }
+            ChoiceKind::NumServers(counts) => counts.iter().map(u64::to_string).collect(),
+            ChoiceKind::Param { values, .. } => {
+                values.iter().map(|v| crate::print::number_text(*v)).collect()
+            }
+        }
+    }
+
+    /// Resolves an alternative reference to its pick index, or `None`
+    /// when the reference names nothing in this group.
+    pub fn resolve(&self, alt: &AltRef) -> Option<usize> {
+        match (&self.kind, alt) {
+            (ChoiceKind::Systems { candidates, optional }, AltRef::Name(n)) => candidates
+                .iter()
+                .position(|s| s.as_str() == n)
+                .or((*optional && n == "none").then_some(candidates.len())),
+            (
+                ChoiceKind::Nics(ids) | ChoiceKind::Servers(ids) | ChoiceKind::Switches(ids),
+                AltRef::Name(n),
+            ) => ids.iter().position(|h| h.as_str() == n),
+            (ChoiceKind::NumServers(counts), AltRef::Number(v)) => {
+                counts.iter().position(|c| *c as f64 == *v)
+            }
+            (ChoiceKind::Param { values, .. }, AltRef::Number(v)) => {
+                values.iter().position(|x| x == v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of alternatives (including the implicit `none`).
+    pub fn arity(&self) -> usize {
+        match &self.kind {
+            ChoiceKind::Systems { candidates, optional } => {
+                candidates.len() + usize::from(*optional)
+            }
+            ChoiceKind::Nics(ids) | ChoiceKind::Servers(ids) | ChoiceKind::Switches(ids) => {
+                ids.len()
+            }
+            ChoiceKind::NumServers(counts) => counts.len(),
+            ChoiceKind::Param { values, .. } => values.len(),
+        }
+    }
+}
+
+/// How a constraint names one alternative of a group.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AltRef {
+    /// By name (`SONATA`, `NIC_A`, `none`).
+    Name(String),
+    /// By numeric value (`100`, `4`).
+    Number(f64),
+}
+
+/// A boolean combination over `picked(group, alt)` atoms.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SweepConstraint {
+    /// True when `group` picked `alternative`.
+    Picked {
+        /// The choice group's label.
+        group: String,
+        /// The alternative within it.
+        alternative: AltRef,
+    },
+    /// Negation.
+    Not(Box<SweepConstraint>),
+    /// Conjunction.
+    All(Vec<SweepConstraint>),
+    /// Disjunction.
+    Any(Vec<SweepConstraint>),
+}
+
+impl SweepSpec {
+    /// Upper bound on the unconstrained universe size (product of group
+    /// arities), saturating at `u64::MAX`.
+    pub fn universe_bound(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| g.arity() as u64)
+            .try_fold(1u64, |acc, n| acc.checked_mul(n.max(1)))
+            .unwrap_or(u64::MAX)
+    }
+}

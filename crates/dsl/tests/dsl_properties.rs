@@ -11,7 +11,10 @@
 
 use netarch_core::component::{HardwareSpec, SystemSpec};
 use netarch_core::prelude::*;
-use netarch_dsl::{load_str, print_doc, print_scenario, QuerySpec};
+use netarch_dsl::{
+    load_str, print_doc, print_scenario, print_sweeps, AltRef, ChoiceGroup, ChoiceKind,
+    QuerySpec, SweepConstraint, SweepSpec,
+};
 use netarch_rt::prop::{self, gen_vec, Config};
 use netarch_rt::{impl_shrink_struct, prop_assert, Rng};
 
@@ -378,51 +381,340 @@ struct MutationSeed {
 
 impl_shrink_struct!(MutationSeed { doc, cut, mode, junk });
 
+const JUNK_BYTES: &[u8] = b"{}[]()=\"\\#.*+<>x0 \n\t\x7f";
+
+fn gen_junk(rng: &mut Rng) -> Vec<u8> {
+    gen_vec(rng, 1..=6, |r| JUNK_BYTES[r.gen_range(0..JUNK_BYTES.len())])
+}
+
+/// Applies one truncation/insertion/replacement at a char boundary so the
+/// mutated input stays valid UTF-8.
+fn mutate(text: &str, cut: u16, mode: u8, junk: &[u8]) -> String {
+    let mut at = cut as usize % (text.len() + 1);
+    while !text.is_char_boundary(at) {
+        at -= 1;
+    }
+    let junk = String::from_utf8_lossy(junk).into_owned();
+    match mode {
+        0 => text[..at].to_string(), // truncation
+        1 => format!("{}{}{}", &text[..at], junk, &text[at..]), // insertion
+        _ => {
+            // Replacement: overwrite forward to the next boundary.
+            let mut end = (at + junk.len()).min(text.len());
+            while !text.is_char_boundary(end) {
+                end += 1;
+            }
+            format!("{}{}{}", &text[..at], junk, &text[end..])
+        }
+    }
+}
+
+/// The only acceptable outcomes for a mutated input: clean accept or a
+/// rendered, non-empty diagnostic. A panic fails the property.
+fn check_no_panic(mutated: &str) -> Result<(), String> {
+    match load_str(mutated) {
+        Ok(_) => Ok(()),
+        Err(e) => {
+            let rendered = e.to_string();
+            prop_assert!(!rendered.is_empty(), "empty diagnostic for mutated input");
+            Ok(())
+        }
+    }
+}
+
 #[test]
 fn mutated_and_truncated_inputs_never_panic() {
-    let junk_bytes: &[u8] = b"{}[]()=\"\\#.*+<>x0 \n\t\x7f";
     prop::check(
         &Config::default(),
         |rng| MutationSeed {
             doc: gen_seed(rng),
             cut: rng.gen_range(0..=u16::MAX),
             mode: rng.gen_range(0..3u8),
-            junk: gen_vec(rng, 1..=6, |r| junk_bytes[r.gen_range(0..junk_bytes.len())]),
+            junk: gen_junk(rng),
         },
         |seed| {
             let (_, scenario, queries) = build_doc(&seed.doc);
             let text = full_text(&scenario, &queries);
-            // Mutate at a char boundary so the input stays valid UTF-8.
-            let mut at = seed.cut as usize % (text.len() + 1);
-            while !text.is_char_boundary(at) {
-                at -= 1;
-            }
-            let junk = String::from_utf8_lossy(&seed.junk).into_owned();
-            let mutated = match seed.mode {
-                0 => text[..at].to_string(), // truncation
-                1 => format!("{}{}{}", &text[..at], junk, &text[at..]), // insertion
-                _ => {
-                    // Replacement: overwrite forward to the next boundary.
-                    let mut end = (at + junk.len()).min(text.len());
-                    while !text.is_char_boundary(end) {
-                        end += 1;
-                    }
-                    format!("{}{}{}", &text[..at], junk, &text[end..])
-                }
-            };
-            // The only acceptable outcomes: clean accept or a rendered,
-            // position-carrying error. A panic fails the property.
-            match load_str(&mutated) {
-                Ok(_) => Ok(()),
-                Err(e) => {
-                    let rendered = e.to_string();
-                    prop_assert!(
-                        !rendered.is_empty(),
-                        "empty diagnostic for mutated input"
-                    );
-                    Ok(())
-                }
-            }
+            check_no_panic(&mutate(&text, seed.cut, seed.mode, &seed.junk))
         },
     );
+}
+
+// ---------------------------------------------------------------------------
+// Sweep grammar: round-trip, fixpoint, mutation robustness, spanned errors
+// ---------------------------------------------------------------------------
+
+/// Compact sweep-generation parameters; everything derives from `stream`.
+#[derive(Debug, Clone)]
+struct SweepSeed {
+    stream: u64,
+    n_sweeps: u8,
+}
+
+impl_shrink_struct!(SweepSeed { stream, n_sweeps });
+
+fn gen_sweep_seed(rng: &mut Rng) -> SweepSeed {
+    SweepSeed { stream: rng.next_u64(), n_sweeps: rng.gen_range(1..4u8) }
+}
+
+fn gen_hw_ids(rng: &mut Rng) -> Vec<HardwareId> {
+    // Lowering rejects a `choose` group with no alternatives, so every
+    // candidate list has at least one entry.
+    (0..rng.gen_range(1..4u8))
+        .map(|i| HardwareId::new(format!("H{i}_{}", pick_name(rng))))
+        .collect()
+}
+
+/// One choice group covering every axis the grammar defines. Candidate
+/// ids carry an index prefix so they stay unique within the group; the
+/// suffix pulls from the quoting-edge name pool.
+fn gen_choice_group(rng: &mut Rng, index: usize) -> ChoiceGroup {
+    let name = format!("g{index}_{}", pick_name(rng));
+    let kind = match rng.gen_range(0..6u8) {
+        0 => ChoiceKind::Systems {
+            candidates: (0..rng.gen_range(1..4u8))
+                .map(|i| SystemId::new(format!("S{i}_{}", pick_name(rng))))
+                .collect(),
+            optional: rng.gen_bool(0.5),
+        },
+        1 => ChoiceKind::Nics(gen_hw_ids(rng)),
+        2 => ChoiceKind::Servers(gen_hw_ids(rng)),
+        3 => ChoiceKind::Switches(gen_hw_ids(rng)),
+        4 => ChoiceKind::NumServers(
+            (0..rng.gen_range(1..5u8)).map(|_| rng.gen_range(0..10_000u32) as u64).collect(),
+        ),
+        _ => ChoiceKind::Param {
+            name: ParamName::new(pick_name(rng)),
+            values: (0..rng.gen_range(1..4u8)).map(|_| pick_f64(rng)).collect(),
+        },
+    };
+    ChoiceGroup { name, kind }
+}
+
+/// A `picked(group, alt)` atom over a group that actually has an
+/// alternative — lowering rejects unresolvable references, so the
+/// generator must only emit resolvable ones.
+fn gen_picked(rng: &mut Rng, groups: &[ChoiceGroup]) -> Option<SweepConstraint> {
+    let usable: Vec<&ChoiceGroup> = groups.iter().filter(|g| g.arity() > 0).collect();
+    if usable.is_empty() {
+        return None;
+    }
+    let g = usable[rng.gen_range(0..usable.len())];
+    let alternative = match &g.kind {
+        ChoiceKind::Systems { candidates, optional } => {
+            let n = candidates.len() + usize::from(*optional);
+            let i = rng.gen_range(0..n);
+            AltRef::Name(if i < candidates.len() {
+                candidates[i].as_str().to_string()
+            } else {
+                "none".to_string()
+            })
+        }
+        ChoiceKind::Nics(ids) | ChoiceKind::Servers(ids) | ChoiceKind::Switches(ids) => {
+            AltRef::Name(ids[rng.gen_range(0..ids.len())].as_str().to_string())
+        }
+        ChoiceKind::NumServers(counts) => {
+            AltRef::Number(counts[rng.gen_range(0..counts.len())] as f64)
+        }
+        ChoiceKind::Param { values, .. } => {
+            AltRef::Number(values[rng.gen_range(0..values.len())])
+        }
+    };
+    Some(SweepConstraint::Picked { group: g.name.clone(), alternative })
+}
+
+fn gen_sweep_constraint(
+    rng: &mut Rng,
+    groups: &[ChoiceGroup],
+    depth: u8,
+) -> Option<SweepConstraint> {
+    if depth == 0 {
+        return gen_picked(rng, groups);
+    }
+    match rng.gen_range(0..4u8) {
+        0 => gen_picked(rng, groups),
+        1 => gen_sweep_constraint(rng, groups, depth - 1)
+            .map(|c| SweepConstraint::Not(Box::new(c))),
+        2 => {
+            let n = rng.gen_range(0..3u8);
+            Some(SweepConstraint::All(
+                (0..n).filter_map(|_| gen_sweep_constraint(rng, groups, depth - 1)).collect(),
+            ))
+        }
+        _ => {
+            let n = rng.gen_range(0..3u8);
+            Some(SweepConstraint::Any(
+                (0..n).filter_map(|_| gen_sweep_constraint(rng, groups, depth - 1)).collect(),
+            ))
+        }
+    }
+}
+
+fn gen_sweeps(seed: &SweepSeed) -> Vec<SweepSpec> {
+    let mut rng = Rng::seed_from_u64(seed.stream);
+    let rng = &mut rng;
+    (0..seed.n_sweeps.max(1))
+        .map(|s| {
+            let groups: Vec<ChoiceGroup> =
+                (0..rng.gen_range(1..5u8)).map(|i| gen_choice_group(rng, i as usize)).collect();
+            let require: Vec<SweepConstraint> = (0..rng.gen_range(0..3u8))
+                .filter_map(|_| gen_sweep_constraint(rng, &groups, 2))
+                .collect();
+            let forbid: Vec<SweepConstraint> = (0..rng.gen_range(0..3u8))
+                .filter_map(|_| gen_sweep_constraint(rng, &groups, 2))
+                .collect();
+            SweepSpec {
+                // Index prefix keeps names unique across the document.
+                name: format!("SW{s}_{}", pick_name(rng)),
+                // Half the time the printer-elided defaults (seed 0,
+                // limit 256), half the time explicit values.
+                seed: if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..1_000_000_000u32) as u64 },
+                limit: if rng.gen_bool(0.5) { 256 } else { rng.gen_range(1..10_000u32) as u64 },
+                groups,
+                require,
+                forbid,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn random_sweeps_round_trip_through_text() {
+    prop::check(&Config::default(), gen_sweep_seed, |seed| {
+        let specs = gen_sweeps(seed);
+        let text = print_sweeps(&specs);
+        let doc = load_str(&text)
+            .map_err(|e| format!("reload failed: {e}\n--- text ---\n{text}"))?;
+        prop_assert!(doc.sweeps == specs, "sweeps drifted through text:\n{text}");
+        // Printing the reloaded specs must reproduce the text byte for
+        // byte — the sweep printer is a formatter, like the rest.
+        prop_assert!(
+            print_sweeps(&doc.sweeps) == text,
+            "sweep printer not a fixpoint:\n{text}"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn sweeps_survive_a_full_document_round_trip() {
+    // Sweeps embedded in a complete document (catalog + scenario +
+    // queries) must round-trip through `print_doc` alongside everything
+    // else, not just in isolation.
+    prop::check(
+        &Config::default(),
+        |rng| (gen_seed(rng), gen_sweep_seed(rng)),
+        |(doc_seed, sweep_seed)| {
+            let (_, scenario, queries) = build_doc(doc_seed);
+            let specs = gen_sweeps(sweep_seed);
+            let mut text = full_text(&scenario, &queries);
+            text.push('\n');
+            text.push_str(&print_sweeps(&specs));
+            let doc = load_str(&text)
+                .map_err(|e| format!("reload failed: {e}\n--- text ---\n{text}"))?;
+            prop_assert!(doc.sweeps == specs, "sweeps drifted through text:\n{text}");
+            let reprinted = print_doc(&doc);
+            let again =
+                load_str(&reprinted).map_err(|e| format!("reparse failed: {e}"))?;
+            prop_assert!(
+                print_doc(&again) == reprinted,
+                "printer not a fixpoint with sweeps:\n{reprinted}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Mutation parameters for sweep-bearing text.
+#[derive(Debug, Clone)]
+struct SweepMutationSeed {
+    sweeps: SweepSeed,
+    cut: u16,
+    mode: u8,
+    junk: Vec<u8>,
+}
+
+impl_shrink_struct!(SweepMutationSeed { sweeps, cut, mode, junk });
+
+#[test]
+fn mutated_and_truncated_sweep_inputs_never_panic() {
+    prop::check(
+        &Config::default(),
+        |rng| SweepMutationSeed {
+            sweeps: gen_sweep_seed(rng),
+            cut: rng.gen_range(0..=u16::MAX),
+            mode: rng.gen_range(0..3u8),
+            junk: gen_junk(rng),
+        },
+        |seed| {
+            let text = print_sweeps(&gen_sweeps(&seed.sweeps));
+            check_no_panic(&mutate(&text, seed.cut, seed.mode, &seed.junk))
+        },
+    );
+}
+
+#[test]
+fn sweep_errors_are_spanned_and_specific() {
+    // Each malformed sweep must be rejected with a diagnostic that names
+    // the actual mistake and carries a source position.
+    let cases: &[(&str, &str)] = &[
+        (
+            "sweep \"s\" {\n  choose \"g\" {\n    systems = [A]\n  }\n  \
+             require = [picked(ghost, A)]\n}\n",
+            "unknown choice group `ghost`",
+        ),
+        (
+            "sweep \"s\" {\n  choose \"g\" {\n    systems = [A]\n  }\n  \
+             forbid = [picked(g, B)]\n}\n",
+            "has no alternative `B`",
+        ),
+        (
+            "sweep \"s\" {\n  limit = 0\n  choose \"g\" {\n    systems = [A]\n  }\n}\n",
+            "sweep `limit` must be at least 1",
+        ),
+        ("sweep \"s\" {\n  seed = 1\n}\n", "no `choose` groups"),
+        (
+            "sweep \"s\" {\n  choose \"g\" {\n    nics = [N]\n    optional = true\n  }\n}\n",
+            "`optional` applies only to a `systems` group",
+        ),
+        (
+            "sweep \"s\" {\n  choose \"g\" {\n    systems = [A]\n    nics = [N]\n  }\n}\n",
+            "already has an axis",
+        ),
+        (
+            "sweep \"s\" {\n  choose \"g\" {\n    param = link_speed\n  }\n}\n",
+            "values",
+        ),
+        (
+            "sweep \"s\" {\n  choose \"g\" {\n    systems = [A]\n  }\n  \
+             require = [pickt(g, A)]\n}\n",
+            "unknown sweep constraint",
+        ),
+        (
+            "sweep \"s\" {\n  choose \"g\" {\n    systems = [A]\n  }\n  \
+             choose \"g\" {\n    nics = [N]\n  }\n}\n",
+            "duplicate choice group `g`",
+        ),
+        (
+            "sweep \"s\" {\n  choose \"g\" {\n    systems = [A]\n  }\n}\n\n\
+             sweep \"s\" {\n  choose \"g\" {\n    nics = [N]\n  }\n}\n",
+            "duplicate sweep `s`",
+        ),
+    ];
+    for (text, needle) in cases {
+        let err = match load_str(text) {
+            Err(e) => e,
+            Ok(_) => panic!("accepted bad sweep:\n{text}"),
+        };
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains(needle),
+            "diagnostic {rendered:?} does not mention {needle:?} for:\n{text}"
+        );
+        assert!(err.span.is_some(), "error must carry a span: {rendered}");
+        assert!(
+            rendered.starts_with("<input>:"),
+            "error must name its source: {rendered}"
+        );
+    }
 }

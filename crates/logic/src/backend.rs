@@ -39,6 +39,25 @@ impl SolveBackend {
     }
 }
 
+/// When a speculative query loop (today: the capacity binary search's
+/// probe-pool pass) may engage. The pool pays a real setup cost — the
+/// session CNF is cloned into every worker seat — so engaging it
+/// unconditionally *loses* wall time whenever the machine cannot run the
+/// seats concurrently or the search interval is too narrow to amortize
+/// the clones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Speculation {
+    /// Engage only when the cost heuristic says the pool pays for itself:
+    /// a wide open interval *and* enough physical parallelism to actually
+    /// run the seats concurrently.
+    #[default]
+    Auto,
+    /// Always engage — for tests and A/B measurement of the pass itself.
+    Always,
+    /// Never engage; the sequential midpoint loop does all the work.
+    Never,
+}
+
 /// Portfolio tuning exposed at the logic layer.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PortfolioOptions {
@@ -56,6 +75,8 @@ pub struct PortfolioOptions {
     /// independently of one-shot probe routing. On by default; turn off to
     /// fall back to sequential loops while keeping portfolio probes.
     pub parallel_queries: bool,
+    /// Engagement policy for speculative probe-pool passes.
+    pub speculation: Speculation,
 }
 
 impl Default for PortfolioOptions {
@@ -66,6 +87,7 @@ impl Default for PortfolioOptions {
             deterministic: false,
             seed: 0,
             parallel_queries: true,
+            speculation: Speculation::default(),
         }
     }
 }
@@ -97,10 +119,13 @@ pub fn threads_requested() -> Option<usize> {
 
 /// The backend selected by the environment: a portfolio when
 /// `NETARCH_THREADS` requests two or more workers, sequential otherwise.
-/// Two further knobs refine a portfolio backend: `NETARCH_PARALLEL_QUERIES`
+/// Three further knobs refine a portfolio backend: `NETARCH_PARALLEL_QUERIES`
 /// (`0`/`off` keeps the query loops sequential while one-shot probes still
-/// use the portfolio) and `NETARCH_DETERMINISTIC` (`1`/`on` selects
-/// deterministic arbitration — bit-identical runs, no cancellation).
+/// use the portfolio), `NETARCH_DETERMINISTIC` (`1`/`on` selects
+/// deterministic arbitration — bit-identical runs, no cancellation), and
+/// `NETARCH_SPECULATE` (`1`/`on` forces speculative probe-pool passes on,
+/// `0`/`off` forces them off; unset leaves the [`Speculation::Auto`]
+/// cost heuristic in charge).
 pub fn backend_from_env() -> SolveBackend {
     match threads_requested() {
         Some(n) if n >= 2 => {
@@ -114,6 +139,9 @@ pub fn backend_from_env() -> SolveBackend {
             }
             if let Some(on) = parse_switch(std::env::var("NETARCH_DETERMINISTIC").ok().as_deref()) {
                 opts.deterministic = on;
+            }
+            if let Some(on) = parse_switch(std::env::var("NETARCH_SPECULATE").ok().as_deref()) {
+                opts.speculation = if on { Speculation::Always } else { Speculation::Never };
             }
             SolveBackend::Portfolio(opts)
         }

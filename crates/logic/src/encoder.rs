@@ -6,7 +6,7 @@
 //! layer attributes conflicts back to named architecture rules.
 
 use crate::ast::{Atom, Formula};
-use crate::backend::{PortfolioOptions, SolveBackend};
+use crate::backend::{PortfolioOptions, SolveBackend, Speculation};
 use crate::cardinality::{self, CardEncoding};
 use crate::sink::ClauseSink;
 use netarch_sat::{
@@ -504,6 +504,15 @@ impl Encoder {
                 opts.num_threads
             }
             _ => 1,
+        }
+    }
+
+    /// The backend's speculation policy — [`Speculation::Never`] when the
+    /// backend is sequential (there are no worker seats to speculate on).
+    pub fn speculation(&self) -> Speculation {
+        match &self.config.backend {
+            SolveBackend::Portfolio(opts) => opts.speculation,
+            SolveBackend::Sequential => Speculation::Never,
         }
     }
 

@@ -40,7 +40,7 @@ NETARCH_BENCH_DIR="$narch_tmp" \
 echo "== bench trajectory files =="
 # The committed BENCH_*.json perf summaries must parse and name their
 # experiment (full checks live in tests/bench_trajectory.rs, run above).
-for f in BENCH_scaling.json BENCH_incremental.json BENCH_portfolio.json BENCH_parse.json BENCH_serve.json BENCH_inprocess.json BENCH_parallel_queries.json; do
+for f in BENCH_scaling.json BENCH_incremental.json BENCH_portfolio.json BENCH_parse.json BENCH_serve.json BENCH_inprocess.json BENCH_parallel_queries.json BENCH_sweep.json; do
     [ -s "$f" ] || { echo "error: missing trajectory file $f" >&2; exit 1; }
 done
 
@@ -125,6 +125,36 @@ echo "== serving smoke =="
 # scheduler noise; the ≥3× claim lives in the committed full run.
 NETARCH_BENCH_DIR="$narch_tmp" \
     cargo run --release --offline -q -p netarch-bench --bin exp_serve -- --smoke
+
+echo "== sweep smoke (seeded, golden manifest) =="
+# The combinatorial sweep pipeline end to end on the committed example:
+# enumerate the fixed spec and require the exact variant count and
+# stream digest. Any drift in grammar lowering, CNF encoding, projected
+# enumeration, the canonical ordering, or the seeded shuffle shows up
+# here as a digest mismatch.
+sweep_golden="sweep monitoring_matrix: variants=30 admissible=30 seed=7 digest=646007cbf294adb3dd5e9bde202f842b"
+sweep_got="$(cargo run --release --offline -q --bin netarch -- sweep examples/sweep.narch --smoke)"
+if [ "$sweep_got" != "$sweep_golden" ]; then
+    echo "error: sweep manifest drifted" >&2
+    echo "  expected: $sweep_golden" >&2
+    echo "  got:      $sweep_got" >&2
+    exit 1
+fi
+# The same stream must be reproduced bit-identically under different
+# thread counts: the manifest digest covers every variant in order.
+sweep_mt="$(NETARCH_THREADS=2 cargo run --release --offline -q --bin netarch -- sweep examples/sweep.narch --smoke)"
+if [ "$sweep_mt" != "$sweep_golden" ]; then
+    echo "error: sweep manifest depends on NETARCH_THREADS" >&2
+    exit 1
+fi
+
+echo "== sweep differential smoke =="
+# Reduced sweep universe through the full fan-out: thread-count
+# invariance of the stream plus the warm-session-vs-fresh-oracle
+# differential over every query kind and ordering; persists
+# BENCH_sweep.json to the temp dir for the regression gate below.
+NETARCH_BENCH_DIR="$narch_tmp" \
+    cargo run --release --offline -q -p netarch-bench --bin exp_sweep -- --smoke
 
 echo "== bench regression gate =="
 # Compare the candidate trajectory written above against the committed

@@ -58,6 +58,15 @@ const USAGE: &str = "usage:
   netarch enumerate <file>... <limit>     design equivalence classes
   netarch questions <file>...             disambiguation question plan
   netarch compare <file> <A> <B> <dim>    rule-of-thumb comparison
+  netarch sweep <file>... [opts]          enumerate a `sweep` block's admissible
+                                          scenario variants as a seeded stream
+    opts: --name <sweep>       pick a sweep when the document defines several
+          --export <dir>       write each variant as a canonical .narch file
+          --oracle             run every query on each variant through a warm
+                               session and compare against fresh-engine
+                               oracles across query orderings
+          --smoke              print only the stable variants/digest manifest
+                               line (what CI diffs against its golden copy)
   netarch serve-replay <file>... [opts]   replay a seeded request tape through
                                           the sharded multi-tenant service
     opts: --spec <spec.json>   replay spec (seed/requests/mix weights)
@@ -193,6 +202,7 @@ pub fn run(args: &[&str]) -> Result<String, String> {
             Ok(netarch::core::disambiguate::render_plan(&plan))
         }
         ["serve-replay", rest @ ..] if !rest.is_empty() => serve_replay(rest, json),
+        ["sweep", rest @ ..] if !rest.is_empty() => sweep_cmd(rest, json),
         ["compare", path, a, b, dim] => {
             let engine = load_engine(&[path])?;
             let dimension = parse_dimension(dim)?;
@@ -206,6 +216,167 @@ pub fn run(args: &[&str]) -> Result<String, String> {
         [] => Err("no command given".to_string()),
         other => Err(format!("unrecognized command {:?}", other.join(" "))),
     }
+}
+
+// ---------------------------------------------------------------------------
+// sweep: enumerate a sweep block's variant stream, with optional fan-out
+// ---------------------------------------------------------------------------
+
+/// Enumerates a `sweep` block into its deterministic variant stream and
+/// optionally fans it out: `--export` writes each variant as a canonical
+/// `.narch` corpus entry, `--oracle` runs the differential harness, and
+/// `--smoke` prints only the manifest line CI goldens.
+fn sweep_cmd(args: &[&str], json: bool) -> Result<String, String> {
+    use netarch::sweep as sw;
+
+    let mut paths: Vec<&str> = Vec::new();
+    let mut name: Option<&str> = None;
+    let mut export: Option<&str> = None;
+    let mut smoke = false;
+    let mut oracle = false;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--name" => name = Some(it.next().ok_or("--name needs a sweep name")?),
+            "--export" => export = Some(it.next().ok_or("--export needs a directory")?),
+            "--smoke" => smoke = true,
+            "--oracle" => oracle = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown sweep flag {flag:?}"))
+            }
+            path => paths.push(path),
+        }
+    }
+    if paths.is_empty() {
+        return Err("sweep needs at least one scenario file".to_string());
+    }
+
+    let doc = load_doc(&paths)?;
+    let scenario = doc.require_scenario().map_err(|e| e.to_string())?.clone();
+    let spec = match (name, doc.sweeps.as_slice()) {
+        (_, []) => return Err("the given files define no sweep block".to_string()),
+        (Some(n), sweeps) => sweeps.iter().find(|s| s.name == n).ok_or_else(|| {
+            let known: Vec<&str> = sweeps.iter().map(|s| s.name.as_str()).collect();
+            format!("no sweep named {n:?}; the document defines: {}", known.join(", "))
+        })?,
+        (None, [only]) => only,
+        (None, sweeps) => {
+            let known: Vec<&str> = sweeps.iter().map(|s| s.name.as_str()).collect();
+            return Err(format!(
+                "the document defines {} sweeps ({}); pick one with --name",
+                sweeps.len(),
+                known.join(", ")
+            ));
+        }
+    };
+
+    let stream = sw::enumerate_sweep(spec, &scenario.catalog).map_err(|e| e.to_string())?;
+    let manifest = format!(
+        "sweep {}: variants={} admissible={} seed={} digest={}",
+        spec.name,
+        stream.variants.len(),
+        stream.admissible,
+        spec.seed,
+        stream.digest_hex(),
+    );
+
+    let mut exported = 0usize;
+    if let Some(dir) = export {
+        let root = std::path::Path::new(dir);
+        std::fs::create_dir_all(root)
+            .map_err(|e| format!("cannot create {}: {e}", root.display()))?;
+        let width = stream.variants.len().to_string().len().max(3);
+        for variant in &stream.variants {
+            let label = sw::variant_label(spec, &variant.picks);
+            let concrete = sw::variant_scenario(spec, &scenario, &variant.picks);
+            let body = dsl::print_scenario(&concrete);
+            let header = format!(
+                "# Generated by `netarch sweep --export` from sweep {:?}.\n\
+                 # Variant {} of {}: {label}\n\n",
+                spec.name,
+                variant.index,
+                stream.variants.len(),
+            );
+            let path = root.join(format!("{}-{:0width$}.narch", spec.name, variant.index));
+            std::fs::write(&path, format!("{header}{body}"))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            exported += 1;
+        }
+    }
+
+    let mut report = None;
+    if oracle {
+        let opts = sw::DiffOptions::default();
+        let r = sw::run_differential(spec, &scenario, &stream, &opts).map_err(|e| e.to_string())?;
+        if let Some(d) = &r.disagreement {
+            return Err(format!("differential disagreement: {d}"));
+        }
+        report = Some(r);
+    }
+
+    if smoke {
+        return Ok(manifest);
+    }
+    if json {
+        let variants: Vec<netarch_rt::Json> = stream
+            .variants
+            .iter()
+            .map(|v| {
+                jobj! {
+                    "index": v.index as u64,
+                    "label": sw::variant_label(spec, &v.picks),
+                }
+            })
+            .collect();
+        let mut out = jobj! {
+            "sweep": spec.name.clone(),
+            "seed": spec.seed,
+            "admissible": stream.admissible,
+            "truncated": stream.truncated,
+            "digest": stream.digest_hex(),
+            "variants": variants,
+        };
+        if let (Some(r), netarch_rt::Json::Obj(fields)) = (&report, &mut out) {
+            fields.push((
+                "oracle".to_string(),
+                jobj! {
+                    "sessions": r.sessions,
+                    "queries": r.queries,
+                    "orderings": r.orderings,
+                    "disagreements": 0u64,
+                },
+            ));
+        }
+        return Ok(netarch_rt::json::to_string_pretty(&out));
+    }
+
+    let mut out = format!("{manifest}\n");
+    if stream.truncated {
+        out.push_str(&format!(
+            "(limit {} truncated the {}-variant admissible universe)\n",
+            spec.limit, stream.admissible
+        ));
+    }
+    for variant in &stream.variants {
+        out.push_str(&format!(
+            "  [{}] {}\n",
+            variant.index,
+            sw::variant_label(spec, &variant.picks)
+        ));
+    }
+    if exported > 0 {
+        out.push_str(&format!(
+            "wrote {exported} variant file(s) under {}\n",
+            export.unwrap_or(".")
+        ));
+    }
+    if let Some(r) = &report {
+        out.push_str(&format!(
+            "oracle: {} orderings / {} queries across {} warm sessions — all agreed\n",
+            r.orderings, r.queries, r.sessions
+        ));
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -403,6 +574,7 @@ fn load_doc(paths: &[&str]) -> Result<dsl::ScenarioDoc, String> {
                 workloads: scenario.workloads.clone(),
                 scenario: Some(scenario),
                 queries: Vec::new(),
+                sweeps: Vec::new(),
             })
         }
         (true, 0) => Err("no scenario files given".to_string()),

@@ -7,3 +7,4 @@ pub use netarch_logic as logic;
 pub use netarch_rt as rt;
 pub use netarch_sat as sat;
 pub use netarch_serve as serve;
+pub use netarch_sweep as sweep;

@@ -118,6 +118,26 @@ fn committed_trajectory_metrics_are_sane() {
         Some(false),
         "committed parallel-queries numbers must come from a full run"
     );
+    let sweep = committed("sweep");
+    assert_eq!(
+        sweep.get("disagreements").and_then(Json::as_u64),
+        Some(0),
+        "committed sweep run recorded a differential disagreement"
+    );
+    assert!(
+        sweep.get("admissible").and_then(Json::as_u64).unwrap_or(0) >= 500,
+        "committed sweep run enumerated fewer than 500 admissible variants"
+    );
+    assert_eq!(
+        sweep.get("threads_identical").and_then(Json::as_bool),
+        Some(true),
+        "committed sweep stream was not identical across NETARCH_THREADS settings"
+    );
+    assert_eq!(
+        sweep.get("smoke").and_then(Json::as_bool),
+        Some(false),
+        "committed sweep numbers must come from a full run"
+    );
 }
 
 #[test]
@@ -189,5 +209,20 @@ fn candidate_run_does_not_regress() {
         parallel.get("disagreements").and_then(Json::as_u64),
         Some(0),
         "candidate parallel-queries run disagreed with the sequential oracle"
+    );
+
+    // Sweep candidate runs in --smoke shape (24 variants), so the ≥500
+    // floor applies only to the committed full run; determinism and
+    // agreement are unconditional.
+    let sweep = load_from(dir, "sweep");
+    assert_eq!(
+        sweep.get("disagreements").and_then(Json::as_u64),
+        Some(0),
+        "candidate sweep run disagreed with the fresh-engine oracle"
+    );
+    assert_eq!(
+        sweep.get("threads_identical").and_then(Json::as_bool),
+        Some(true),
+        "candidate sweep stream differed across NETARCH_THREADS settings"
     );
 }

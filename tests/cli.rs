@@ -294,3 +294,66 @@ fn json_flag_emits_machine_readable_designs() {
     assert!(value["design"]["hardware"]["Server"].is_string());
     assert!(value["stats"]["session_solves"].as_u64().unwrap_or(0) >= 1);
 }
+
+// ---------------------------------------------------------------------------
+// sweep: deterministic variant streams from the examples/sweep.narch spec
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sweep_smoke_manifest_is_deterministic() {
+    let spec = repo_path("examples/sweep.narch");
+    let (ok, first, stderr) = netarch(&["sweep", &spec, "--smoke"]);
+    assert!(ok, "{stderr}");
+    assert!(first.contains("variants=30"), "{first}");
+    assert!(first.contains("admissible=30"), "{first}");
+    assert!(first.contains("digest="), "{first}");
+    let (ok, second, _) = netarch(&["sweep", &spec, "--smoke"]);
+    assert!(ok);
+    assert_eq!(first, second, "sweep manifest must be reproducible");
+}
+
+#[test]
+fn sweep_export_writes_checkable_variants() {
+    let spec = repo_path("examples/sweep.narch");
+    let dir = std::env::temp_dir().join(format!("netarch-sweep-{}", std::process::id()));
+    let (ok, stdout, stderr) = netarch(&["sweep", &spec, "--export", dir.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrote 30 variant file(s)"), "{stdout}");
+    // Every exported variant is a self-contained scenario the engine loads;
+    // the stream mixes feasible and infeasible combinations by design.
+    let mut verdicts = std::collections::BTreeSet::new();
+    for index in 0..30 {
+        let path = dir.join(format!("monitoring_matrix-{index:03}.narch"));
+        let (ok, stdout, stderr) = netarch(&["check", path.to_str().unwrap()]);
+        assert!(ok, "variant {index}: {stderr}");
+        verdicts.insert(stdout.split_whitespace().next().unwrap_or("").to_string());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(verdicts.contains("FEASIBLE"), "{verdicts:?}");
+    assert!(verdicts.contains("INFEASIBLE"), "{verdicts:?}");
+}
+
+#[test]
+fn sweep_json_lists_the_stream() {
+    let spec = repo_path("examples/sweep.narch");
+    let (ok, stdout, stderr) = netarch(&["sweep", &spec, "--json"]);
+    assert!(ok, "{stderr}");
+    let value: netarch_rt::Json = netarch_rt::json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(value["sweep"].as_str(), Some("monitoring_matrix"));
+    assert_eq!(value["admissible"].as_u64(), Some(30));
+    assert_eq!(value["variants"].as_array().map(<[_]>::len), Some(30));
+    assert!(value["digest"].as_str().is_some_and(|d| d.len() == 32));
+}
+
+#[test]
+fn sweep_rejects_missing_blocks_and_unknown_names() {
+    let (ok, _, stderr) = netarch(&["sweep", &repo_path("examples/minimal.narch")]);
+    assert!(!ok);
+    assert!(stderr.contains("no sweep block"), "{stderr}");
+
+    let spec = repo_path("examples/sweep.narch");
+    let (ok, _, stderr) = netarch(&["sweep", &spec, "--name", "ghost"]);
+    assert!(!ok);
+    assert!(stderr.contains("no sweep named"), "{stderr}");
+    assert!(stderr.contains("monitoring_matrix"), "{stderr}");
+}
